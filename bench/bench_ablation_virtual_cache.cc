@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Virtual GPU caches vs walk scheduling (paper §VII / Yoon et al.
+ * [43], "Filtering Translation Bandwidth with Virtual Caching").
+ *
+ * Virtually-addressed L1 data caches defer translation to the L1 miss
+ * path, filtering most translation traffic before it exists; the
+ * paper positions its scheduler as orthogonal. This bench quantifies
+ * both: how much translation traffic the virtual L1 removes per
+ * benchmark, and how much scheduling headroom remains in each design.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace bench;
+    const auto base = system::SystemConfig::baseline();
+    system::printBanner(std::cout, "Ablation (virtual caches)",
+                        "Physical L1s (translate-before-access) vs "
+                        "virtual L1s (translate-on-miss)",
+                        base);
+
+    system::TablePrinter table({"app", "walks:phys", "walks:virt",
+                                "simt:phys", "simt:virt"});
+    table.printHeader(std::cout);
+
+    for (const auto &app : workload::irregularWorkloadNames()) {
+        auto virt = base;
+        virt.gpu.virtualL1Cache = true;
+
+        const auto phys = compareSchedulers(base, app);
+        const auto vres = compareSchedulers(virt, app);
+
+        table.printRow(
+            std::cout,
+            {app, std::to_string(phys.fcfs.walkRequests),
+             std::to_string(vres.fcfs.walkRequests),
+             fmt(system::speedup(phys.simt, phys.fcfs)),
+             fmt(system::speedup(vres.simt, vres.fcfs))});
+    }
+
+    std::cout
+        << "\nReading: virtual L1s filter translations behind L1 data "
+           "reuse. Divergent column sweeps reuse\ncache lines across "
+           "consecutive column steps, so their translation traffic "
+           "drops and the walk\nscheduler's headroom shrinks with it; "
+           "access patterns without L1 reuse keep their walk "
+           "traffic\nand their scheduling benefit. The two techniques "
+           "attack the same bottleneck at different points\n— "
+           "consistent with the paper calling them orthogonal (SVII)."
+           "\n";
+    return 0;
+}

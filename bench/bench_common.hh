@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Shared helpers for the per-figure experiment binaries.
+ *
+ * Every bench prints: a banner with the experiment id and the exact
+ * configuration, one row per benchmark in the same layout as the
+ * paper's figure, and the paper's (approximate, eyeballed-from-figure)
+ * value next to ours for easy comparison. EXPERIMENTS.md records the
+ * full paper-vs-measured discussion.
+ */
+
+#ifndef GPUWALK_BENCH_BENCH_COMMON_HH
+#define GPUWALK_BENCH_BENCH_COMMON_HH
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "system/experiment.hh"
+#include "workload/registry.hh"
+
+namespace bench {
+
+using namespace gpuwalk;
+
+/** Runs one (config, workload) simulation with experiment params. */
+inline system::RunStats
+run(const system::SystemConfig &cfg, const std::string &workload)
+{
+    return system::runOne(cfg, workload, system::experimentParams())
+        .stats;
+}
+
+/** Caches per-scheduler runs of one workload under one config. */
+struct SchedulerComparison
+{
+    system::RunStats fcfs;
+    system::RunStats simt;
+};
+
+inline SchedulerComparison
+compareSchedulers(const system::SystemConfig &base,
+                  const std::string &workload)
+{
+    SchedulerComparison out;
+    out.fcfs = run(system::withScheduler(base, core::SchedulerKind::Fcfs),
+                   workload);
+    out.simt = run(
+        system::withScheduler(base, core::SchedulerKind::SimtAware),
+        workload);
+    return out;
+}
+
+/** "MEAN" row helper: geometric mean over collected per-app values. */
+class MeanTracker
+{
+  public:
+    void add(double v) { values_.push_back(v); }
+    double mean() const { return system::geomean(values_); }
+    bool empty() const { return values_.empty(); }
+
+  private:
+    std::vector<double> values_;
+};
+
+inline std::string
+fmt(double v, int precision = 3)
+{
+    return system::TablePrinter::fmt(v, precision);
+}
+
+} // namespace bench
+
+#endif // GPUWALK_BENCH_BENCH_COMMON_HH

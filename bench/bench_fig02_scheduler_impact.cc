@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 2: performance impact of page walk scheduling.
+ *
+ * Four representative irregular applications (MVT, ATX, BIC, GEV)
+ * under Random, FCFS, and SIMT-aware scheduling, each normalized to
+ * the Random scheduler — the paper's "schedule matters by >2.1x"
+ * motivation figure.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace bench;
+    auto cfg = system::SystemConfig::baseline();
+    system::printBanner(std::cout, "Figure 2",
+                        "Performance impact of page walk scheduling "
+                        "(speedup over the random scheduler)",
+                        cfg);
+
+    // Approximate values eyeballed from the paper's Figure 2 bars.
+    const std::map<std::string, std::pair<double, double>> paper{
+        {"MVT", {1.35, 1.75}},
+        {"ATX", {1.30, 1.70}},
+        {"BIC", {1.35, 1.80}},
+        {"GEV", {1.40, 2.10}},
+    };
+
+    system::TablePrinter table({"app", "random", "fcfs", "simt-aware",
+                                "paper:fcfs", "paper:simt"});
+    table.printHeader(std::cout);
+
+    MeanTracker mean_fcfs, mean_simt;
+    for (const auto &app : workload::motivationWorkloadNames()) {
+        const auto random = run(
+            system::withScheduler(cfg, core::SchedulerKind::Random),
+            app);
+        const auto fcfs = run(
+            system::withScheduler(cfg, core::SchedulerKind::Fcfs), app);
+        const auto simt = run(
+            system::withScheduler(cfg, core::SchedulerKind::SimtAware),
+            app);
+
+        const double f = system::speedup(fcfs, random);
+        const double s = system::speedup(simt, random);
+        mean_fcfs.add(f);
+        mean_simt.add(s);
+        table.printRow(std::cout,
+                       {app, "1.000", fmt(f), fmt(s),
+                        fmt(paper.at(app).first, 2),
+                        fmt(paper.at(app).second, 2)});
+    }
+    table.printRule(std::cout);
+    table.printRow(std::cout, {"GEOMEAN", "1.000", fmt(mean_fcfs.mean()),
+                               fmt(mean_simt.mean()), "-", "-"});
+
+    std::cout << "\n(paper columns are approximate bar heights from "
+                 "Fig. 2; the paper's headline is a >2.1x spread\n"
+                 "between the best and worst schedule on GEV)\n";
+    return 0;
+}

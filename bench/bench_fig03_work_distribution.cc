@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figure 3: distribution of the number of memory accesses ("work")
+ * needed to service the address translation needs of SIMD
+ * instructions, under the baseline FCFS scheduler.
+ *
+ * Buckets follow the paper exactly: 1-16, 17-32, 33-48, 49-64, 65-80,
+ * 81-256 memory accesses per instruction (instructions with no walks
+ * are excluded).
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace bench;
+    auto cfg = system::SystemConfig::baseline();
+    system::printBanner(std::cout, "Figure 3",
+                        "Per-instruction page-walk memory-access "
+                        "distribution (FCFS)",
+                        cfg);
+
+    std::cout << std::left << std::setw(8) << "app";
+    const std::vector<std::string> labels{"1-16",  "17-32", "33-48",
+                                          "49-64", "65-80", "81-256",
+                                          "257+"};
+    for (const auto &l : labels)
+        std::cout << std::right << std::setw(9) << l;
+    std::cout << "\n" << std::string(8 + 9 * labels.size(), '-') << "\n";
+
+    for (const auto &app : workload::motivationWorkloadNames()) {
+        const auto stats =
+            run(system::withScheduler(cfg, core::SchedulerKind::Fcfs),
+                app);
+        std::cout << std::left << std::setw(8) << app;
+        for (std::size_t i = 0; i < stats.walks.workBucketFractions.size();
+             ++i) {
+            std::cout << std::right << std::setw(9)
+                      << fmt(stats.walks.workBucketFractions[i], 3);
+        }
+        std::cout << "\n";
+    }
+
+    std::cout
+        << "\npaper (Fig. 3): 27-61% of instructions fall in 1-16 and "
+           "33-70% need 49+ accesses;\nGEV has ~31% of instructions at "
+           "65+ accesses. The same bimodal shape — coalesced\nvector "
+           "ops in the first bucket, 64-lane divergent loads around "
+           "49-64+ — should appear above.\n";
+    return 0;
+}

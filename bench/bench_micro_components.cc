@@ -1,0 +1,256 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the building blocks on the
+ * simulator's hot paths: event queue throughput, TLB lookups, PWC
+ * probes, coalescing, and — most relevantly to the paper's "design
+ * subtleties" discussion — the cost of the SIMT-aware scheduler's
+ * buffer scans at various occupancies (§IV argues the scan is off the
+ * critical path; these numbers quantify it).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/fcfs_scheduler.hh"
+#include "core/simt_aware_scheduler.hh"
+#include "core/srpt_scheduler.hh"
+#include "iommu/page_walk_cache.hh"
+#include "mem/dram.hh"
+#include "vm/page_table.hh"
+#include "sim/event_queue.hh"
+#include "tlb/coalescer.hh"
+#include "tlb/set_assoc_tlb.hh"
+
+namespace {
+
+using namespace gpuwalk;
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        for (int i = 0; i < 1024; ++i)
+            eq.schedule(static_cast<sim::Tick>(i), [] {});
+        eq.run();
+        benchmark::DoNotOptimize(eq.executed());
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_TlbLookupHit(benchmark::State &state)
+{
+    tlb::SetAssocTlb tlb({"bench", 512, 16});
+    for (std::uint64_t i = 0; i < 512; ++i)
+        tlb.insert(i << 12, i << 12);
+    std::uint64_t vpn = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tlb.lookup((vpn++ % 512) << 12));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TlbLookupHit);
+
+void
+BM_TlbLookupMiss(benchmark::State &state)
+{
+    tlb::SetAssocTlb tlb({"bench", 512, 16});
+    std::uint64_t vpn = 1 << 20;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tlb.lookup((vpn++) << 12));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TlbLookupMiss);
+
+void
+BM_PwcProbe(benchmark::State &state)
+{
+    iommu::PageWalkCache pwc({}, 0x1000);
+    for (mem::Addr r = 0; r < 8; ++r)
+        pwc.fill(r << 21, vm::PtLevel::Pd, 0x4000);
+    mem::Addr va = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            pwc.probeEstimate((va++ % 16) << 21));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PwcProbe);
+
+void
+BM_Coalesce64Divergent(benchmark::State &state)
+{
+    std::vector<mem::Addr> lanes;
+    for (mem::Addr i = 0; i < 64; ++i)
+        lanes.push_back(i * 32768);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tlb::coalesce(lanes));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Coalesce64Divergent);
+
+void
+BM_Coalesce64Coalesced(benchmark::State &state)
+{
+    std::vector<mem::Addr> lanes;
+    for (mem::Addr i = 0; i < 64; ++i)
+        lanes.push_back(0x1000 + i * 4);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tlb::coalesce(lanes));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Coalesce64Coalesced);
+
+core::WalkBuffer
+filledBuffer(std::size_t n)
+{
+    core::WalkBuffer buf(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        core::PendingWalk w;
+        w.seq = i;
+        w.request.instruction = i / 8;
+        w.score = (i * 7) % 97 + 1;
+        buf.insert(std::move(w));
+    }
+    return buf;
+}
+
+void
+BM_FcfsSelect(benchmark::State &state)
+{
+    auto buf = filledBuffer(static_cast<std::size_t>(state.range(0)));
+    core::FcfsScheduler sched;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sched.selectNext(buf));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FcfsSelect)->Arg(64)->Arg(256)->Arg(512);
+
+void
+BM_SimtAwareSelect(benchmark::State &state)
+{
+    auto buf = filledBuffer(static_cast<std::size_t>(state.range(0)));
+    core::SimtAwareScheduler sched;
+    // Prime the batching register.
+    core::PendingWalk primer;
+    primer.request.instruction = 1;
+    sched.onDispatch(buf, primer);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sched.selectNext(buf));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimtAwareSelect)->Arg(64)->Arg(256)->Arg(512);
+
+void
+BM_SimtAwareDispatchAging(benchmark::State &state)
+{
+    auto buf = filledBuffer(static_cast<std::size_t>(state.range(0)));
+    core::SimtAwareScheduler sched;
+    core::PendingWalk w;
+    w.seq = 1u << 30; // younger than everything: ages all entries
+    for (auto _ : state) {
+        sched.onDispatch(buf, w);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimtAwareDispatchAging)->Arg(64)->Arg(256)->Arg(512);
+
+void
+BM_DramDecode(benchmark::State &state)
+{
+    mem::DramConfig cfg;
+    mem::DramAddressMapper mapper(cfg);
+    mem::Addr addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mapper.decode(addr));
+        addr += 4096 + 64;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DramDecode);
+
+void
+BM_PageTableMap(benchmark::State &state)
+{
+    mem::BackingStore store;
+    vm::FrameAllocator frames(mem::Addr(32) << 30);
+    vm::PageTable table(store, frames);
+    mem::Addr va = mem::Addr(1) << 32;
+    for (auto _ : state) {
+        table.map(va, frames.allocateFrame());
+        va += mem::pageSize;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PageTableMap);
+
+void
+BM_PageTableTranslate(benchmark::State &state)
+{
+    mem::BackingStore store;
+    vm::FrameAllocator frames(mem::Addr(4) << 30);
+    vm::PageTable table(store, frames);
+    for (mem::Addr i = 0; i < 4096; ++i)
+        table.map((mem::Addr(1) << 32) + i * mem::pageSize,
+                  frames.allocateFrame());
+    mem::Addr va = mem::Addr(1) << 32;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(table.translate(va));
+        va = (mem::Addr(1) << 32)
+             + (va + mem::pageSize) % (4096 * mem::pageSize);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PageTableTranslate);
+
+void
+BM_BackingStoreRead64(benchmark::State &state)
+{
+    mem::BackingStore store;
+    for (mem::Addr a = 0; a < (1 << 22); a += mem::pageSize)
+        store.write64(a, a);
+    mem::Addr addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(store.read64(addr));
+        addr = (addr + mem::pageSize) % (1 << 22);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BackingStoreRead64);
+
+void
+BM_TlbInsertEvict(benchmark::State &state)
+{
+    tlb::SetAssocTlb tlb({"bench", 512, 16});
+    std::uint64_t vpn = 0;
+    for (auto _ : state) {
+        tlb.insert((vpn++) << 12, vpn << 12);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TlbInsertEvict);
+
+void
+BM_SrptSelect(benchmark::State &state)
+{
+    auto buf = filledBuffer(static_cast<std::size_t>(state.range(0)));
+    core::SrptScheduler sched(false);
+    sched.setEstimator([](mem::Addr va) -> unsigned {
+        return 1 + (va >> 12) % 4;
+    });
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sched.selectNext(buf));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SrptSelect)->Arg(64)->Arg(256)->Arg(512);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Building a custom workload with the public API.
+ *
+ * The paper's motivation is irregular applications like graph
+ * analytics: this example constructs a BFS-style frontier-expansion
+ * workload by hand (instead of using the Table II registry), with a
+ * tunable "community locality" knob, and shows how translation
+ * overhead and the scheduler's benefit grow as locality shrinks.
+ *
+ * Usage: example_graph_analytics [vertices_mb] [edges_per_step]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "sim/rng.hh"
+#include "system/experiment.hh"
+#include "tlb/coalescer.hh"
+#include "workload/patterns.hh"
+
+using namespace gpuwalk;
+
+namespace {
+
+/**
+ * Generates a BFS-ish workload over a CSR graph laid out in @p as.
+ * Each SIMD instruction either streams edge indices (coalesced) or
+ * gathers neighbour properties within a locality window (divergent in
+ * proportion to @p window_elems).
+ */
+gpu::GpuWorkload
+makeBfsWorkload(vm::AddressSpace &as, mem::Addr vertex_bytes,
+                unsigned wavefronts, unsigned instructions,
+                std::uint64_t window_elems, std::uint64_t seed)
+{
+    const auto edges = as.allocate("edges", vertex_bytes * 4);
+    const auto props = as.allocate("properties", vertex_bytes);
+    const std::uint64_t edge_elems = edges.bytes / 4;
+
+    gpu::GpuWorkload wl;
+    for (unsigned wf = 0; wf < wavefronts; ++wf) {
+        sim::Rng rng(seed * 7919 + wf);
+        gpu::WavefrontTrace trace;
+        std::uint64_t pos = (edge_elems / wavefronts) * wf;
+        while (trace.size() < instructions) {
+            // Stream the frontier's edge list: coalesced.
+            trace.push_back(workload::makeInstr(
+                workload::sequentialLanes(
+                    edges.base
+                        + (pos % (edge_elems - gpu::wavefrontSize)) * 4,
+                    4),
+                true, workload::jitteredCompute(rng, 200)));
+            pos += gpu::wavefrontSize;
+            if (trace.size() >= instructions)
+                break;
+            // Gather neighbour properties: one page per lane when the
+            // window exceeds the page size, coalesced when it's tiny.
+            trace.push_back(workload::makeInstr(
+                workload::windowedRandomLanes(
+                    rng, props, 8, pos % (props.bytes / 8),
+                    window_elems),
+                true, workload::jitteredCompute(rng, 200)));
+        }
+        trace.resize(instructions);
+        wl.traces.push_back(std::move(trace));
+    }
+    return wl;
+}
+
+double
+runOnce(core::SchedulerKind kind, mem::Addr vertex_bytes,
+        std::uint64_t window, sim::Tick *runtime = nullptr)
+{
+    auto cfg = system::SystemConfig::baseline();
+    cfg.scheduler = kind;
+    system::System sys(cfg);
+    auto wl = makeBfsWorkload(sys.addressSpace(), vertex_bytes,
+                              /*wavefronts=*/128,
+                              /*instructions=*/32, window, /*seed=*/11);
+    sys.loadWorkload(std::move(wl));
+    const auto stats = sys.run();
+    if (runtime)
+        *runtime = stats.runtimeTicks;
+    return static_cast<double>(stats.walkRequests)
+           / static_cast<double>(stats.instructions);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const mem::Addr vertices_mb = argc > 1 ? std::atoi(argv[1]) : 64;
+    const mem::Addr vertex_bytes = vertices_mb << 20;
+
+    std::cout << "Graph analytics (BFS gather) on GPUWalk\n"
+              << "----------------------------------------\n"
+              << "property array: " << vertices_mb << " MB\n\n"
+              << "locality window | walks/instr | FCFS->SIMT speedup\n"
+              << "----------------+-------------+-------------------\n";
+
+    for (std::uint64_t window : {512ull, 8192ull, 65536ull}) {
+        sim::Tick fcfs_rt = 0, simt_rt = 0;
+        const double walks = runOnce(core::SchedulerKind::Fcfs,
+                                     vertex_bytes, window, &fcfs_rt);
+        runOnce(core::SchedulerKind::SimtAware, vertex_bytes, window,
+                &simt_rt);
+        std::cout.width(15);
+        std::cout << window << " |";
+        std::cout.width(12);
+        std::cout << system::TablePrinter::fmt(walks, 2) << " |";
+        std::cout.width(18);
+        std::cout << system::TablePrinter::fmt(
+                         static_cast<double>(fcfs_rt)
+                             / static_cast<double>(simt_rt))
+                  << "\n";
+    }
+
+    std::cout << "\nAs the gather window grows past a page, each SIMD "
+                 "instruction touches more distinct pages,\ntranslation "
+                 "pressure rises, and smart walk scheduling starts to "
+                 "pay — the paper's §I story.\n";
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Sweeping a hardware parameter with the experiment API.
+ *
+ * Reproduces the spirit of the paper's §V-B2 sensitivity analysis as
+ * a user-driven sweep: how does the SIMT-aware scheduler's benefit
+ * change with the number of IOMMU page table walkers?
+ *
+ * Usage: example_sensitivity_sweep [workload] (default MVT)
+ */
+
+#include <iostream>
+
+#include "system/experiment.hh"
+
+using namespace gpuwalk;
+
+int
+main(int argc, char **argv)
+{
+    const std::string workload = argc > 1 ? argv[1] : "MVT";
+
+    std::cout << "Walker-count sensitivity sweep (" << workload
+              << ")\n"
+              << "----------------------------------------\n"
+              << "walkers | FCFS cycles | SIMT cycles | speedup\n"
+              << "--------+-------------+-------------+--------\n";
+
+    auto params = system::experimentParams();
+    params.footprintScale = 0.25; // keep the example snappy
+
+    for (unsigned walkers : {2u, 4u, 8u, 16u, 32u}) {
+        auto cfg = system::SystemConfig::baseline();
+        cfg.iommu.numWalkers = walkers;
+
+        const auto fcfs =
+            system::runOne(system::withScheduler(
+                               cfg, core::SchedulerKind::Fcfs),
+                           workload, params)
+                .stats;
+        const auto simt =
+            system::runOne(system::withScheduler(
+                               cfg, core::SchedulerKind::SimtAware),
+                           workload, params)
+                .stats;
+
+        std::cout.width(7);
+        std::cout << walkers << " |";
+        std::cout.width(12);
+        std::cout << fcfs.runtimeTicks / 500 << " |";
+        std::cout.width(12);
+        std::cout << simt.runtimeTicks / 500 << " |";
+        std::cout.width(8);
+        std::cout << system::TablePrinter::fmt(
+                         system::speedup(simt, fcfs))
+                  << "\n";
+    }
+
+    std::cout << "\nThe paper's Fig. 13: more walkers shrink the "
+                 "scheduling headroom (30% -> 8.4% at 16 walkers)\n"
+                 "because the effective translation bandwidth grows; "
+                 "the same downward trend should show above.\n";
+    return 0;
+}

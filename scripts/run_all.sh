@@ -1,0 +1,20 @@
+#!/bin/sh
+# Regenerates every artifact: build, tests, all table/figure benches.
+# Usage: scripts/run_all.sh [build-dir]
+set -e
+
+BUILD="${1:-build}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+
+ctest --test-dir "$BUILD" 2>&1 | tee "$ROOT/test_output.txt"
+
+for b in "$BUILD"/bench/*; do
+    if [ -f "$b" ] && [ -x "$b" ]; then
+        echo "##### $(basename "$b") #####"
+        "$b"
+    fi
+done 2>&1 | tee "$ROOT/bench_output.txt"

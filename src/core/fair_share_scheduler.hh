@@ -1,0 +1,106 @@
+/**
+ * @file
+ * App-fair walk scheduling for multi-program GPUs.
+ *
+ * The QoS design the paper's conclusion invites (cf. its §VII-B
+ * citations: STFM, PAR-BS, DASH — fairness policies for shared DRAM):
+ * round-robin the walker grant across co-scheduled applications so a
+ * translation-light tenant can never be starved by a flood from a
+ * translation-heavy one, and apply the paper's SIMT-aware ordering
+ * (batching, then shortest job by score) *within* each application's
+ * queue.
+ */
+
+#ifndef GPUWALK_CORE_FAIR_SHARE_SCHEDULER_HH
+#define GPUWALK_CORE_FAIR_SHARE_SCHEDULER_HH
+
+#include <optional>
+
+#include "core/walk_scheduler.hh"
+
+namespace gpuwalk::core {
+
+/** Round-robin across apps; SIMT-aware ordering within an app. */
+class FairShareScheduler : public WalkScheduler
+{
+  public:
+    std::string name() const override { return "fair-share"; }
+
+    /** Per-app SJF uses the same arrival-time scores as SIMT-aware. */
+    bool needsScores() const override { return true; }
+
+    std::size_t
+    selectNext(const WalkBuffer &buffer) override
+    {
+        const auto &entries = buffer.entries();
+        GPUWALK_ASSERT(!entries.empty(), "selectNext on empty buffer");
+
+        // Batch with the in-service instruction (paper rule 1) — this
+        // never crosses apps, because instructions belong to one app.
+        if (lastInstruction_) {
+            std::size_t best = entries.size();
+            for (std::size_t i = 0; i < entries.size(); ++i) {
+                if (entries[i].request.instruction != *lastInstruction_)
+                    continue;
+                if (best == entries.size()
+                    || entries[i].seq < entries[best].seq) {
+                    best = i;
+                }
+            }
+            if (best != entries.size())
+                return best;
+        }
+
+        // Round-robin grant: the first app after the last-served one
+        // (in app-ID order) that has pending work wins the walker.
+        std::uint32_t max_app = 0;
+        for (const auto &e : entries)
+            max_app = std::max(max_app, e.request.app);
+
+        std::optional<std::uint32_t> grant;
+        for (std::uint32_t probe = 1; probe <= max_app + 1; ++probe) {
+            const std::uint32_t app =
+                (lastApp_ + probe) % (max_app + 1);
+            for (const auto &e : entries) {
+                if (e.request.app == app) {
+                    grant = app;
+                    break;
+                }
+            }
+            if (grant)
+                break;
+        }
+        GPUWALK_ASSERT(grant.has_value(), "no app with pending walks");
+
+        // SIMT-aware rule 2 within the granted app: lowest score,
+        // oldest first.
+        std::size_t best = entries.size();
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+            if (entries[i].request.app != *grant)
+                continue;
+            if (best == entries.size()
+                || entries[i].score < entries[best].score
+                || (entries[i].score == entries[best].score
+                    && entries[i].seq < entries[best].seq)) {
+                best = i;
+            }
+        }
+        return best;
+    }
+
+    void
+    onDispatch(WalkBuffer &buffer, const PendingWalk &walk) override
+    {
+        lastInstruction_ = walk.request.instruction;
+        lastApp_ = walk.request.app;
+        WalkScheduler::onDispatch(buffer, walk);
+    }
+
+  private:
+    std::optional<tlb::InstructionId> lastInstruction_;
+    std::uint32_t lastApp_ = 0;
+};
+
+} // namespace gpuwalk::core
+
+#endif // GPUWALK_CORE_FAIR_SHARE_SCHEDULER_HH

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * First-come-first-serve walk scheduling — the paper's baseline.
+ */
+
+#ifndef GPUWALK_CORE_FCFS_SCHEDULER_HH
+#define GPUWALK_CORE_FCFS_SCHEDULER_HH
+
+#include "core/walk_scheduler.hh"
+
+namespace gpuwalk::core {
+
+/** Services pending walks strictly in arrival order. */
+class FcfsScheduler : public WalkScheduler
+{
+  public:
+    std::string name() const override { return "fcfs"; }
+
+    std::size_t
+    selectNext(const WalkBuffer &buffer) override
+    {
+        return buffer.oldestIndex();
+    }
+
+    /** FCFS never bypasses anything; skip aging bookkeeping. */
+    void onDispatch(WalkBuffer &, const PendingWalk &) override {}
+};
+
+} // namespace gpuwalk::core
+
+#endif // GPUWALK_CORE_FCFS_SCHEDULER_HH

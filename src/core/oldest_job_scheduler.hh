@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Oldest-job-first (OJF) walk scheduling.
+ *
+ * A PAR-BS-flavoured alternative (the paper's §VII cites batch
+ * scheduling at memory controllers [40]): requests are serviced
+ * instruction by instruction in the order the *instructions* first
+ * appeared, i.e., all walks of the oldest instruction before any walk
+ * of a younger one — even when the oldest instruction's earliest
+ * walks were already dispatched. This isolates the batching idea with
+ * an age priority instead of a length priority: the natural
+ * fairness-first counterpart to the paper's SJF-first design.
+ */
+
+#ifndef GPUWALK_CORE_OLDEST_JOB_SCHEDULER_HH
+#define GPUWALK_CORE_OLDEST_JOB_SCHEDULER_HH
+
+#include <unordered_map>
+
+#include "core/walk_scheduler.hh"
+
+namespace gpuwalk::core {
+
+/** Completes whole instructions in instruction-age order. */
+class OldestJobScheduler : public WalkScheduler
+{
+  public:
+    std::string name() const override { return "oldest-job"; }
+
+    std::size_t
+    selectNext(const WalkBuffer &buffer) override
+    {
+        const auto &entries = buffer.entries();
+        GPUWALK_ASSERT(!entries.empty(), "selectNext on empty buffer");
+
+        // An instruction's age is the seq of its first-ever request,
+        // remembered across dispatches (the buffer alone forgets once
+        // early siblings are serviced).
+        for (const auto &e : entries) {
+            auto [it, inserted] = firstSeen_.try_emplace(
+                e.request.instruction, e.seq);
+            if (!inserted && e.seq < it->second)
+                it->second = e.seq;
+        }
+
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < entries.size(); ++i) {
+            const auto age_i =
+                firstSeen_.at(entries[i].request.instruction);
+            const auto age_b =
+                firstSeen_.at(entries[best].request.instruction);
+            if (age_i != age_b) {
+                if (age_i < age_b)
+                    best = i;
+                continue;
+            }
+            if (entries[i].seq < entries[best].seq)
+                best = i;
+        }
+        return best;
+    }
+
+    void onDispatch(WalkBuffer &, const PendingWalk &) override {}
+
+  private:
+    /**
+     * First-arrival seq per instruction. Grows with the number of
+     * distinct instructions that ever queued — bounded by the run's
+     * instruction count, acceptable for an analysis policy.
+     */
+    std::unordered_map<tlb::InstructionId, std::uint64_t> firstSeen_;
+};
+
+} // namespace gpuwalk::core
+
+#endif // GPUWALK_CORE_OLDEST_JOB_SCHEDULER_HH

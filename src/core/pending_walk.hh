@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The IOMMU's page-walk request buffer (the "IOMMU buffer").
+ *
+ * Translation requests that miss the whole TLB hierarchy wait here
+ * until a page table walker frees up and the active WalkScheduler
+ * selects them (paper §II-B step 6-7). The buffer is the scheduler's
+ * lookahead window: its capacity (256 in the baseline, swept in
+ * Fig. 14) bounds how far the scheduler can reorder.
+ */
+
+#ifndef GPUWALK_CORE_PENDING_WALK_HH
+#define GPUWALK_CORE_PENDING_WALK_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/ticks.hh"
+#include "tlb/translation.hh"
+
+namespace gpuwalk::core {
+
+/** A page-walk request waiting in the IOMMU buffer. */
+struct PendingWalk
+{
+    /** The translation request (carries the instruction ID tag). */
+    tlb::TranslationRequest request;
+
+    /** Arrival time at the buffer. */
+    sim::Tick arrival = 0;
+
+    /** Global arrival sequence number — the FCFS ordering key. */
+    std::uint64_t seq = 0;
+
+    /**
+     * PWC-probe estimate of memory accesses this walk alone needs
+     * (1-4), computed at arrival (paper action 1-a).
+     */
+    unsigned estimatedAccesses = 0;
+
+    /**
+     * Estimated total memory accesses to finish *all* pending walks of
+     * the issuing instruction — the SJF "job length" (action 1-b).
+     * Identical across all buffered requests of one instruction.
+     */
+    std::uint64_t score = 0;
+
+    /**
+     * How many younger requests have been scheduled ahead of this one;
+     * drives the anti-starvation aging override.
+     */
+    std::uint64_t bypassed = 0;
+
+    /**
+     * True for IOMMU-generated next-page prefetch walks: they fill
+     * the IOMMU TLBs but have no GPU consumer and never enter the
+     * demand metrics.
+     */
+    bool isPrefetch = false;
+};
+
+/** Fixed-capacity buffer of pending page-walk requests. */
+class WalkBuffer
+{
+  public:
+    explicit WalkBuffer(std::size_t capacity) : capacity_(capacity)
+    {
+        GPUWALK_ASSERT(capacity_ > 0, "walk buffer needs capacity");
+        entries_.reserve(capacity_);
+    }
+
+    std::size_t capacity() const { return capacity_; }
+    std::size_t size() const { return entries_.size(); }
+    bool empty() const { return entries_.empty(); }
+    bool full() const { return entries_.size() >= capacity_; }
+
+    /** Inserts @p w. @pre !full() @return its current index. */
+    std::size_t
+    insert(PendingWalk w)
+    {
+        GPUWALK_ASSERT(!full(), "walk buffer overflow");
+        entries_.push_back(std::move(w));
+        return entries_.size() - 1;
+    }
+
+    /** Removes and returns entry @p idx (swap-with-last erase). */
+    PendingWalk
+    extract(std::size_t idx)
+    {
+        GPUWALK_ASSERT(idx < entries_.size(), "bad buffer index ", idx);
+        PendingWalk out = std::move(entries_[idx]);
+        entries_[idx] = std::move(entries_.back());
+        entries_.pop_back();
+        return out;
+    }
+
+    PendingWalk &at(std::size_t idx) { return entries_.at(idx); }
+    const PendingWalk &at(std::size_t idx) const
+    {
+        return entries_.at(idx);
+    }
+
+    /** Index of the oldest (lowest seq) entry. @pre !empty() */
+    std::size_t
+    oldestIndex() const
+    {
+        GPUWALK_ASSERT(!empty(), "oldestIndex on empty buffer");
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < entries_.size(); ++i) {
+            if (entries_[i].seq < entries_[best].seq)
+                best = i;
+        }
+        return best;
+    }
+
+    /**
+     * Applies @p fn to every entry issued by @p instruction.
+     * Used by arrival-time re-scoring (paper action 1-b).
+     */
+    template <typename Fn>
+    void
+    forEachOfInstruction(tlb::InstructionId instruction, Fn &&fn)
+    {
+        for (auto &e : entries_) {
+            if (e.request.instruction == instruction)
+                fn(e);
+        }
+    }
+
+    /** Direct access for schedulers' scan loops. */
+    const std::vector<PendingWalk> &entries() const { return entries_; }
+    std::vector<PendingWalk> &entries() { return entries_; }
+
+  private:
+    std::size_t capacity_;
+    std::vector<PendingWalk> entries_;
+};
+
+} // namespace gpuwalk::core
+
+#endif // GPUWALK_CORE_PENDING_WALK_HH

@@ -1,0 +1,99 @@
+#include "core/walk_scheduler.hh"
+
+#include "core/fair_share_scheduler.hh"
+#include "core/fcfs_scheduler.hh"
+#include "core/random_scheduler.hh"
+#include "core/oldest_job_scheduler.hh"
+#include "core/simt_aware_scheduler.hh"
+#include "core/srpt_scheduler.hh"
+#include "sim/logging.hh"
+
+namespace gpuwalk::core {
+
+std::string
+toString(SchedulerKind kind)
+{
+    switch (kind) {
+      case SchedulerKind::Fcfs:
+        return "fcfs";
+      case SchedulerKind::Random:
+        return "random";
+      case SchedulerKind::SjfOnly:
+        return "sjf-only";
+      case SchedulerKind::BatchOnly:
+        return "batch-only";
+      case SchedulerKind::SimtAware:
+        return "simt-aware";
+      case SchedulerKind::OldestJob:
+        return "oldest-job";
+      case SchedulerKind::Srpt:
+        return "srpt";
+      case SchedulerKind::FairShare:
+        return "fair-share";
+    }
+    sim::panic("unknown SchedulerKind");
+}
+
+SchedulerKind
+schedulerKindFromString(const std::string &name)
+{
+    if (name == "fcfs")
+        return SchedulerKind::Fcfs;
+    if (name == "random")
+        return SchedulerKind::Random;
+    if (name == "sjf-only" || name == "sjf")
+        return SchedulerKind::SjfOnly;
+    if (name == "batch-only" || name == "batch")
+        return SchedulerKind::BatchOnly;
+    if (name == "simt-aware" || name == "simt")
+        return SchedulerKind::SimtAware;
+    if (name == "oldest-job" || name == "ojf")
+        return SchedulerKind::OldestJob;
+    if (name == "srpt")
+        return SchedulerKind::Srpt;
+    if (name == "fair-share" || name == "fair")
+        return SchedulerKind::FairShare;
+    sim::fatal("unknown scheduler '", name,
+               "' (expected fcfs|random|sjf-only|batch-only|"
+               "simt-aware|oldest-job|srpt|fair-share)");
+}
+
+std::unique_ptr<WalkScheduler>
+makeScheduler(SchedulerKind kind, std::uint64_t seed,
+              const SimtSchedulerConfig &cfg)
+{
+    switch (kind) {
+      case SchedulerKind::Fcfs:
+        return std::make_unique<FcfsScheduler>();
+      case SchedulerKind::Random:
+        return std::make_unique<RandomScheduler>(seed);
+      case SchedulerKind::SjfOnly: {
+        SimtSchedulerConfig c = cfg;
+        c.enableSjf = true;
+        c.enableBatching = false;
+        return std::make_unique<SimtAwareScheduler>(c);
+      }
+      case SchedulerKind::BatchOnly: {
+        SimtSchedulerConfig c = cfg;
+        c.enableSjf = false;
+        c.enableBatching = true;
+        return std::make_unique<SimtAwareScheduler>(c);
+      }
+      case SchedulerKind::SimtAware: {
+        SimtSchedulerConfig c = cfg;
+        c.enableSjf = true;
+        c.enableBatching = true;
+        return std::make_unique<SimtAwareScheduler>(c);
+      }
+      case SchedulerKind::OldestJob:
+        return std::make_unique<OldestJobScheduler>();
+      case SchedulerKind::Srpt:
+        // The owner (the IOMMU) wires the PWC estimator in.
+        return std::make_unique<SrptScheduler>();
+      case SchedulerKind::FairShare:
+        return std::make_unique<FairShareScheduler>();
+    }
+    sim::panic("unknown SchedulerKind");
+}
+
+} // namespace gpuwalk::core

@@ -1,0 +1,68 @@
+#include "core/simt_aware_scheduler.hh"
+
+namespace gpuwalk::core {
+
+std::size_t
+SimtAwareScheduler::selectNext(const WalkBuffer &buffer)
+{
+    const auto &entries = buffer.entries();
+    GPUWALK_ASSERT(!entries.empty(), "selectNext on empty buffer");
+
+    // 0. Anti-starvation: oldest request past the aging threshold.
+    {
+        std::size_t best = entries.size();
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+            if (entries[i].bypassed < cfg_.agingThreshold)
+                continue;
+            if (best == entries.size()
+                || entries[i].seq < entries[best].seq) {
+                best = i;
+            }
+        }
+        if (best != entries.size()) {
+            ++agingOverrides_;
+            return best;
+        }
+    }
+
+    // 1. Batch with the most recently dispatched instruction.
+    if (cfg_.enableBatching && lastInstruction_) {
+        std::size_t best = entries.size();
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+            if (entries[i].request.instruction != *lastInstruction_)
+                continue;
+            if (best == entries.size()
+                || entries[i].seq < entries[best].seq) {
+                best = i;
+            }
+        }
+        if (best != entries.size()) {
+            ++batchPicks_;
+            return best;
+        }
+    }
+
+    // 2. Shortest job first by score; FCFS without scoring enabled.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < entries.size(); ++i) {
+        if (cfg_.enableSjf) {
+            if (entries[i].score != entries[best].score) {
+                if (entries[i].score < entries[best].score)
+                    best = i;
+                continue;
+            }
+        }
+        if (entries[i].seq < entries[best].seq)
+            best = i;
+    }
+    return best;
+}
+
+void
+SimtAwareScheduler::onDispatch(WalkBuffer &buffer, const PendingWalk &walk)
+{
+    lastInstruction_ = walk.request.instruction;
+    WalkScheduler::onDispatch(buffer, walk); // aging bookkeeping
+}
+
+} // namespace gpuwalk::core

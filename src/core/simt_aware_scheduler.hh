@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The paper's SIMT-aware page table walk scheduler (§IV).
+ *
+ * Selection order when a walker frees up:
+ *   0. Aging override: any request bypassed more than the threshold is
+ *      serviced first (oldest such), preventing starvation.
+ *   1. Batching (key idea 2): a pending request from the same SIMD
+ *      instruction as the most recently dispatched walk — oldest first.
+ *   2. SJF (key idea 1): the request whose instruction has the lowest
+ *      estimated total walk cost (score); ties broken oldest-first.
+ *
+ * The ablation variants SjfScheduler / BatchScheduler disable one of
+ * the two ideas via SimtSchedulerConfig.
+ */
+
+#ifndef GPUWALK_CORE_SIMT_AWARE_SCHEDULER_HH
+#define GPUWALK_CORE_SIMT_AWARE_SCHEDULER_HH
+
+#include <optional>
+
+#include "core/walk_scheduler.hh"
+
+namespace gpuwalk::core {
+
+/** SJF + batching + aging walk scheduler. */
+class SimtAwareScheduler : public WalkScheduler
+{
+  public:
+    explicit SimtAwareScheduler(const SimtSchedulerConfig &cfg = {})
+        : cfg_(cfg)
+    {}
+
+    std::string
+    name() const override
+    {
+        if (cfg_.enableSjf && cfg_.enableBatching)
+            return "simt-aware";
+        if (cfg_.enableSjf)
+            return "sjf-only";
+        if (cfg_.enableBatching)
+            return "batch-only";
+        return "fcfs-degenerate";
+    }
+
+    bool needsScores() const override { return cfg_.enableSjf; }
+
+    std::size_t selectNext(const WalkBuffer &buffer) override;
+
+    void onDispatch(WalkBuffer &buffer, const PendingWalk &walk) override;
+
+    /** Instruction ID of the most recently dispatched walk, if any. */
+    std::optional<tlb::InstructionId>
+    lastInstruction() const
+    {
+        return lastInstruction_;
+    }
+
+    /** Times the aging override fired (visible for tests/stats). */
+    std::uint64_t agingOverrides() const { return agingOverrides_; }
+
+    /** Times the batching rule (not SJF) made the pick. */
+    std::uint64_t batchPicks() const { return batchPicks_; }
+
+  private:
+    SimtSchedulerConfig cfg_;
+    std::optional<tlb::InstructionId> lastInstruction_;
+    std::uint64_t agingOverrides_ = 0;
+    std::uint64_t batchPicks_ = 0;
+};
+
+} // namespace gpuwalk::core
+
+#endif // GPUWALK_CORE_SIMT_AWARE_SCHEDULER_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Shortest-remaining-processing-time (SRPT) walk scheduling — the
+ * "oracle" variant of the paper's key idea 1.
+ *
+ * The paper scores requests once, at arrival, because "it is
+ * infeasible for the scheduler to re-calculate scores of every
+ * pending request at the time of request selection" (§IV). This
+ * scheduler does exactly that infeasible thing: at every selection it
+ * re-probes the PWCs for each buffered request and ranks instructions
+ * by their *current remaining* work (dispatched walks no longer
+ * count, and PWC contents are fresh). Comparing it against the
+ * SIMT-aware scheduler quantifies how much accuracy the paper's cheap
+ * arrival-time estimate and counter-pinning actually give up.
+ *
+ * Not a hardware proposal — an analysis instrument.
+ */
+
+#ifndef GPUWALK_CORE_SRPT_SCHEDULER_HH
+#define GPUWALK_CORE_SRPT_SCHEDULER_HH
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "core/walk_scheduler.hh"
+
+namespace gpuwalk::core {
+
+/** Re-scores every pending request at selection time. */
+class SrptScheduler : public WalkScheduler
+{
+  public:
+    /** Estimates the memory accesses one walk would need (1-4). */
+    using Estimator = std::function<unsigned(mem::Addr va_page)>;
+
+    explicit SrptScheduler(bool enable_batching = true)
+        : batching_(enable_batching)
+    {}
+
+    /** The IOMMU wires its PWC probe in here after construction. */
+    void setEstimator(Estimator estimator)
+    {
+        estimator_ = std::move(estimator);
+    }
+
+    std::string name() const override { return "srpt"; }
+
+    /** Scores are recomputed here; arrival-time scoring is unused. */
+    bool needsScores() const override { return false; }
+
+    std::size_t
+    selectNext(const WalkBuffer &buffer) override
+    {
+        const auto &entries = buffer.entries();
+        GPUWALK_ASSERT(!entries.empty(), "selectNext on empty buffer");
+        GPUWALK_ASSERT(estimator_, "SRPT needs an estimator");
+
+        // Batch with the in-service instruction first, like the
+        // SIMT-aware scheduler's rule 1.
+        if (batching_ && lastInstruction_) {
+            std::size_t best = entries.size();
+            for (std::size_t i = 0; i < entries.size(); ++i) {
+                if (entries[i].request.instruction != *lastInstruction_)
+                    continue;
+                if (best == entries.size()
+                    || entries[i].seq < entries[best].seq) {
+                    best = i;
+                }
+            }
+            if (best != entries.size())
+                return best;
+        }
+
+        // Remaining work per instruction, from fresh PWC estimates of
+        // the requests still in the buffer.
+        remaining_.clear();
+        for (const auto &e : entries) {
+            remaining_[e.request.instruction] +=
+                estimator_(e.request.vaPage);
+        }
+
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < entries.size(); ++i) {
+            const auto ri = remaining_.at(entries[i].request.instruction);
+            const auto rb =
+                remaining_.at(entries[best].request.instruction);
+            if (ri != rb) {
+                if (ri < rb)
+                    best = i;
+                continue;
+            }
+            if (entries[i].seq < entries[best].seq)
+                best = i;
+        }
+        return best;
+    }
+
+    void
+    onDispatch(WalkBuffer &buffer, const PendingWalk &walk) override
+    {
+        lastInstruction_ = walk.request.instruction;
+        WalkScheduler::onDispatch(buffer, walk);
+    }
+
+  private:
+    bool batching_;
+    Estimator estimator_;
+    std::optional<tlb::InstructionId> lastInstruction_;
+    /** Scratch map reused across selections to avoid reallocation. */
+    std::unordered_map<tlb::InstructionId, std::uint64_t> remaining_;
+};
+
+} // namespace gpuwalk::core
+
+#endif // GPUWALK_CORE_SRPT_SCHEDULER_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The page-table-walk scheduler interface — the paper's contribution
+ * point. When a hardware walker becomes free, the IOMMU asks the
+ * active scheduler which pending request to service next.
+ */
+
+#ifndef GPUWALK_CORE_WALK_SCHEDULER_HH
+#define GPUWALK_CORE_WALK_SCHEDULER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/pending_walk.hh"
+
+namespace gpuwalk::core {
+
+/** The scheduling policies studied by the paper + our ablations. */
+enum class SchedulerKind
+{
+    Fcfs,      ///< baseline: first come, first served
+    Random,    ///< naive random pick (paper Fig. 2 strawman)
+    SjfOnly,   ///< ablation: key idea 1 only (score-based SJF)
+    BatchOnly, ///< ablation: key idea 2 only (same-instruction batching)
+    SimtAware, ///< the paper's full scheduler: SJF + batching + aging
+    OldestJob, ///< extension: complete instructions in age order
+    Srpt,      ///< extension: selection-time re-scoring "oracle"
+    FairShare, ///< extension: per-app round-robin + SIMT-aware within
+};
+
+/** Printable name of @p kind (matches factory spelling). */
+std::string toString(SchedulerKind kind);
+
+/** Parses a scheduler name; fatal() on unknown names. */
+SchedulerKind schedulerKindFromString(const std::string &name);
+
+/**
+ * Policy deciding the service order of pending page walks.
+ *
+ * The IOMMU owns the buffer and the walkers; the scheduler only picks
+ * indices and observes dispatches. Implementations must be
+ * deterministic given their seed.
+ */
+class WalkScheduler
+{
+  public:
+    virtual ~WalkScheduler() = default;
+
+    /** Human-readable policy name. */
+    virtual std::string name() const = 0;
+
+    /**
+     * True if the IOMMU should compute arrival-time PWC score
+     * estimates for this policy (actions 1-a/1-b of the paper).
+     * Skipping them for FCFS/Random keeps the baseline honest: it
+     * does no scoring work.
+     */
+    virtual bool needsScores() const { return false; }
+
+    /**
+     * Picks the buffer index to service next. @pre !buffer.empty()
+     * Must not modify the buffer.
+     */
+    virtual std::size_t selectNext(const WalkBuffer &buffer) = 0;
+
+    /**
+     * Observes that @p walk was dispatched to a walker, after it was
+     * extracted from @p buffer. Default updates the aging counters:
+     * every remaining entry older than the dispatched one was just
+     * bypassed.
+     */
+    virtual void
+    onDispatch(WalkBuffer &buffer, const PendingWalk &walk)
+    {
+        for (auto &e : buffer.entries()) {
+            if (e.seq < walk.seq)
+                ++e.bypassed;
+        }
+    }
+};
+
+/** Anti-starvation and policy knobs for the SIMT-aware scheduler. */
+struct SimtSchedulerConfig
+{
+    /**
+     * Aging threshold: a request bypassed this many times is promoted
+     * over all others. The paper used two million; sized relative to
+     * its much longer simulations, so ours defaults lower but is still
+     * rarely hit.
+     */
+    std::uint64_t agingThreshold = 2'000'000;
+
+    /** Enables key idea 1 (SJF scoring). */
+    bool enableSjf = true;
+
+    /** Enables key idea 2 (same-instruction batching). */
+    bool enableBatching = true;
+};
+
+/** Creates a scheduler. @p seed only matters for Random. */
+std::unique_ptr<WalkScheduler>
+makeScheduler(SchedulerKind kind, std::uint64_t seed = 1,
+              const SimtSchedulerConfig &cfg = {});
+
+} // namespace gpuwalk::core
+
+#endif // GPUWALK_CORE_WALK_SCHEDULER_HH

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * A GPU compute unit executing wavefront memory-instruction traces.
+ *
+ * Each resident wavefront runs its trace in SIMT lockstep: a SIMD
+ * memory instruction is coalesced into unique-page translation
+ * requests and unique-line cache accesses; the instruction — and
+ * hence the wavefront — cannot retire until *all* translations and
+ * all data accesses complete (the property the paper's batching idea
+ * exploits). The CU tracks its stall time: ticks during which it has
+ * live wavefronts but none able to execute (all blocked on memory),
+ * the Fig. 9 metric.
+ */
+
+#ifndef GPUWALK_GPU_COMPUTE_UNIT_HH
+#define GPUWALK_GPU_COMPUTE_UNIT_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "gpu/gpu_config.hh"
+#include "gpu/instruction.hh"
+#include "mem/request.hh"
+#include "sim/event_queue.hh"
+#include "sim/rate_limiter.hh"
+#include "sim/stats.hh"
+#include "tlb/coalescer.hh"
+#include "tlb/tlb_hierarchy.hh"
+
+namespace gpuwalk::gpu {
+
+class Gpu;
+
+/** One compute unit plus its resident wavefronts. */
+class ComputeUnit
+{
+  public:
+    /**
+     * @param eq Event queue.
+     * @param cfg GPU shape/timing.
+     * @param cu_id This CU's index.
+     * @param tlbs The GPU TLB hierarchy (translation path).
+     * @param l1d This CU's L1 data cache (data path).
+     * @param gpu Parent, notified when all wavefronts finish.
+     */
+    ComputeUnit(sim::EventQueue &eq, const GpuConfig &cfg,
+                std::uint32_t cu_id, tlb::TlbHierarchy &tlbs,
+                mem::MemoryDevice &l1d, Gpu &gpu);
+
+    /**
+     * Assigns @p trace to a new resident wavefront.
+     * @param wavefront_global_id Unique across the whole GPU.
+     * @param app_id Owning application (multi-program runs).
+     * @pre called before start(); capacity cfg.wavefrontsPerCu.
+     */
+    void addWavefront(std::uint32_t wavefront_global_id,
+                      unsigned app_id, WavefrontTrace trace);
+
+    /** Begins execution of all resident wavefronts at the next tick. */
+    void start();
+
+    std::uint32_t id() const { return id_; }
+
+    /** Wavefronts that have finished their traces. */
+    unsigned wavefrontsDone() const { return wavefrontsDone_; }
+
+    unsigned
+    wavefrontsResident() const
+    {
+        return static_cast<unsigned>(wavefronts_.size());
+    }
+
+    bool done() const { return wavefrontsDone_ == wavefronts_.size(); }
+
+    /** Accumulated execution-stall time in ticks (Fig. 9 metric). */
+    sim::Tick stallTicks() const { return stallAccum_; }
+
+    /** Instructions retired by this CU. */
+    std::uint64_t
+    instructionsRetired() const
+    {
+        return instructions_.value();
+    }
+
+    sim::StatGroup &stats() { return statGroup_; }
+
+  private:
+    /** Execution state of one resident wavefront. */
+    struct Wavefront
+    {
+        std::uint32_t globalId = 0;
+        unsigned appId = 0;
+        WavefrontTrace trace;
+        std::size_t pc = 0;
+        bool blocked = false; ///< waiting on an outstanding instruction
+        bool finished = false;
+    };
+
+    /** Book-keeping for one in-flight SIMD memory instruction. */
+    struct InflightInstruction
+    {
+        std::size_t wfIndex = 0;
+        tlb::CoalescedAccess access;
+        unsigned translationsPending = 0;
+        unsigned linesPending = 0;
+        bool isLoad = true;
+        sim::Cycles computeCycles = 0;
+        /** vaPage -> paPage for translated pages of this instruction. */
+        std::unordered_map<mem::Addr, mem::Addr> pageMap;
+    };
+
+    void requestIssue(std::size_t wf_index);
+    void arbitrateIssue();
+    void issueNext(std::size_t wf_index);
+    void translationsDone(std::uint64_t instr_key);
+    void issueDataAccesses(std::uint64_t instr_key,
+                           bool virtual_addresses);
+    void instructionDone(std::uint64_t instr_key);
+    void setBlocked(std::size_t wf_index, bool blocked);
+    void updateStallState();
+
+    sim::EventQueue &eq_;
+    GpuConfig cfg_;
+    std::uint32_t id_;
+    tlb::TlbHierarchy &tlbs_;
+    mem::MemoryDevice &l1d_;
+    Gpu &gpu_;
+    sim::RateLimiter issuePort_;
+
+    std::vector<Wavefront> wavefronts_;
+    std::deque<std::size_t> readyQueue_;
+    std::unordered_map<std::uint64_t, InflightInstruction> inflight_;
+    unsigned wavefrontsDone_ = 0;
+    unsigned blockedCount_ = 0;
+
+    bool stalled_ = false;
+    sim::Tick stallStart_ = 0;
+    sim::Tick stallAccum_ = 0;
+
+    sim::StatGroup statGroup_;
+    sim::Counter instructions_{"instructions",
+                               "SIMD memory instructions retired"};
+    sim::Counter translationReqs_{"translation_requests",
+                                  "coalesced translation requests"};
+    sim::Counter lineAccesses_{"line_accesses",
+                               "coalesced data cache accesses"};
+};
+
+} // namespace gpuwalk::gpu
+
+#endif // GPUWALK_GPU_COMPUTE_UNIT_HH

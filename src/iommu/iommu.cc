@@ -1,0 +1,257 @@
+#include "iommu/iommu.hh"
+
+#include "core/srpt_scheduler.hh"
+#include "sim/debug.hh"
+#include "vm/page_table.hh"
+
+namespace gpuwalk::iommu {
+
+Iommu::Iommu(sim::EventQueue &eq, const IommuConfig &cfg,
+             std::unique_ptr<core::WalkScheduler> scheduler,
+             mem::MemoryDevice &memory, mem::BackingStore &store,
+             mem::Addr page_table_root)
+    : eq_(eq), cfg_(cfg), scheduler_(std::move(scheduler)), store_(store),
+      frontPort_(eq, cfg.frontPortPeriod),
+      l1Tlb_(tlb::TlbConfig{"iommu_l1tlb", cfg.l1TlbEntries,
+                            cfg.l1TlbEntries}),
+      l2Tlb_(tlb::TlbConfig{"iommu_l2tlb", cfg.l2TlbEntries,
+                            cfg.l2TlbAssociativity}),
+      pwc_(cfg.pwc, page_table_root), pageTableRoot_(page_table_root),
+      buffer_(cfg.bufferEntries), statGroup_("iommu")
+{
+    GPUWALK_ASSERT(scheduler_ != nullptr, "IOMMU needs a scheduler");
+    GPUWALK_ASSERT(cfg_.numWalkers > 0, "IOMMU needs walkers");
+
+    // The SRPT analysis scheduler re-probes the PWCs at selection.
+    if (auto *srpt = dynamic_cast<core::SrptScheduler *>(
+            scheduler_.get())) {
+        srpt->setEstimator([this](mem::Addr va_page) {
+            return pwc_.peekEstimate(va_page);
+        });
+    }
+
+    mem::MemoryDevice *walk_path = &memory;
+    if (cfg_.useWalkCache) {
+        walkCache_ = std::make_unique<mem::Cache>(eq_, cfg_.walkCache,
+                                                  memory);
+        walk_path = walkCache_.get();
+    }
+
+    walkers_.reserve(cfg_.numWalkers);
+    for (unsigned i = 0; i < cfg_.numWalkers; ++i) {
+        walkers_.push_back(std::make_unique<PageTableWalker>(
+            eq_, *walk_path, store_, pwc_));
+    }
+
+    statGroup_.add(requests_);
+    statGroup_.add(tlbHits_);
+    statGroup_.add(walkRequests_);
+    statGroup_.add(walksCompleted_);
+    statGroup_.add(overflowed_);
+    statGroup_.add(prefetches_);
+    statGroup_.add(bufferOccupancy_);
+    statGroup_.add(walkLatency_);
+    statGroup_.add(walkAccessesAvg_);
+    statGroup_.addChild(l1Tlb_.stats());
+    statGroup_.addChild(l2Tlb_.stats());
+    statGroup_.addChild(pwc_.stats());
+    if (walkCache_)
+        statGroup_.addChild(walkCache_->stats());
+}
+
+void
+Iommu::translate(tlb::TranslationRequest req)
+{
+    ++requests_;
+    eq_.scheduleIn(cfg_.hopLatency, [this, r = std::move(req)]() mutable {
+        frontPort_.submit([this, r = std::move(r)]() mutable {
+            lookupTlbs(std::move(r));
+        });
+    });
+}
+
+void
+Iommu::lookupTlbs(tlb::TranslationRequest r)
+{
+    // IOMMU TLB lookups (paper step 5).
+    auto hit = l1Tlb_.lookupEntry(r.vaPage);
+    if (!hit)
+        hit = l2Tlb_.lookupEntry(r.vaPage);
+    if (hit) {
+        ++tlbHits_;
+        sim::debug::log("tlb", eq_.now(), "IOMMU TLB hit va=",
+                        std::hex, r.vaPage, std::dec, " instr=",
+                        r.instruction);
+        eq_.scheduleIn(cfg_.tlbLatency,
+                       [r = std::move(r), h = *hit]() mutable {
+                           r.complete(h.paPage, h.largePage);
+                       });
+        return;
+    }
+    eq_.scheduleIn(cfg_.tlbLatency,
+                   [this, r = std::move(r)]() mutable {
+                       enqueueWalk(std::move(r));
+                   });
+}
+
+void
+Iommu::enqueueWalk(tlb::TranslationRequest req)
+{
+    ++walkRequests_;
+    bufferOccupancy_.sample(static_cast<double>(buffer_.size()));
+
+    core::PendingWalk walk;
+    walk.request = std::move(req);
+    walk.arrival = eq_.now();
+    walk.seq = nextSeq_++;
+    metrics_.onArrival(walk.request.instruction);
+
+    // An idle walker implies the buffer and overflow FIFO are empty
+    // (dispatch drains the buffer whenever a walker frees up), so the
+    // new request starts immediately and the scheduler plays no role.
+    if (PageTableWalker *w = idleWalker()) {
+        GPUWALK_ASSERT(buffer_.empty() && overflow_.empty(),
+                       "idle walker with pending requests");
+        dispatchTo(*w, std::move(walk));
+        return;
+    }
+
+    if (buffer_.full()) {
+        ++overflowed_;
+        sim::debug::log("sched", eq_.now(), "overflow va=", std::hex,
+                        walk.request.vaPage, std::dec, " instr=",
+                        walk.request.instruction, " depth=",
+                        overflow_.size());
+        overflow_.push_back(std::move(walk));
+        return;
+    }
+    admitToBuffer(std::move(walk));
+}
+
+void
+Iommu::admitToBuffer(core::PendingWalk walk)
+{
+    // Arrival-time scoring (paper actions 1-a and 1-b): probe the PWCs
+    // for this request's own cost, then fold it into the running score
+    // of every buffered request of the same instruction.
+    if (scheduler_->needsScores()) {
+        const unsigned estimate =
+            pwc_.probeEstimate(walk.request.vaPage);
+        walk.estimatedAccesses = estimate;
+
+        std::uint64_t prev_score = 0;
+        buffer_.forEachOfInstruction(
+            walk.request.instruction,
+            [&](core::PendingWalk &e) { prev_score = e.score; });
+        const std::uint64_t new_score = prev_score + estimate;
+        buffer_.forEachOfInstruction(
+            walk.request.instruction,
+            [&](core::PendingWalk &e) { e.score = new_score; });
+        walk.score = new_score;
+    }
+    buffer_.insert(std::move(walk));
+}
+
+PageTableWalker *
+Iommu::idleWalker()
+{
+    for (auto &w : walkers_) {
+        if (!w->busy())
+            return w.get();
+    }
+    return nullptr;
+}
+
+void
+Iommu::dispatchIfPossible()
+{
+    while (!buffer_.empty()) {
+        PageTableWalker *w = idleWalker();
+        if (!w)
+            return;
+        const std::size_t idx = scheduler_->selectNext(buffer_);
+        core::PendingWalk walk = buffer_.extract(idx);
+        scheduler_->onDispatch(buffer_, walk);
+        dispatchTo(*w, std::move(walk));
+
+        // A buffer slot freed: admit the oldest overflowed request.
+        if (!overflow_.empty() && !buffer_.full()) {
+            admitToBuffer(std::move(overflow_.front()));
+            overflow_.pop_front();
+        }
+    }
+}
+
+void
+Iommu::dispatchTo(PageTableWalker &walker, core::PendingWalk walk)
+{
+    sim::debug::log("sched", eq_.now(), "dispatch va=", std::hex,
+                    walk.request.vaPage, std::dec, " instr=",
+                    walk.request.instruction, " score=", walk.score,
+                    " buffered=", buffer_.size());
+    metrics_.onDispatch(walk.request.instruction);
+    walker.start(std::move(walk),
+                 [this](WalkResult result) { onWalkDone(std::move(result)); });
+}
+
+void
+Iommu::onWalkDone(WalkResult result)
+{
+    ++walksCompleted_;
+    if (!result.walk.isPrefetch) {
+        walkLatency_.sample(
+            static_cast<double>(result.finished
+                                - result.walk.arrival));
+        walkAccessesAvg_.sample(
+            static_cast<double>(result.memAccesses));
+        metrics_.onComplete(result.walk.request.instruction,
+                            result.walk.arrival, result.finished,
+                            result.memAccesses);
+    }
+
+    // Fill the IOMMU's TLBs; the GPU-side fills happen in the request's
+    // completion path inside the TLB hierarchy.
+    l1Tlb_.insert(result.walk.request.vaPage, result.paPage,
+                  result.largePage);
+    l2Tlb_.insert(result.walk.request.vaPage, result.paPage,
+                  result.largePage);
+
+    result.walk.request.complete(result.paPage, result.largePage);
+
+    // The finishing walker is idle now: service the backlog.
+    dispatchIfPossible();
+
+    if (cfg_.prefetchNextPage && !result.walk.isPrefetch)
+        maybePrefetch(result.walk.request.vaPage);
+}
+
+void
+Iommu::maybePrefetch(mem::Addr completed_va_page)
+{
+    // Strictly idle-bandwidth: only when nothing demands service.
+    if (!buffer_.empty() || !overflow_.empty())
+        return;
+    PageTableWalker *w = idleWalker();
+    if (!w)
+        return;
+
+    const mem::Addr next = completed_va_page + mem::pageSize;
+    if (l1Tlb_.probe(next) || l2Tlb_.probe(next))
+        return;
+    // Functional presence check: never walk into an unmapped page.
+    if (!vm::translateFrom(store_, pageTableRoot_, next))
+        return;
+
+    ++prefetches_;
+    core::PendingWalk walk;
+    walk.request.vaPage = next;
+    walk.request.instruction = 0; // reserved prefetch tag
+    walk.arrival = eq_.now();
+    walk.seq = nextSeq_++;
+    walk.isPrefetch = true;
+    // Bypass metrics/scheduler: the walker is idle by construction.
+    w->start(std::move(walk),
+             [this](WalkResult r) { onWalkDone(std::move(r)); });
+}
+
+} // namespace gpuwalk::iommu

@@ -1,0 +1,89 @@
+#include "iommu/page_table_walker.hh"
+
+#include "sim/debug.hh"
+#include "vm/page_table.hh"
+
+namespace gpuwalk::iommu {
+
+void
+PageTableWalker::start(core::PendingWalk walk, DoneCallback on_done)
+{
+    GPUWALK_ASSERT(!busy_, "walker already busy");
+    busy_ = true;
+    current_ = std::move(walk);
+    onDone_ = std::move(on_done);
+    accesses_ = 0;
+    started_ = eq_.now();
+
+    const WalkStart ws = pwc_.lookup(current_.request.vaPage);
+    level_ = ws.level;
+    table_ = ws.tableBase;
+    step();
+}
+
+void
+PageTableWalker::step()
+{
+    const mem::Addr va = current_.request.vaPage;
+    const auto level = vm::PtLevel{level_};
+    const mem::Addr slot =
+        table_ + std::uint64_t(vm::PageTable::indexAt(va, level)) * 8;
+
+    mem::MemoryRequest req;
+    req.addr = slot;
+    req.size = 8;
+    req.write = false;
+    req.requester = mem::Requester::PageWalk;
+    req.onComplete = [this, slot, va] {
+        ++accesses_;
+        const std::uint64_t entry = store_.read64(slot);
+        GPUWALK_ASSERT(entry & vm::pte::present,
+                       "page walk hit a non-present entry at level ",
+                       level_, " for va ", va,
+                       " (workloads are fully resident)");
+        if (level_ == 2 && (entry & vm::pte::pageSize)) {
+            // 2 MB leaf (PS bit): the walk terminates a level early.
+            // The PWC is not filled — there is no next-level table;
+            // the translation itself belongs in the TLBs.
+            const mem::Addr base = entry & vm::pte::addrMask2M;
+            finish(base | (va & vm::largePageMask),
+                   /*large_page=*/true);
+            return;
+        }
+
+        const mem::Addr next = entry & vm::pte::addrMask;
+        if (level_ > 1) {
+            pwc_.fill(va, vm::PtLevel{level_}, next);
+            --level_;
+            table_ = next;
+            step();
+        } else {
+            finish(next, /*large_page=*/false);
+        }
+    };
+    memory_.access(std::move(req));
+}
+
+void
+PageTableWalker::finish(mem::Addr pa_page, bool large_page)
+{
+    ++walksDone_;
+    sim::debug::log("walks", eq_.now(), "walk done va=", std::hex,
+                    current_.request.vaPage, " pa=", pa_page, std::dec,
+                    " accesses=", accesses_, large_page ? " (2MB)" : "");
+    WalkResult result;
+    result.walk = std::move(current_);
+    result.paPage = pa_page;
+    result.largePage = large_page;
+    result.memAccesses = accesses_;
+    result.started = started_;
+    result.finished = eq_.now();
+
+    busy_ = false;
+    // Move the callback out before invoking: the IOMMU may immediately
+    // restart this walker from inside the callback.
+    auto done = std::move(onDone_);
+    done(std::move(result));
+}
+
+} // namespace gpuwalk::iommu

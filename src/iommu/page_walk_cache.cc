@@ -1,0 +1,167 @@
+#include "iommu/page_walk_cache.hh"
+
+namespace gpuwalk::iommu {
+
+PageWalkCache::PageWalkCache(const PwcConfig &cfg, mem::Addr root)
+    : cfg_(cfg), root_(root), statGroup_("pwc")
+{
+    GPUWALK_ASSERT(cfg_.entriesPerLevel % cfg_.associativity == 0,
+                   "PWC entries not divisible by associativity");
+    const std::size_t sets = cfg_.entriesPerLevel / cfg_.associativity;
+    for (auto &c : caches_) {
+        c.associativity = cfg_.associativity;
+        c.sets.assign(sets, std::vector<Entry>(cfg_.associativity));
+    }
+    statGroup_.add(hits_);
+    statGroup_.add(misses_);
+    statGroup_.add(fills_);
+    statGroup_.add(pinnedSkips_);
+}
+
+std::size_t
+PageWalkCache::LevelCache::setOf(mem::Addr region) const
+{
+    // Hash the region base down to a set; the shift removes the
+    // guaranteed-zero low bits so neighbouring regions spread out.
+    return static_cast<std::size_t>((region >> 21) ^ (region >> 30))
+           % sets.size();
+}
+
+PageWalkCache::Entry *
+PageWalkCache::LevelCache::find(mem::Addr region)
+{
+    for (auto &e : sets[setOf(region)]) {
+        if (e.valid && e.regionBase == region)
+            return &e;
+    }
+    return nullptr;
+}
+
+const PageWalkCache::Entry *
+PageWalkCache::LevelCache::find(mem::Addr region) const
+{
+    for (const auto &e : sets[setOf(region)]) {
+        if (e.valid && e.regionBase == region)
+            return &e;
+    }
+    return nullptr;
+}
+
+unsigned
+PageWalkCache::probeEstimate(mem::Addr va_page)
+{
+    // Deepest hit wins: a PD-level entry alone lets the walk jump
+    // straight to the leaf (Barr et al.'s "skip, don't walk"), so the
+    // caches are searched bottom-up and independently.
+    for (unsigned l = 2; l <= vm::numPtLevels; ++l) {
+        const auto level = vm::PtLevel{l};
+        Entry *e = cacheFor(level).find(vm::PageTable::regionBase(
+            va_page, level));
+        if (e) {
+            if (e->counter < 3)
+                ++e->counter;
+            return l - 1;
+        }
+    }
+    return vm::numPtLevels;
+}
+
+unsigned
+PageWalkCache::peekEstimate(mem::Addr va_page) const
+{
+    for (unsigned l = 2; l <= vm::numPtLevels; ++l) {
+        const auto level = vm::PtLevel{l};
+        const Entry *e = cacheFor(level).find(vm::PageTable::regionBase(
+            va_page, level));
+        if (e)
+            return l - 1;
+    }
+    return vm::numPtLevels;
+}
+
+WalkStart
+PageWalkCache::lookup(mem::Addr va_page)
+{
+    for (unsigned l = 2; l <= vm::numPtLevels; ++l) {
+        const auto level = vm::PtLevel{l};
+        Entry *e = cacheFor(level).find(vm::PageTable::regionBase(
+            va_page, level));
+        if (e) {
+            ++hits_;
+            e->lastUse = ++useClock_;
+            if (e->counter > 0)
+                --e->counter;
+            return WalkStart{l - 1, e->nextTable};
+        }
+    }
+    ++misses_;
+    return WalkStart{vm::numPtLevels, root_};
+}
+
+void
+PageWalkCache::fill(mem::Addr va_page, vm::PtLevel level,
+                    mem::Addr next_table)
+{
+    GPUWALK_ASSERT(level == vm::PtLevel::Pml4 || level == vm::PtLevel::Pdpt
+                       || level == vm::PtLevel::Pd,
+                   "PWC only caches the three upper levels");
+    LevelCache &cache = cacheFor(level);
+    const mem::Addr region = vm::PageTable::regionBase(va_page, level);
+
+    if (Entry *e = cache.find(region)) {
+        e->nextTable = next_table;
+        e->lastUse = ++useClock_;
+        return;
+    }
+
+    auto &set = cache.sets[cache.setOf(region)];
+
+    // Victim selection: LRU among unpinned entries first (the paper's
+    // counter-guarded replacement); fall back to plain LRU when every
+    // entry in the set is pinned.
+    Entry *victim = nullptr;
+    bool skipped_pinned = false;
+    for (auto &e : set) {
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (cfg_.pinScoredEntries && e.counter > 0) {
+            skipped_pinned = true;
+            continue;
+        }
+        if (!victim || e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+    if (!victim) {
+        // All valid and pinned: conventional pseudo-LRU.
+        for (auto &e : set) {
+            if (!victim || e.lastUse < victim->lastUse)
+                victim = &e;
+        }
+    } else if (skipped_pinned) {
+        ++pinnedSkips_;
+    }
+
+    ++fills_;
+    victim->regionBase = region;
+    victim->nextTable = next_table;
+    victim->valid = true;
+    victim->lastUse = ++useClock_;
+    victim->counter = 0;
+}
+
+void
+PageWalkCache::invalidateAll()
+{
+    for (auto &c : caches_) {
+        for (auto &set : c.sets) {
+            for (auto &e : set) {
+                e.valid = false;
+                e.counter = 0;
+            }
+        }
+    }
+}
+
+} // namespace gpuwalk::iommu

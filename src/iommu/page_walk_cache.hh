@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Page walk caches (PWCs).
+ *
+ * One small cache per upper page-table level (PML4, PDPT, PD), each
+ * mapping the level's VA region base to the next-level table's
+ * physical base. A hit at the PD level leaves one memory access for
+ * the walk; a full miss costs four (paper §II-B).
+ *
+ * The paper augments PWC entries with 2-bit saturating counters: a
+ * counter is incremented when an arrival-time scoring probe hits the
+ * entry and decremented when a dispatched walk consumes the hit, and
+ * replacement avoids victimizing entries with non-zero counters. That
+ * keeps arrival-time score estimates honest by the time the request is
+ * actually scheduled (§IV, "Design Subtleties").
+ */
+
+#ifndef GPUWALK_IOMMU_PAGE_WALK_CACHE_HH
+#define GPUWALK_IOMMU_PAGE_WALK_CACHE_HH
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mem/types.hh"
+#include "sim/stats.hh"
+#include "vm/page_table.hh"
+
+namespace gpuwalk::iommu {
+
+/** Geometry and behaviour of the per-level walk caches. */
+struct PwcConfig
+{
+    unsigned entriesPerLevel = 16;
+    unsigned associativity = 4;
+
+    /** Enables the paper's counter-based pinned replacement. */
+    bool pinScoredEntries = true;
+};
+
+/** Where a walk may begin after consulting the PWCs. */
+struct WalkStart
+{
+    /** First page-table level the walker must read (4 = from root). */
+    unsigned level = vm::numPtLevels;
+
+    /** Physical base of the table holding that level's entry. */
+    mem::Addr tableBase = 0;
+
+    /** Memory accesses the walk will perform: equals level. */
+    unsigned accesses() const { return level; }
+};
+
+/** The three upper-level walk caches plus the scoring-probe logic. */
+class PageWalkCache
+{
+  public:
+    /**
+     * @param cfg Geometry.
+     * @param root Physical base of the PML4 (walks start here on a
+     *        full miss).
+     */
+    PageWalkCache(const PwcConfig &cfg, mem::Addr root);
+
+    /**
+     * Arrival-time scoring probe (paper action 1-a): returns the
+     * estimated number of memory accesses for a walk of @p va_page
+     * (1-4) and increments the saturating counters of hit entries.
+     * Does not touch LRU state.
+     */
+    unsigned probeEstimate(mem::Addr va_page);
+
+    /**
+     * Non-mutating estimate (for tests and non-scoring schedulers'
+     * instrumentation): same value as probeEstimate, no counter or
+     * LRU updates.
+     */
+    unsigned peekEstimate(mem::Addr va_page) const;
+
+    /**
+     * Walk-time lookup (action 2-b): finds the deepest hit, updates
+     * LRU, and decrements counters along the hit path.
+     * @return where the walk starts.
+     */
+    WalkStart lookup(mem::Addr va_page);
+
+    /**
+     * Installs the translation read at @p level: the entry for
+     * @p va_page at that level points to @p next_table.
+     * @pre level is Pml4, Pdpt, or Pd (leaf PTEs live in TLBs).
+     */
+    void fill(mem::Addr va_page, vm::PtLevel level, mem::Addr next_table);
+
+    /** Drops all entries (counters included). */
+    void invalidateAll();
+
+    std::uint64_t hits() const { return hits_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+    std::uint64_t pinnedSkips() const { return pinnedSkips_.value(); }
+
+    sim::StatGroup &stats() { return statGroup_; }
+
+  private:
+    struct Entry
+    {
+        mem::Addr regionBase = 0; ///< VA base of the covered region
+        mem::Addr nextTable = 0;
+        bool valid = false;
+        std::uint64_t lastUse = 0;
+        std::uint8_t counter = 0; ///< 2-bit saturating pin counter
+    };
+
+    /** One per-level set-associative cache. */
+    struct LevelCache
+    {
+        std::vector<std::vector<Entry>> sets;
+        unsigned associativity = 0;
+
+        Entry *find(mem::Addr region);
+        const Entry *find(mem::Addr region) const;
+        std::size_t setOf(mem::Addr region) const;
+    };
+
+    /** Index 0 -> PD (level 2), 1 -> PDPT (3), 2 -> PML4 (4). */
+    static constexpr unsigned levelIndex(vm::PtLevel l)
+    {
+        return static_cast<unsigned>(l) - 2;
+    }
+
+    LevelCache &cacheFor(vm::PtLevel l) { return caches_[levelIndex(l)]; }
+    const LevelCache &cacheFor(vm::PtLevel l) const
+    {
+        return caches_[levelIndex(l)];
+    }
+
+    PwcConfig cfg_;
+    mem::Addr root_;
+    std::array<LevelCache, 3> caches_;
+    std::uint64_t useClock_ = 0;
+
+    sim::StatGroup statGroup_;
+    sim::Counter hits_{"hits", "walk-time PWC hits (deepest level)"};
+    sim::Counter misses_{"misses", "walk-time PWC full misses"};
+    sim::Counter fills_{"fills", "entries installed"};
+    sim::Counter pinnedSkips_{
+        "pinned_skips", "victims skipped due to non-zero counters"};
+};
+
+} // namespace gpuwalk::iommu
+
+#endif // GPUWALK_IOMMU_PAGE_WALK_CACHE_HH

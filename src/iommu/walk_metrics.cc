@@ -1,0 +1,78 @@
+#include "iommu/walk_metrics.hh"
+
+#include <algorithm>
+
+namespace gpuwalk::iommu {
+
+const std::vector<std::uint64_t> &
+WalkMetricsSummary::workBucketBounds()
+{
+    static const std::vector<std::uint64_t> bounds{16, 32, 48, 64, 80,
+                                                   256};
+    return bounds;
+}
+
+WalkMetricsSummary
+WalkMetrics::summarize() const
+{
+    WalkMetricsSummary s;
+    const auto &bounds = WalkMetricsSummary::workBucketBounds();
+    s.workBucketCounts.assign(bounds.size() + 1, 0);
+
+    double first_latency_sum = 0.0;
+    double last_latency_sum = 0.0;
+    double gap_sum = 0.0;
+
+    for (const auto &[instr, r] : records_) {
+        (void)instr;
+        if (r.walksCompleted == 0)
+            continue;
+        ++s.instructionsWithWalks;
+        s.totalWalks += r.walksCompleted;
+        s.totalMemAccesses += r.memAccesses;
+
+        // Fig. 3: bucket the per-instruction memory-access "work".
+        auto it = std::lower_bound(bounds.begin(), bounds.end(),
+                                   r.memAccesses);
+        ++s.workBucketCounts[static_cast<std::size_t>(
+            it - bounds.begin())];
+
+        if (r.walksCompleted < 2)
+            continue;
+        ++s.multiWalkInstructions;
+
+        // Fig. 5: walks are interleaved if another instruction's walk
+        // was dispatched between this instruction's first and last.
+        const std::uint64_t span =
+            r.lastDispatchSeq - r.firstDispatchSeq + 1;
+        if (span > r.dispatches)
+            ++s.interleavedInstructions;
+
+        first_latency_sum +=
+            static_cast<double>(r.firstCompletionLatency);
+        last_latency_sum += static_cast<double>(r.lastCompletionLatency);
+        gap_sum += static_cast<double>(r.lastCompletionTick
+                                       - r.firstCompletionTick);
+    }
+
+    if (s.multiWalkInstructions > 0) {
+        const double n = static_cast<double>(s.multiWalkInstructions);
+        s.interleavedFraction =
+            static_cast<double>(s.interleavedInstructions) / n;
+        s.avgFirstCompletedLatency = first_latency_sum / n;
+        s.avgLastCompletedLatency = last_latency_sum / n;
+        s.avgLatencyGap = gap_sum / n;
+    }
+
+    if (s.instructionsWithWalks > 0) {
+        s.workBucketFractions.assign(s.workBucketCounts.size(), 0.0);
+        for (std::size_t i = 0; i < s.workBucketCounts.size(); ++i) {
+            s.workBucketFractions[i] =
+                static_cast<double>(s.workBucketCounts[i])
+                / static_cast<double>(s.instructionsWithWalks);
+        }
+    }
+    return s;
+}
+
+} // namespace gpuwalk::iommu

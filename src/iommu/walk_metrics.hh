@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Per-SIMD-instruction walk instrumentation.
+ *
+ * Collects exactly the quantities the paper's motivation and result
+ * figures are built from: per-instruction walk counts and memory
+ * accesses (Fig. 3), interleaving of walk service (Fig. 5),
+ * first/last-completed walk latencies (Figs. 6 and 10), and total walk
+ * counts (Fig. 11).
+ */
+
+#ifndef GPUWALK_IOMMU_WALK_METRICS_HH
+#define GPUWALK_IOMMU_WALK_METRICS_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/ticks.hh"
+#include "tlb/translation.hh"
+
+namespace gpuwalk::iommu {
+
+/** Aggregated results of one run, computed by WalkMetrics::summarize. */
+struct WalkMetricsSummary
+{
+    /** Instructions that generated at least one page walk. */
+    std::uint64_t instructionsWithWalks = 0;
+
+    /** Instructions that generated at least two walks. */
+    std::uint64_t multiWalkInstructions = 0;
+
+    /** Multi-walk instructions whose walks were service-interleaved. */
+    std::uint64_t interleavedInstructions = 0;
+
+    /** interleaved / multiWalk (Fig. 5 metric). */
+    double interleavedFraction = 0.0;
+
+    /** Total page walks serviced (Fig. 11 numerator). */
+    std::uint64_t totalWalks = 0;
+
+    /** Total walker memory accesses. */
+    std::uint64_t totalMemAccesses = 0;
+
+    /**
+     * Mean latency (ticks) of the first-completed walk per multi-walk
+     * instruction (Fig. 6 baseline bar).
+     */
+    double avgFirstCompletedLatency = 0.0;
+
+    /** Mean latency of the last-completed walk (Fig. 6 second bar). */
+    double avgLastCompletedLatency = 0.0;
+
+    /**
+     * Mean (lastCompletionTick - firstCompletionTick) per multi-walk
+     * instruction (the Fig. 10 "latency gap").
+     */
+    double avgLatencyGap = 0.0;
+
+    /**
+     * Per-instruction walker memory accesses, bucketed as in Fig. 3:
+     * 1-16, 17-32, 33-48, 49-64, 65-80, 81-256(+).
+     */
+    std::vector<std::uint64_t> workBucketCounts;
+    std::vector<double> workBucketFractions;
+    static const std::vector<std::uint64_t> &workBucketBounds();
+};
+
+/** Collects per-instruction walk events; summarize() at end of run. */
+class WalkMetrics
+{
+  public:
+    /** A walk for @p instr entered the IOMMU walk path. */
+    void
+    onArrival(tlb::InstructionId instr)
+    {
+        ++records_[instr].walksArrived;
+    }
+
+    /** A walk for @p instr was handed to a walker. */
+    void
+    onDispatch(tlb::InstructionId instr)
+    {
+        Record &r = records_[instr];
+        const std::uint64_t seq = nextDispatchSeq_++;
+        if (r.dispatches == 0)
+            r.firstDispatchSeq = seq;
+        r.lastDispatchSeq = seq;
+        ++r.dispatches;
+    }
+
+    /**
+     * A walk for @p instr finished.
+     * @param arrival When that walk entered the walk path.
+     * @param finished Completion tick.
+     * @param accesses Memory accesses the walk performed (1-4).
+     */
+    void
+    onComplete(tlb::InstructionId instr, sim::Tick arrival,
+               sim::Tick finished, unsigned accesses)
+    {
+        Record &r = records_[instr];
+        ++r.walksCompleted;
+        r.memAccesses += accesses;
+        const sim::Tick latency = finished - arrival;
+        if (r.walksCompleted == 1 || finished < r.firstCompletionTick) {
+            r.firstCompletionTick = finished;
+            r.firstCompletionLatency = latency;
+        }
+        if (r.walksCompleted == 1 || finished >= r.lastCompletionTick) {
+            r.lastCompletionTick = finished;
+            r.lastCompletionLatency = latency;
+        }
+    }
+
+    /** Number of instructions tracked. */
+    std::size_t trackedInstructions() const { return records_.size(); }
+
+    /** Computes the aggregate view. */
+    WalkMetricsSummary summarize() const;
+
+    /** Drops all records (e.g., after a warmup phase). */
+    void reset() { records_.clear(); }
+
+  private:
+    struct Record
+    {
+        std::uint64_t walksArrived = 0;
+        std::uint64_t walksCompleted = 0;
+        std::uint64_t memAccesses = 0;
+        std::uint64_t dispatches = 0;
+        std::uint64_t firstDispatchSeq = 0;
+        std::uint64_t lastDispatchSeq = 0;
+        sim::Tick firstCompletionTick = 0;
+        sim::Tick lastCompletionTick = 0;
+        sim::Tick firstCompletionLatency = 0;
+        sim::Tick lastCompletionLatency = 0;
+    };
+
+    std::unordered_map<tlb::InstructionId, Record> records_;
+    std::uint64_t nextDispatchSeq_ = 0;
+};
+
+} // namespace gpuwalk::iommu
+
+#endif // GPUWALK_IOMMU_WALK_METRICS_HH

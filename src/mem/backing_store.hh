@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Sparse functional memory.
+ *
+ * Stores real bytes for the fraction of physical memory that needs
+ * functional content — primarily the page tables, which the IOMMU's
+ * walkers decode entry by entry. Frames are allocated lazily and
+ * zero-filled, matching OS behaviour for freshly allocated page-table
+ * pages.
+ */
+
+#ifndef GPUWALK_MEM_BACKING_STORE_HH
+#define GPUWALK_MEM_BACKING_STORE_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+
+#include "mem/types.hh"
+#include "sim/logging.hh"
+
+namespace gpuwalk::mem {
+
+/** Sparse, lazily allocated physical memory with functional content. */
+class BackingStore
+{
+  public:
+    BackingStore() = default;
+
+    BackingStore(const BackingStore &) = delete;
+    BackingStore &operator=(const BackingStore &) = delete;
+
+    /** Reads @p size bytes (1-8, not crossing a frame) at @p addr. */
+    std::uint64_t
+    read(Addr addr, unsigned size) const
+    {
+        GPUWALK_ASSERT(size >= 1 && size <= 8, "bad read size ", size);
+        GPUWALK_ASSERT(sameFrame(addr, size),
+                       "read crosses frame boundary at ", addr);
+        const Frame *f = find(pageNumber(addr));
+        if (!f)
+            return 0;
+        std::uint64_t v = 0;
+        std::memcpy(&v, f->data() + (addr & (pageSize - 1)), size);
+        return v;
+    }
+
+    /** Writes @p size bytes (1-8, not crossing a frame) at @p addr. */
+    void
+    write(Addr addr, std::uint64_t value, unsigned size)
+    {
+        GPUWALK_ASSERT(size >= 1 && size <= 8, "bad write size ", size);
+        GPUWALK_ASSERT(sameFrame(addr, size),
+                       "write crosses frame boundary at ", addr);
+        Frame &f = findOrCreate(pageNumber(addr));
+        std::memcpy(f.data() + (addr & (pageSize - 1)), &value, size);
+    }
+
+    /** Reads a 64-bit little-endian word (e.g., a PTE). */
+    std::uint64_t read64(Addr addr) const { return read(addr, 8); }
+
+    /** Writes a 64-bit little-endian word. */
+    void write64(Addr addr, std::uint64_t v) { write(addr, v, 8); }
+
+    /** Number of frames actually materialized. */
+    std::size_t framesAllocated() const { return frames_.size(); }
+
+  private:
+    using Frame = std::array<std::uint8_t, pageSize>;
+
+    static bool
+    sameFrame(Addr addr, unsigned size)
+    {
+        return pageNumber(addr) == pageNumber(addr + size - 1);
+    }
+
+    const Frame *
+    find(Addr frame_number) const
+    {
+        auto it = frames_.find(frame_number);
+        return it == frames_.end() ? nullptr : it->second.get();
+    }
+
+    Frame &
+    findOrCreate(Addr frame_number)
+    {
+        auto &slot = frames_[frame_number];
+        if (!slot) {
+            slot = std::make_unique<Frame>();
+            slot->fill(0);
+        }
+        return *slot;
+    }
+
+    std::unordered_map<Addr, std::unique_ptr<Frame>> frames_;
+};
+
+} // namespace gpuwalk::mem
+
+#endif // GPUWALK_MEM_BACKING_STORE_HH

@@ -1,0 +1,140 @@
+#include "mem/cache.hh"
+
+#include <algorithm>
+
+namespace gpuwalk::mem {
+
+Cache::Cache(sim::EventQueue &eq, const CacheConfig &cfg,
+             MemoryDevice &below)
+    : eq_(eq), cfg_(cfg), below_(below), statGroup_(cfg.name)
+{
+    GPUWALK_ASSERT(cfg_.sizeBytes % (cfg_.lineBytes * cfg_.associativity)
+                       == 0,
+                   "cache size not divisible by way size");
+    numSets_ = cfg_.numSets();
+    sets_.assign(numSets_, std::vector<Line>(cfg_.associativity));
+
+    statGroup_.add(hits_);
+    statGroup_.add(misses_);
+    statGroup_.add(mshrMerges_);
+    statGroup_.add(evictions_);
+    statGroup_.add(writebacks_);
+}
+
+Cache::Line *
+Cache::findLine(Addr addr)
+{
+    auto &set = sets_[setIndex(addr)];
+    const Addr tag = tagOf(addr);
+    for (auto &line : set) {
+        if (line.valid && line.tag == tag)
+            return &line;
+    }
+    return nullptr;
+}
+
+void
+Cache::installLine(Addr addr, bool dirty)
+{
+    auto &set = sets_[setIndex(addr)];
+    // Prefer an invalid way; otherwise evict true-LRU.
+    Line *victim = nullptr;
+    for (auto &line : set) {
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (!victim || line.lastUse < victim->lastUse)
+            victim = &line;
+    }
+    if (victim->valid) {
+        ++evictions_;
+        if (victim->dirty) {
+            ++writebacks_;
+            MemoryRequest wb;
+            wb.addr = (victim->tag * numSets_ + setIndex(addr))
+                      * cfg_.lineBytes;
+            wb.write = true;
+            wb.requester = Requester::GpuData;
+            below_.access(std::move(wb));
+        }
+    }
+    victim->tag = tagOf(addr);
+    victim->valid = true;
+    victim->dirty = dirty;
+    victim->lastUse = ++useClock_;
+}
+
+void
+Cache::access(MemoryRequest req)
+{
+    const Addr line_addr = req.addr - (req.addr % cfg_.lineBytes);
+
+    if (Line *line = findLine(req.addr)) {
+        ++hits_;
+        line->lastUse = ++useClock_;
+        line->dirty = line->dirty || req.write;
+        eq_.scheduleIn(cfg_.hitLatency,
+                       [r = std::move(req)]() mutable { r.complete(); });
+        return;
+    }
+
+    // Miss: merge into an existing MSHR if the line is already inbound.
+    auto it = mshrs_.find(line_addr);
+    if (it != mshrs_.end()) {
+        ++mshrMerges_;
+        it->second.anyWrite = it->second.anyWrite || req.write;
+        it->second.waiters.push_back(std::move(req));
+        return;
+    }
+
+    ++misses_;
+    Mshr &mshr = mshrs_[line_addr];
+    mshr.anyWrite = req.write;
+    mshr.waiters.push_back(std::move(req));
+
+    MemoryRequest fill;
+    fill.addr = line_addr;
+    fill.size = static_cast<unsigned>(cfg_.lineBytes);
+    fill.write = false;
+    fill.requester = mshr.waiters.front().requester;
+    fill.instruction = mshr.waiters.front().instruction;
+    fill.wavefront = mshr.waiters.front().wavefront;
+    fill.cu = mshr.waiters.front().cu;
+    fill.onComplete = [this, line_addr] { handleFill(line_addr); };
+    // Tag lookup happens before the fill is sent downstream.
+    eq_.scheduleIn(cfg_.tagLatency,
+                   [this, f = std::move(fill)]() mutable {
+                       below_.access(std::move(f));
+                   });
+}
+
+void
+Cache::handleFill(Addr line_addr)
+{
+    auto it = mshrs_.find(line_addr);
+    GPUWALK_ASSERT(it != mshrs_.end(), "fill without MSHR for ",
+                   line_addr);
+    Mshr mshr = std::move(it->second);
+    mshrs_.erase(it);
+
+    installLine(line_addr, mshr.anyWrite);
+
+    for (auto &w : mshr.waiters) {
+        eq_.scheduleIn(cfg_.hitLatency,
+                       [r = std::move(w)]() mutable { r.complete(); });
+    }
+}
+
+void
+Cache::flushAll()
+{
+    for (auto &set : sets_) {
+        for (auto &line : set) {
+            line.valid = false;
+            line.dirty = false;
+        }
+    }
+}
+
+} // namespace gpuwalk::mem

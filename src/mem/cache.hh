@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Set-associative, write-back, write-allocate timing cache with MSHRs.
+ *
+ * Used for the GPU's L1 data caches (per CU) and the shared L2 (Table
+ * I: 32 KB/16-way and 4 MB/16-way, 64 B lines). The model is timing
+ * only — data contents are not stored; functional state (page tables)
+ * lives in the BackingStore and is accessed uncached by the walker
+ * model's functional reads.
+ */
+
+#ifndef GPUWALK_MEM_CACHE_HH
+#define GPUWALK_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/request.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace gpuwalk::mem {
+
+/** Geometry and timing of one cache. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    Addr sizeBytes = 32 * 1024;
+    unsigned associativity = 16;
+    Addr lineBytes = cacheLineSize;
+    sim::Tick hitLatency = 1 * 500;   ///< ticks (1 GPU cycle default)
+    sim::Tick tagLatency = 1 * 500;   ///< added on the miss path
+    unsigned mshrs = 32;              ///< distinct outstanding lines
+
+    Addr numSets() const
+    {
+        return sizeBytes / (lineBytes * associativity);
+    }
+};
+
+/** A blocking-free (MSHR-based) timing cache. */
+class Cache : public MemoryDevice
+{
+  public:
+    /**
+     * @param eq The system event queue.
+     * @param cfg Geometry/timing.
+     * @param below The next level (L2 or the DRAM controller).
+     */
+    Cache(sim::EventQueue &eq, const CacheConfig &cfg, MemoryDevice &below);
+
+    void access(MemoryRequest req) override;
+
+    sim::StatGroup &stats() { return statGroup_; }
+
+    std::uint64_t hits() const { return hits_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+    std::uint64_t evictions() const { return evictions_.value(); }
+    std::uint64_t writebacks() const { return writebacks_.value(); }
+    std::uint64_t mshrMerges() const { return mshrMerges_.value(); }
+
+    /** Fraction of accesses that hit (0 if none). */
+    double
+    hitRate() const
+    {
+        const std::uint64_t total = hits_.value() + misses_.value();
+        return total ? static_cast<double>(hits_.value()) / total : 0.0;
+    }
+
+    /** Invalidates all lines (e.g., between experiment phases). */
+    void flushAll();
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    struct Mshr
+    {
+        std::vector<MemoryRequest> waiters;
+        bool anyWrite = false;
+    };
+
+    Addr setIndex(Addr addr) const
+    {
+        return (addr / cfg_.lineBytes) % numSets_;
+    }
+    Addr tagOf(Addr addr) const
+    {
+        return (addr / cfg_.lineBytes) / numSets_;
+    }
+
+    Line *findLine(Addr addr);
+    void installLine(Addr addr, bool dirty);
+    void handleFill(Addr line_addr);
+
+    sim::EventQueue &eq_;
+    CacheConfig cfg_;
+    MemoryDevice &below_;
+    Addr numSets_ = 0;
+    std::vector<std::vector<Line>> sets_;
+    std::unordered_map<Addr, Mshr> mshrs_; ///< keyed by line base addr
+    std::uint64_t useClock_ = 0;
+
+    sim::StatGroup statGroup_;
+    sim::Counter hits_{"hits", "demand hits"};
+    sim::Counter misses_{"misses", "demand misses (MSHR allocations)"};
+    sim::Counter mshrMerges_{"mshr_merges",
+                             "requests merged into an in-flight miss"};
+    sim::Counter evictions_{"evictions", "lines evicted"};
+    sim::Counter writebacks_{"writebacks", "dirty lines written back"};
+};
+
+} // namespace gpuwalk::mem
+
+#endif // GPUWALK_MEM_CACHE_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Common memory-system types and constants.
+ */
+
+#ifndef GPUWALK_MEM_TYPES_HH
+#define GPUWALK_MEM_TYPES_HH
+
+#include <cstdint>
+
+namespace gpuwalk::mem {
+
+/** A byte address. Virtual or physical depending on context. */
+using Addr = std::uint64_t;
+
+/** Cache line size used throughout the system (Table I). */
+constexpr Addr cacheLineSize = 64;
+
+/** Base page size: 4 KB, the paper's translation granularity. */
+constexpr Addr pageSize = 4096;
+
+/** log2(pageSize). */
+constexpr unsigned pageShift = 12;
+
+/** Rounds @p a down to its cache-line base. */
+constexpr Addr lineAlign(Addr a) { return a & ~(cacheLineSize - 1); }
+
+/** Rounds @p a down to its page base. */
+constexpr Addr pageAlign(Addr a) { return a & ~(pageSize - 1); }
+
+/** Virtual/physical page number of @p a. */
+constexpr Addr pageNumber(Addr a) { return a >> pageShift; }
+
+/** Who generated a memory request; used for stats attribution. */
+enum class Requester : std::uint8_t
+{
+    GpuData,    ///< GPU data-path access (cache fill / writeback)
+    PageWalk,   ///< IOMMU page table walker access
+    Other,
+};
+
+} // namespace gpuwalk::mem
+
+#endif // GPUWALK_MEM_TYPES_HH

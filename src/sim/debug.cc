@@ -1,0 +1,57 @@
+#include "sim/debug.hh"
+
+#include <cstdlib>
+#include <set>
+
+namespace gpuwalk::sim::debug {
+
+namespace {
+
+/** Parses GPUWALK_DEBUG once into a flag set. */
+const std::set<std::string> &
+activeFlags()
+{
+    static const std::set<std::string> flags = [] {
+        std::set<std::string> out;
+        const char *env = std::getenv("GPUWALK_DEBUG");
+        if (!env)
+            return out;
+        std::string token;
+        for (const char *p = env;; ++p) {
+            if (*p == ',' || *p == '\0') {
+                if (!token.empty())
+                    out.insert(token);
+                token.clear();
+                if (*p == '\0')
+                    break;
+            } else if (*p != ' ') {
+                token += *p;
+            }
+        }
+        return out;
+    }();
+    return flags;
+}
+
+} // namespace
+
+bool
+enabled(const std::string &flag)
+{
+    const auto &flags = activeFlags();
+    if (flags.empty())
+        return false;
+    return flags.count("all") > 0 || flags.count(flag) > 0;
+}
+
+namespace detail {
+
+void
+emit(const std::string &flag, Tick now, const std::string &msg)
+{
+    std::cerr << now << ": [" << flag << "] " << msg << "\n";
+}
+
+} // namespace detail
+
+} // namespace gpuwalk::sim::debug

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Flag-gated debug tracing, in the spirit of gem5's DPRINTF.
+ *
+ * Set GPUWALK_DEBUG to a comma-separated flag list to stream
+ * component events to stderr with their simulated timestamps:
+ *
+ *   GPUWALK_DEBUG=walks,sched ./build/tools/gpuwalk --workload=MVT
+ *   GPUWALK_DEBUG=all ...
+ *
+ * Flags used by the library: "walks" (walker start/finish), "sched"
+ * (buffer admission and dispatch decisions), "tlb" (IOMMU TLB
+ * hits/misses), "dram" (memory controller issue), "gpu" (instruction
+ * issue/retire). Tracing is off (and costs one predictable branch)
+ * unless the environment variable names the flag.
+ */
+
+#ifndef GPUWALK_SIM_DEBUG_HH
+#define GPUWALK_SIM_DEBUG_HH
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "sim/ticks.hh"
+
+namespace gpuwalk::sim::debug {
+
+/** True if GPUWALK_DEBUG contains @p flag (or "all"). */
+bool enabled(const std::string &flag);
+
+namespace detail {
+void emit(const std::string &flag, Tick now, const std::string &msg);
+} // namespace detail
+
+/**
+ * Emits "tick: [flag] message" to stderr when @p flag is enabled.
+ * Arguments are formatted via operator<< only when tracing is on.
+ */
+template <typename... Args>
+void
+log(const std::string &flag, Tick now, Args &&...args)
+{
+    if (!enabled(flag))
+        return;
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    detail::emit(flag, now, os.str());
+}
+
+} // namespace gpuwalk::sim::debug
+
+#endif // GPUWALK_SIM_DEBUG_HH

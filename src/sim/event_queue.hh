@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Deterministic discrete-event queue.
+ *
+ * Events are ordered by (tick, priority, insertion sequence); equal-time
+ * events therefore execute in a fully deterministic order, which keeps
+ * every simulation reproducible for a given configuration and seed.
+ */
+
+#ifndef GPUWALK_SIM_EVENT_QUEUE_HH
+#define GPUWALK_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/ticks.hh"
+
+namespace gpuwalk::sim {
+
+/**
+ * Priority levels for equal-tick ordering. Lower values run first.
+ * Most events use Default; responses that must be observed before new
+ * work is issued in the same tick can use Early.
+ */
+enum class EventPriority : int
+{
+    Early = -1,
+    Default = 0,
+    Late = 1,
+};
+
+/**
+ * The central event queue driving a simulation.
+ *
+ * Components schedule callbacks at absolute ticks; the queue executes
+ * them in deterministic order. There is exactly one queue per System.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Number of events awaiting execution. */
+    std::size_t pending() const { return queue_.size(); }
+
+    /** True if no events remain. */
+    bool empty() const { return queue_.empty(); }
+
+    /** Total number of events executed so far. */
+    std::uint64_t executed() const { return executed_; }
+
+    /**
+     * Schedules @p cb to run at absolute time @p when.
+     *
+     * @pre when >= now()
+     */
+    void
+    schedule(Tick when, Callback cb,
+             EventPriority prio = EventPriority::Default)
+    {
+        GPUWALK_ASSERT(when >= now_, "scheduling event in the past (when=",
+                       when, " now=", now_, ")");
+        queue_.push(Event{when, static_cast<int>(prio), nextSeq_++,
+                          std::move(cb)});
+    }
+
+    /** Schedules @p cb to run @p delay ticks from now. */
+    void
+    scheduleIn(Tick delay, Callback cb,
+               EventPriority prio = EventPriority::Default)
+    {
+        schedule(now_ + delay, std::move(cb), prio);
+    }
+
+    /**
+     * Executes the next event, advancing time to its tick.
+     * @return false if the queue was empty.
+     */
+    bool
+    runOne()
+    {
+        if (queue_.empty())
+            return false;
+        // Moving out of a priority_queue top requires a const_cast; the
+        // element is popped immediately afterwards so this is safe.
+        Event ev = std::move(const_cast<Event &>(queue_.top()));
+        queue_.pop();
+        now_ = ev.when;
+        ++executed_;
+        ev.cb();
+        return true;
+    }
+
+    /**
+     * Runs until the queue drains or simulated time would exceed
+     * @p limit, whichever comes first.
+     *
+     * @return the final simulated time.
+     */
+    Tick
+    run(Tick limit = maxTick)
+    {
+        while (!queue_.empty() && queue_.top().when <= limit)
+            runOne();
+        return now_;
+    }
+
+    /** Runs at most @p max_events events. @return events executed. */
+    std::uint64_t
+    runEvents(std::uint64_t max_events)
+    {
+        std::uint64_t n = 0;
+        while (n < max_events && runOne())
+            ++n;
+        return n;
+    }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        int priority;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace gpuwalk::sim
+
+#endif // GPUWALK_SIM_EVENT_QUEUE_HH

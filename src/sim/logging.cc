@@ -1,0 +1,34 @@
+#include "sim/logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace gpuwalk::sim::detail {
+
+void
+panicImpl(const std::string &msg)
+{
+    std::cerr << "panic: " << msg << std::endl;
+    std::abort();
+}
+
+void
+fatalImpl(const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << std::endl;
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::cerr << "info: " << msg << std::endl;
+}
+
+} // namespace gpuwalk::sim::detail

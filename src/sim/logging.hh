@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Error and status reporting helpers, in the spirit of gem5's
+ * base/logging.hh: panic() for internal invariant violations, fatal()
+ * for user/configuration errors, warn()/inform() for status.
+ */
+
+#ifndef GPUWALK_SIM_LOGGING_HH
+#define GPUWALK_SIM_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace gpuwalk::sim {
+
+namespace detail {
+
+/** Concatenates all arguments into one string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const std::string &msg);
+[[noreturn]] void fatalImpl(const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Reports an internal simulator bug and aborts. Use for conditions that
+ * must never happen regardless of user input.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::panicImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Reports an unrecoverable user/configuration error and exits cleanly.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::fatalImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Prints a warning to stderr; simulation continues. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Prints an informational message to stderr. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** panic() unless @p cond holds. */
+#define GPUWALK_ASSERT(cond, ...)                                          \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::gpuwalk::sim::panic("assertion '", #cond, "' failed at ",     \
+                                  __FILE__, ":", __LINE__, ": ",            \
+                                  ##__VA_ARGS__);                           \
+        }                                                                   \
+    } while (0)
+
+} // namespace gpuwalk::sim
+
+#endif // GPUWALK_SIM_LOGGING_HH

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * A self-contained xoshiro256** implementation so results do not depend
+ * on the standard library's distribution implementations. Every
+ * stochastic component (workload generators, the random walk scheduler)
+ * owns its own seeded Rng, making runs bit-reproducible.
+ */
+
+#ifndef GPUWALK_SIM_RNG_HH
+#define GPUWALK_SIM_RNG_HH
+
+#include <array>
+#include <cstdint>
+
+#include "sim/logging.hh"
+
+namespace gpuwalk::sim {
+
+/** xoshiro256** generator with convenience sampling helpers. */
+class Rng
+{
+  public:
+    /** Seeds the state via splitmix64 of @p seed. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        std::uint64_t x = seed;
+        for (auto &s : state_)
+            s = splitmix64(x);
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @pre bound > 0 */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        GPUWALK_ASSERT(bound > 0, "Rng::below(0)");
+        // Debiased modulo (Lemire-style rejection kept simple).
+        std::uint64_t threshold = (~bound + 1) % bound; // (2^64 - bound) % bound
+        for (;;) {
+            std::uint64_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. @pre lo <= hi */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        GPUWALK_ASSERT(lo <= hi, "Rng::range lo > hi");
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool chance(double p) { return uniform() < p; }
+
+    /**
+     * Geometric-ish burst length: 1 + number of successes of
+     * probability @p p, capped at @p cap. Used by workload generators.
+     */
+    std::uint64_t
+    burst(double p, std::uint64_t cap)
+    {
+        std::uint64_t n = 1;
+        while (n < cap && chance(p))
+            ++n;
+        return n;
+    }
+
+  private:
+    static std::uint64_t
+    splitmix64(std::uint64_t &x)
+    {
+        std::uint64_t z = (x += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    static std::uint64_t
+    rotl(std::uint64_t v, int k)
+    {
+        return (v << k) | (v >> (64 - k));
+    }
+
+    std::array<std::uint64_t, 4> state_{};
+};
+
+} // namespace gpuwalk::sim
+
+#endif // GPUWALK_SIM_RNG_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Simulation time base.
+ *
+ * The simulator uses a picosecond tick base, like gem5: 1 tick = 1 ps.
+ * All latencies in the system are ultimately expressed in ticks; the
+ * Clock helper converts between a component's cycles and ticks.
+ */
+
+#ifndef GPUWALK_SIM_TICKS_HH
+#define GPUWALK_SIM_TICKS_HH
+
+#include <cstdint>
+
+namespace gpuwalk::sim {
+
+/** Simulation time, in picoseconds. */
+using Tick = std::uint64_t;
+
+/** A count of clock cycles of some component. */
+using Cycles = std::uint64_t;
+
+/** One nanosecond worth of ticks. */
+constexpr Tick ticksPerNs = 1000;
+
+/** Sentinel for "never" / "no deadline". */
+constexpr Tick maxTick = ~Tick(0);
+
+/**
+ * Converts between a component clock domain's cycles and global ticks.
+ *
+ * The clock is defined by its period in ticks. The baseline GPU runs at
+ * 2 GHz (500-tick period) and DDR3-1600 DRAM at 800 MHz (1250-tick
+ * period), per Table I of the paper.
+ */
+class Clock
+{
+  public:
+    /** @param period_ticks Clock period in ticks (picoseconds). */
+    constexpr explicit Clock(Tick period_ticks) : period_(period_ticks) {}
+
+    /** Builds a clock from a frequency in MHz. */
+    static constexpr Clock
+    fromMHz(std::uint64_t mhz)
+    {
+        return Clock(1'000'000 / mhz);
+    }
+
+    /** Clock period in ticks. */
+    constexpr Tick period() const { return period_; }
+
+    /** Converts a cycle count to a tick duration. */
+    constexpr Tick toTicks(Cycles cycles) const { return cycles * period_; }
+
+    /** Converts a tick duration to whole cycles (rounding down). */
+    constexpr Cycles toCycles(Tick ticks) const { return ticks / period_; }
+
+    /** Rounds @p when up to the next edge of this clock (>= when). */
+    constexpr Tick
+    nextEdge(Tick when) const
+    {
+        Tick rem = when % period_;
+        return rem == 0 ? when : when + (period_ - rem);
+    }
+
+  private:
+    Tick period_;
+};
+
+/** The baseline 2 GHz GPU clock (Table I). */
+constexpr Clock gpuClock = Clock(500);
+
+/** The baseline DDR3-1600 command clock, 800 MHz (Table I). */
+constexpr Clock dramClock = Clock(1250);
+
+} // namespace gpuwalk::sim
+
+#endif // GPUWALK_SIM_TICKS_HH

@@ -1,0 +1,114 @@
+#include "system/experiment.hh"
+
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace gpuwalk::system {
+
+ExperimentResult
+runOne(const SystemConfig &cfg, const std::string &workload,
+       const workload::WorkloadParams &params)
+{
+    System sys(cfg);
+    sys.loadBenchmark(workload, params);
+    ExperimentResult result;
+    result.workload = workload;
+    result.scheduler = cfg.scheduler;
+    result.stats = sys.run();
+    return result;
+}
+
+SystemConfig
+withScheduler(SystemConfig cfg, core::SchedulerKind kind)
+{
+    cfg.scheduler = kind;
+    return cfg;
+}
+
+double
+speedup(const RunStats &test, const RunStats &base)
+{
+    GPUWALK_ASSERT(test.runtimeTicks > 0, "zero test runtime");
+    return static_cast<double>(base.runtimeTicks)
+           / static_cast<double>(test.runtimeTicks);
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    GPUWALK_ASSERT(!values.empty(), "geomean of nothing");
+    double log_sum = 0.0;
+    for (double v : values) {
+        GPUWALK_ASSERT(v > 0.0, "geomean needs positive values");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+workload::WorkloadParams
+experimentParams()
+{
+    workload::WorkloadParams params;
+    params.wavefronts = 256;              // oversubscribed; 2 resident/CU
+    params.instructionsPerWavefront = 48;
+    params.seed = 42;
+    params.footprintScale = 1.0;          // Table II footprints
+    params.computeCycles = 200;           // base; scaled per benchmark
+    return params;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> columns,
+                           unsigned width)
+    : columns_(std::move(columns)), width_(width)
+{}
+
+void
+TablePrinter::printHeader(std::ostream &os) const
+{
+    printRow(os, columns_);
+    printRule(os);
+}
+
+void
+TablePrinter::printRow(std::ostream &os,
+                       const std::vector<std::string> &cells) const
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i == 0)
+            os << std::left << std::setw(width_) << cells[i];
+        else
+            os << std::right << std::setw(width_) << cells[i];
+    }
+    os << "\n";
+}
+
+void
+TablePrinter::printRule(std::ostream &os) const
+{
+    os << std::string(width_ * columns_.size(), '-') << "\n";
+}
+
+std::string
+TablePrinter::fmt(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+void
+printBanner(std::ostream &os, const std::string &experiment_id,
+            const std::string &description, const SystemConfig &cfg)
+{
+    os << "==============================================================\n"
+       << experiment_id << ": " << description << "\n"
+       << "--------------------------------------------------------------\n";
+    cfg.print(os);
+    os << "==============================================================\n";
+}
+
+} // namespace gpuwalk::system

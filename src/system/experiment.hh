@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Experiment harness helpers shared by the bench/ binaries: single-run
+ * drivers, speedup/geomean math, and fixed-width table printing that
+ * mirrors the paper's figures.
+ */
+
+#ifndef GPUWALK_SYSTEM_EXPERIMENT_HH
+#define GPUWALK_SYSTEM_EXPERIMENT_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "system/system.hh"
+
+namespace gpuwalk::system {
+
+/** One (workload, scheduler, config) simulation outcome. */
+struct ExperimentResult
+{
+    std::string workload;
+    core::SchedulerKind scheduler = core::SchedulerKind::Fcfs;
+    RunStats stats;
+};
+
+/**
+ * Builds a fresh System with @p cfg, loads @p workload, runs it.
+ * Every run is fully independent (own page table, TLBs, RNG streams).
+ */
+ExperimentResult runOne(const SystemConfig &cfg,
+                        const std::string &workload,
+                        const workload::WorkloadParams &params);
+
+/**
+ * Convenience: @p cfg with its scheduler swapped to @p kind.
+ */
+SystemConfig withScheduler(SystemConfig cfg, core::SchedulerKind kind);
+
+/** base runtime / test runtime: > 1 means @p test is faster. */
+double speedup(const RunStats &test, const RunStats &base);
+
+/** Geometric mean. @pre values positive, non-empty. */
+double geomean(const std::vector<double> &values);
+
+/**
+ * The default experiment workload shape. Smaller than the paper's
+ * full applications (simulation budget), but big enough to exercise
+ * TLB thrashing and walker contention at Table II footprints.
+ */
+workload::WorkloadParams experimentParams();
+
+/** Fixed-width console table, used by every figure bench. */
+class TablePrinter
+{
+  public:
+    /** @param columns Header labels; first column is left-aligned. */
+    explicit TablePrinter(std::vector<std::string> columns,
+                          unsigned width = 14);
+
+    void printHeader(std::ostream &os) const;
+    void printRow(std::ostream &os,
+                  const std::vector<std::string> &cells) const;
+    void printRule(std::ostream &os) const;
+
+    /** Formats @p v with @p precision decimals. */
+    static std::string fmt(double v, int precision = 3);
+
+  private:
+    std::vector<std::string> columns_;
+    unsigned width_;
+};
+
+/** Prints the standard bench banner (figure id + config summary). */
+void printBanner(std::ostream &os, const std::string &experiment_id,
+                 const std::string &description,
+                 const SystemConfig &cfg);
+
+} // namespace gpuwalk::system
+
+#endif // GPUWALK_SYSTEM_EXPERIMENT_HH

@@ -1,0 +1,108 @@
+#include "system/system.hh"
+
+#include "workload/registry.hh"
+
+namespace gpuwalk::system {
+
+System::System(const SystemConfig &cfg)
+    : cfg_(cfg), frames_(cfg.physMemBytes, cfg.scrambleFrames)
+{
+    addressSpace_ = std::make_unique<vm::AddressSpace>(store_, frames_);
+
+    dram_ = std::make_unique<mem::DramController>(eq_, cfg_.dram);
+
+    l2d_ = std::make_unique<mem::Cache>(eq_, cfg_.l2d, *dram_);
+
+    // Page walks fetch PTEs through the CPU-complex walk path — the
+    // IOMMU sits in the CPU complex, not behind the GPU's caches.
+    auto scheduler = cfg_.schedulerFactory
+                         ? cfg_.schedulerFactory()
+                         : core::makeScheduler(cfg_.scheduler,
+                                               cfg_.schedulerSeed,
+                                               cfg_.simt);
+    iommu_ = std::make_unique<iommu::Iommu>(
+        eq_, cfg_.iommu, std::move(scheduler), *dram_, store_,
+        addressSpace_->pageTable().root());
+
+    tlbs_ = std::make_unique<tlb::TlbHierarchy>(eq_, cfg_.gpuTlb,
+                                                *iommu_);
+
+    l1ds_.reserve(cfg_.gpu.numCus);
+    std::vector<mem::MemoryDevice *> l1_ptrs;
+    for (unsigned cu = 0; cu < cfg_.gpu.numCus; ++cu) {
+        mem::CacheConfig l1 = cfg_.l1d;
+        l1.name = "l1d" + std::to_string(cu);
+        mem::MemoryDevice *below = l2d_.get();
+        if (cfg_.gpu.virtualL1Cache) {
+            // Virtual L1s translate on the miss path (Yoon et al.).
+            bridges_.push_back(std::make_unique<tlb::TranslatingPort>(
+                *tlbs_, *l2d_));
+            below = bridges_.back().get();
+        }
+        l1ds_.push_back(std::make_unique<mem::Cache>(eq_, l1, *below));
+        l1_ptrs.push_back(l1ds_.back().get());
+    }
+
+    gpu_ = std::make_unique<gpu::Gpu>(eq_, cfg_.gpu, *tlbs_,
+                                      std::move(l1_ptrs));
+}
+
+void
+System::loadBenchmark(const std::string &workload_abbrev,
+                      const workload::WorkloadParams &params,
+                      unsigned app_id)
+{
+    auto gen = workload::makeWorkload(workload_abbrev);
+    addressSpace_->useLargePages(params.useLargePages);
+    loadWorkload(gen->generate(*addressSpace_, params), app_id);
+}
+
+void
+System::loadWorkload(gpu::GpuWorkload workload, unsigned app_id)
+{
+    gpu_->loadWorkload(std::move(workload), app_id);
+}
+
+RunStats
+System::run(std::uint64_t max_events)
+{
+    gpu_->start();
+
+    std::uint64_t events = 0;
+    while (!gpu_->done()) {
+        if (!eq_.runOne())
+            sim::panic("event queue drained before the GPU finished (",
+                       "deadlock: some request never completed)");
+        if (++events > max_events)
+            sim::panic("simulation exceeded ", max_events,
+                       " events without completing");
+    }
+
+    RunStats stats;
+    stats.runtimeTicks = gpu_->finishTick();
+    for (std::size_t app = 0; app < gpu_->numApps(); ++app)
+        stats.appFinishTicks.push_back(
+            gpu_->appFinishTick(static_cast<unsigned>(app)));
+    stats.stallTicks = gpu_->totalStallTicks();
+    stats.instructions = gpu_->totalInstructions();
+    stats.translationRequests = tlbs_->iommuRequests();
+    stats.walkRequests = iommu_->walkRequests();
+    stats.walksCompleted = iommu_->walksCompleted();
+    stats.avgWavefrontsPerEpoch = tlbs_->avgWavefrontsPerEpoch();
+    stats.walks = iommu_->metrics().summarize();
+    return stats;
+}
+
+void
+System::dumpStats(std::ostream &os) const
+{
+    gpu_->stats().dump(os);
+    tlbs_->stats().dump(os);
+    iommu_->stats().dump(os);
+    l2d_->stats().dump(os);
+    for (const auto &l1 : l1ds_)
+        l1->stats().dump(os);
+    dram_->stats().dump(os);
+}
+
+} // namespace gpuwalk::system

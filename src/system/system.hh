@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The full simulated system (Figure 1 of the paper): GPU compute
+ * units behind a TLB hierarchy and data caches, the IOMMU with its
+ * scheduler/walkers/PWCs, a shared x86-64 page table in functional
+ * memory, and the DDR3 memory system that both the data path and the
+ * walk path contend for.
+ */
+
+#ifndef GPUWALK_SYSTEM_SYSTEM_HH
+#define GPUWALK_SYSTEM_SYSTEM_HH
+
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "gpu/gpu.hh"
+#include "iommu/iommu.hh"
+#include "mem/backing_store.hh"
+#include "mem/cache.hh"
+#include "mem/dram_controller.hh"
+#include "sim/event_queue.hh"
+#include "system/system_config.hh"
+#include "tlb/tlb_hierarchy.hh"
+#include "tlb/translating_port.hh"
+#include "vm/address_space.hh"
+#include "vm/frame_allocator.hh"
+#include "workload/workload.hh"
+
+namespace gpuwalk::system {
+
+/** Everything a run produces, for the experiment harnesses. */
+struct RunStats
+{
+    sim::Tick runtimeTicks = 0;    ///< kernel runtime
+    sim::Tick stallTicks = 0;      ///< summed CU stall time (Fig. 9)
+    std::uint64_t instructions = 0;
+    /** Per-app completion ticks for multi-program runs. */
+    std::vector<sim::Tick> appFinishTicks;
+    std::uint64_t translationRequests = 0; ///< reaching the IOMMU
+    std::uint64_t walkRequests = 0;        ///< page walks (Fig. 11)
+    std::uint64_t walksCompleted = 0;
+    double avgWavefrontsPerEpoch = 0;      ///< Fig. 12 metric
+    iommu::WalkMetricsSummary walks;       ///< Figs. 3/5/6/10
+};
+
+/** Owns and wires every component; one System per simulation run. */
+class System
+{
+  public:
+    explicit System(const SystemConfig &cfg);
+
+    /**
+     * Generates @p workload_abbrev's trace and loads it on the GPU.
+     * Multi-program runs pass distinct @p app_id values; all apps
+     * share the address space (disjoint regions), the TLBs, and the
+     * IOMMU — the contention scenario of the paper's QoS discussion.
+     */
+    void loadBenchmark(const std::string &workload_abbrev,
+                       const workload::WorkloadParams &params,
+                       unsigned app_id = 0);
+
+    /** Loads a caller-built workload (examples / tests). */
+    void loadWorkload(gpu::GpuWorkload workload, unsigned app_id = 0);
+
+    /**
+     * Runs to completion (or @p max_events as a runaway guard).
+     * @return the collected statistics.
+     */
+    RunStats run(std::uint64_t max_events = 2'000'000'000ull);
+
+    /** Dumps every component's stats (gem5-style listing). */
+    void dumpStats(std::ostream &os) const;
+
+    const SystemConfig &config() const { return cfg_; }
+    sim::EventQueue &eventQueue() { return eq_; }
+    vm::AddressSpace &addressSpace() { return *addressSpace_; }
+    gpu::Gpu &gpu() { return *gpu_; }
+    iommu::Iommu &iommu() { return *iommu_; }
+    tlb::TlbHierarchy &tlbs() { return *tlbs_; }
+    mem::DramController &dram() { return *dram_; }
+    mem::BackingStore &backingStore() { return store_; }
+
+  private:
+    SystemConfig cfg_;
+    sim::EventQueue eq_;
+    mem::BackingStore store_;
+    vm::FrameAllocator frames_;
+    std::unique_ptr<vm::AddressSpace> addressSpace_;
+    std::unique_ptr<mem::DramController> dram_;
+    std::unique_ptr<mem::Cache> l2d_;
+    std::vector<std::unique_ptr<tlb::TranslatingPort>> bridges_;
+    std::vector<std::unique_ptr<mem::Cache>> l1ds_;
+    std::unique_ptr<iommu::Iommu> iommu_;
+    std::unique_ptr<tlb::TlbHierarchy> tlbs_;
+    std::unique_ptr<gpu::Gpu> gpu_;
+};
+
+} // namespace gpuwalk::system
+
+#endif // GPUWALK_SYSTEM_SYSTEM_HH

@@ -1,0 +1,41 @@
+#include "system/system_config.hh"
+
+#include "gpu/instruction.hh"
+
+namespace gpuwalk::system {
+
+void
+SystemConfig::print(std::ostream &os) const
+{
+    os << "GPU            " << (1'000'000 / gpu.clockPeriod / 1000.0)
+       << " GHz, " << gpu.numCus << " CUs, " << gpu.simdPerCu
+       << " SIMD per CU\n"
+       << "               " << gpu.simdWidth << " SIMD width, "
+       << gpuwalk::gpu::wavefrontSize << " threads per wavefront, "
+       << gpu.wavefrontsPerCu << " wavefronts per CU\n"
+       << "L1 Data Cache  " << l1d.sizeBytes / 1024 << "KB, "
+       << l1d.associativity << "-way, " << l1d.lineBytes << "B block\n"
+       << "L2 Data Cache  " << l2d.sizeBytes / (1024 * 1024) << "MB, "
+       << l2d.associativity << "-way, " << l2d.lineBytes << "B block\n"
+       << "L1 TLB         " << gpuTlb.l1Entries
+       << " entries, fully-associative (per CU)\n"
+       << "L2 TLB         " << gpuTlb.l2Entries << " entries, "
+       << gpuTlb.l2Associativity << "-way set associative (shared)\n"
+       << "IOMMU          " << iommu.bufferEntries << " buffer entries, "
+       << iommu.numWalkers << " page table walkers\n"
+       << "               " << iommu.l1TlbEntries << "/"
+       << iommu.l2TlbEntries << " entries for IOMMU L1/L2 TLB\n"
+       << "               " << core::toString(scheduler)
+       << " scheduling of page walks\n"
+       << "PWC            " << iommu.pwc.entriesPerLevel
+       << " entries/level, " << iommu.pwc.associativity << "-way"
+       << (iommu.pwc.pinScoredEntries ? ", counter-pinned replacement"
+                                      : "")
+       << "\n"
+       << "DRAM           DDR3-1600 (" << 1'000'000 / dram.tCK
+       << " MHz), " << dram.channels << " channels\n"
+       << "               " << dram.banksPerRank << " banks per rank, "
+       << dram.ranksPerChannel << " ranks per channel\n";
+}
+
+} // namespace gpuwalk::system

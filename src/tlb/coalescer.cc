@@ -1,0 +1,30 @@
+#include "tlb/coalescer.hh"
+
+#include <algorithm>
+
+namespace gpuwalk::tlb {
+
+CoalescedAccess
+coalesce(const std::vector<mem::Addr> &lane_addrs)
+{
+    CoalescedAccess out;
+    out.activeLanes = static_cast<unsigned>(lane_addrs.size());
+    out.pages.reserve(lane_addrs.size());
+    out.lines.reserve(lane_addrs.size());
+
+    for (mem::Addr a : lane_addrs) {
+        const mem::Addr page = mem::pageAlign(a);
+        if (std::find(out.pages.begin(), out.pages.end(), page)
+            == out.pages.end()) {
+            out.pages.push_back(page);
+        }
+        const mem::Addr line = mem::lineAlign(a);
+        if (std::find(out.lines.begin(), out.lines.end(), line)
+            == out.lines.end()) {
+            out.lines.push_back(line);
+        }
+    }
+    return out;
+}
+
+} // namespace gpuwalk::tlb

@@ -1,0 +1,173 @@
+#include "tlb/set_assoc_tlb.hh"
+
+namespace gpuwalk::tlb {
+
+namespace {
+
+/** 2 MB-granular virtual page number. */
+constexpr mem::Addr
+largeVpn(mem::Addr va)
+{
+    return va >> 21;
+}
+
+constexpr mem::Addr largeOffsetPages = (1 << 21) >> mem::pageShift;
+
+} // namespace
+
+SetAssocTlb::SetAssocTlb(const TlbConfig &cfg)
+    : cfg_(cfg), statGroup_(cfg.name)
+{
+    GPUWALK_ASSERT(cfg_.entries > 0, "TLB must have entries");
+    GPUWALK_ASSERT(cfg_.entries % cfg_.associativity == 0,
+                   "entries not divisible by associativity in ",
+                   cfg_.name);
+    numSets_ = cfg_.sets();
+    sets_.assign(numSets_, std::vector<Entry>(cfg_.associativity));
+
+    statGroup_.add(hits_);
+    statGroup_.add(misses_);
+    statGroup_.add(insertions_);
+    statGroup_.add(evictions_);
+}
+
+SetAssocTlb::Entry *
+SetAssocTlb::find(mem::Addr va_page, bool large)
+{
+    const mem::Addr vpn =
+        large ? largeVpn(va_page) : mem::pageNumber(va_page);
+    for (auto &e : sets_[setIndex(vpn)]) {
+        if (e.valid && e.large == large && e.vpn == vpn)
+            return &e;
+    }
+    return nullptr;
+}
+
+const SetAssocTlb::Entry *
+SetAssocTlb::find(mem::Addr va_page, bool large) const
+{
+    const mem::Addr vpn =
+        large ? largeVpn(va_page) : mem::pageNumber(va_page);
+    for (const auto &e : sets_[setIndex(vpn)]) {
+        if (e.valid && e.large == large && e.vpn == vpn)
+            return &e;
+    }
+    return nullptr;
+}
+
+std::optional<TlbHit>
+SetAssocTlb::lookupEntry(mem::Addr va_page)
+{
+    // Small entries first (exact match), then the covering 2 MB entry.
+    if (Entry *e = find(va_page, /*large=*/false)) {
+        ++hits_;
+        e->lastUse = ++useClock_;
+        return TlbHit{e->ppn << mem::pageShift, false};
+    }
+    if (Entry *e = find(va_page, /*large=*/true)) {
+        ++hits_;
+        e->lastUse = ++useClock_;
+        const mem::Addr base = e->ppn << 21;
+        const mem::Addr offset =
+            (mem::pageNumber(va_page) % largeOffsetPages)
+            << mem::pageShift;
+        return TlbHit{base | offset, true};
+    }
+    ++misses_;
+    return std::nullopt;
+}
+
+std::optional<mem::Addr>
+SetAssocTlb::lookup(mem::Addr va_page)
+{
+    auto hit = lookupEntry(va_page);
+    if (!hit)
+        return std::nullopt;
+    return hit->paPage;
+}
+
+std::optional<mem::Addr>
+SetAssocTlb::probe(mem::Addr va_page) const
+{
+    if (const Entry *e = find(va_page, /*large=*/false))
+        return e->ppn << mem::pageShift;
+    if (const Entry *e = find(va_page, /*large=*/true)) {
+        const mem::Addr base = e->ppn << 21;
+        const mem::Addr offset =
+            (mem::pageNumber(va_page) % largeOffsetPages)
+            << mem::pageShift;
+        return base | offset;
+    }
+    return std::nullopt;
+}
+
+void
+SetAssocTlb::insert(mem::Addr va_page, mem::Addr pa_page,
+                    bool large_page)
+{
+    const mem::Addr vpn = large_page ? largeVpn(va_page)
+                                     : mem::pageNumber(va_page);
+    const mem::Addr ppn = large_page ? (pa_page >> 21)
+                                     : mem::pageNumber(pa_page);
+    auto &set = sets_[setIndex(vpn)];
+
+    Entry *victim = nullptr;
+    for (auto &e : set) {
+        if (e.valid && e.large == large_page && e.vpn == vpn) {
+            // Refresh an existing entry (duplicate fill).
+            e.ppn = ppn;
+            e.lastUse = ++useClock_;
+            return;
+        }
+        if (!e.valid) {
+            if (!victim || victim->valid)
+                victim = &e;
+        } else if (!victim || (victim->valid
+                               && e.lastUse < victim->lastUse)) {
+            victim = &e;
+        }
+    }
+
+    if (victim->valid)
+        ++evictions_;
+    ++insertions_;
+    victim->vpn = vpn;
+    victim->ppn = ppn;
+    victim->valid = true;
+    victim->large = large_page;
+    victim->lastUse = ++useClock_;
+}
+
+void
+SetAssocTlb::invalidateAll()
+{
+    for (auto &set : sets_)
+        for (auto &e : set)
+            e.valid = false;
+}
+
+bool
+SetAssocTlb::invalidate(mem::Addr va_page)
+{
+    if (Entry *e = find(va_page, /*large=*/false)) {
+        e->valid = false;
+        return true;
+    }
+    if (Entry *e = find(va_page, /*large=*/true)) {
+        e->valid = false;
+        return true;
+    }
+    return false;
+}
+
+unsigned
+SetAssocTlb::population() const
+{
+    unsigned n = 0;
+    for (const auto &set : sets_)
+        for (const auto &e : set)
+            n += e.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace gpuwalk::tlb

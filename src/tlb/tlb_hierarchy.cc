@@ -1,0 +1,147 @@
+#include "tlb/tlb_hierarchy.hh"
+
+namespace gpuwalk::tlb {
+
+TlbHierarchy::TlbHierarchy(sim::EventQueue &eq,
+                           const TlbHierarchyConfig &cfg,
+                           TranslationService &iommu)
+    : eq_(eq), cfg_(cfg), iommu_(iommu),
+      l2_(TlbConfig{"l2tlb", cfg.l2Entries, cfg.l2Associativity}),
+      l2Port_(eq, cfg.l2PortPeriod), statGroup_("gpu_tlb")
+{
+    l1s_.reserve(cfg_.numCus);
+    for (unsigned cu = 0; cu < cfg_.numCus; ++cu) {
+        l1s_.push_back(std::make_unique<SetAssocTlb>(TlbConfig{
+            "l1tlb" + std::to_string(cu), cfg.l1Entries,
+            cfg.l1Entries}));
+        l1Ports_.push_back(std::make_unique<sim::RateLimiter>(
+            eq, cfg.l1PortPeriod));
+        statGroup_.addChild(l1s_.back()->stats());
+    }
+    statGroup_.addChild(l2_.stats());
+    statGroup_.add(requests_);
+    statGroup_.add(l1Merged_);
+    statGroup_.add(l2Merged_);
+    statGroup_.add(iommuRequests_);
+    statGroup_.add(epochWavefronts_);
+}
+
+void
+TlbHierarchy::translate(TranslationRequest req)
+{
+    GPUWALK_ASSERT(req.cu < cfg_.numCus, "bad CU id ", req.cu);
+    ++requests_;
+
+    // Claim the CU's single L1 TLB lookup port, then pay the lookup
+    // latency. Bursts from one SIMD instruction serialize here.
+    l1Ports_[req.cu]->submit([this, r = std::move(req)]() mutable {
+        eq_.scheduleIn(cfg_.l1Latency,
+                       [this, r = std::move(r)]() mutable {
+                           lookupL1(std::move(r));
+                       });
+    });
+}
+
+void
+TlbHierarchy::lookupL1(TranslationRequest r)
+{
+    SetAssocTlb &l1 = *l1s_[r.cu];
+    if (auto hit = l1.lookupEntry(r.vaPage)) {
+        r.complete(hit->paPage, hit->largePage);
+        return;
+    }
+
+    // Merge with an in-flight miss from this CU to the same page.
+    const auto key = std::make_pair(r.cu, r.vaPage);
+    auto it = l1Inflight_.find(key);
+    if (it != l1Inflight_.end()) {
+        ++l1Merged_;
+        it->second.push_back(std::move(r));
+        return;
+    }
+    l1Inflight_[key].push_back(std::move(r));
+    const auto &leader = l1Inflight_[key].front();
+
+    TranslationRequest down;
+    down.vaPage = leader.vaPage;
+    down.instruction = leader.instruction;
+    down.wavefront = leader.wavefront;
+    down.cu = leader.cu;
+    down.app = leader.app;
+    down.onComplete = [this, key](mem::Addr pa_page, bool large) {
+        auto node = l1Inflight_.extract(key);
+        GPUWALK_ASSERT(!node.empty(), "orphan L1 fill");
+        l1s_[key.first]->insert(key.second, pa_page, large);
+        for (auto &w : node.mapped())
+            w.complete(pa_page, large);
+    };
+
+    // The shared L2 TLB is also single-ported: the eight CUs' miss
+    // streams multiplex here, which is where walk requests from
+    // different instructions start interleaving (paper §III-B).
+    l2Port_.submit([this, d = std::move(down)]() mutable {
+        eq_.scheduleIn(cfg_.l2Latency,
+                       [this, d = std::move(d)]() mutable {
+                           accessL2(std::move(d));
+                       });
+    });
+}
+
+void
+TlbHierarchy::accessL2(TranslationRequest req)
+{
+    noteL2Access(req.wavefront);
+
+    if (auto hit = l2_.lookupEntry(req.vaPage)) {
+        req.complete(hit->paPage, hit->largePage);
+        return;
+    }
+
+    auto it = l2Inflight_.find(req.vaPage);
+    if (it != l2Inflight_.end()) {
+        ++l2Merged_;
+        it->second.push_back(std::move(req));
+        return;
+    }
+
+    const mem::Addr va_page = req.vaPage;
+    l2Inflight_[va_page].push_back(std::move(req));
+    const auto &leader = l2Inflight_[va_page].front();
+
+    ++iommuRequests_;
+    TranslationRequest down;
+    down.vaPage = leader.vaPage;
+    down.instruction = leader.instruction;
+    down.wavefront = leader.wavefront;
+    down.cu = leader.cu;
+    down.app = leader.app;
+    down.onComplete = [this, va_page](mem::Addr pa_page, bool large) {
+        auto node = l2Inflight_.extract(va_page);
+        GPUWALK_ASSERT(!node.empty(), "orphan L2 fill");
+        l2_.insert(va_page, pa_page, large);
+        for (auto &w : node.mapped())
+            w.complete(pa_page, large);
+    };
+    iommu_.translate(std::move(down));
+}
+
+void
+TlbHierarchy::noteL2Access(std::uint32_t wavefront)
+{
+    epochSet_.insert(wavefront);
+    if (++epochAccesses_ >= cfg_.epochLength) {
+        epochWavefronts_.sample(static_cast<double>(epochSet_.size()));
+        epochSet_.clear();
+        epochAccesses_ = 0;
+    }
+}
+
+void
+TlbHierarchy::invalidateAll()
+{
+    for (auto &l1 : l1s_)
+        l1->invalidateAll();
+    l2_.invalidateAll();
+}
+
+} // namespace gpuwalk::tlb

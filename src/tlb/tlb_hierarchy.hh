@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The GPU's two-level TLB hierarchy (paper §II-B).
+ *
+ * Per-CU private L1 TLBs back into a GPU-wide shared L2 TLB; L2 misses
+ * are forwarded to the IOMMU (a TranslationService). In-flight misses
+ * to the same page merge at both levels, like cache MSHRs. The shared
+ * L2 also tracks the number of distinct wavefronts touching it per
+ * fixed-size epoch — the paper's Figure 12 contention metric.
+ */
+
+#ifndef GPUWALK_TLB_TLB_HIERARCHY_HH
+#define GPUWALK_TLB_TLB_HIERARCHY_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/rate_limiter.hh"
+#include "sim/stats.hh"
+#include "tlb/set_assoc_tlb.hh"
+#include "tlb/translation.hh"
+
+namespace gpuwalk::tlb {
+
+/** Configuration of the GPU-side TLBs (Table I defaults). */
+struct TlbHierarchyConfig
+{
+    unsigned numCus = 8;
+
+    unsigned l1Entries = 32;         ///< fully associative per CU
+    unsigned l2Entries = 512;
+    unsigned l2Associativity = 16;
+
+    sim::Tick l1Latency = 1 * 500;   ///< 1 GPU cycle
+    sim::Tick l2Latency = 16 * 500;  ///< incl. on-chip interconnect
+
+    /**
+     * Lookup issue rate of each single-ported TLB (one per period).
+     * These structural limits serialize each CU's request bursts and
+     * multiplex the independent per-CU streams at the shared L2 — the
+     * mechanism that interleaves walk requests from different
+     * instructions (paper §III-B).
+     */
+    sim::Tick l1PortPeriod = 1 * 500;
+    sim::Tick l2PortPeriod = 1 * 500;
+
+    /** L2 accesses per epoch for the distinct-wavefront metric. */
+    unsigned epochLength = 1024;
+};
+
+/** Per-CU L1 TLBs + shared L2 TLB + miss path to the IOMMU. */
+class TlbHierarchy
+{
+  public:
+    TlbHierarchy(sim::EventQueue &eq, const TlbHierarchyConfig &cfg,
+                 TranslationService &iommu);
+
+    /** Entry point from a CU's coalescer. @pre req.cu < numCus. */
+    void translate(TranslationRequest req);
+
+    SetAssocTlb &l1(unsigned cu) { return *l1s_.at(cu); }
+    SetAssocTlb &l2() { return l2_; }
+
+    /** Requests forwarded to the IOMMU (unmerged L2 misses). */
+    std::uint64_t iommuRequests() const { return iommuRequests_.value(); }
+
+    /** Average distinct wavefronts per L2 epoch (Fig. 12 metric). */
+    double avgWavefrontsPerEpoch() const { return epochWavefronts_.mean(); }
+
+    /** Completed epochs observed. */
+    std::uint64_t epochs() const { return epochWavefronts_.count(); }
+
+    /** Drops all cached translations (L1s and L2). */
+    void invalidateAll();
+
+    sim::StatGroup &stats() { return statGroup_; }
+
+  private:
+    void lookupL1(TranslationRequest req);
+    void accessL2(TranslationRequest req);
+    void noteL2Access(std::uint32_t wavefront);
+
+    sim::EventQueue &eq_;
+    TlbHierarchyConfig cfg_;
+    TranslationService &iommu_;
+
+    std::vector<std::unique_ptr<SetAssocTlb>> l1s_;
+    SetAssocTlb l2_;
+    std::vector<std::unique_ptr<sim::RateLimiter>> l1Ports_;
+    sim::RateLimiter l2Port_;
+
+    /** In-flight L1 misses: (cu, vaPage) -> waiting requests. */
+    std::map<std::pair<std::uint32_t, mem::Addr>,
+             std::vector<TranslationRequest>>
+        l1Inflight_;
+
+    /** In-flight L2 misses: vaPage -> waiting requests. */
+    std::map<mem::Addr, std::vector<TranslationRequest>> l2Inflight_;
+
+    // Fig. 12 epoch tracking.
+    std::set<std::uint32_t> epochSet_;
+    unsigned epochAccesses_ = 0;
+
+    sim::StatGroup statGroup_;
+    sim::Counter requests_{"requests", "translation requests received"};
+    sim::Counter l1Merged_{"l1_merged", "requests merged at L1 miss"};
+    sim::Counter l2Merged_{"l2_merged", "requests merged at L2 miss"};
+    sim::Counter iommuRequests_{"iommu_requests",
+                                "L2 misses forwarded to the IOMMU"};
+    sim::Average epochWavefronts_{
+        "epoch_wavefronts", "distinct wavefronts per L2 TLB epoch"};
+};
+
+} // namespace gpuwalk::tlb
+
+#endif // GPUWALK_TLB_TLB_HIERARCHY_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * A translate-then-forward memory port: the substrate for virtual L1
+ * caches (Yoon et al. [43], cited by the paper's related work).
+ *
+ * With virtually-indexed, virtually-tagged L1 data caches, address
+ * translation is deferred until an L1 miss: hits never touch the TLB
+ * hierarchy, which "filters" translation bandwidth. This port sits
+ * between a virtually-addressed cache and the physically-addressed
+ * rest of the memory system: every request that reaches it is
+ * translated through the normal GPU TLB -> IOMMU path (carrying its
+ * originating instruction's ID, so walk scheduling still sees
+ * SIMT-correlated requests) and then forwarded at the physical
+ * address.
+ *
+ * Functional caveat (documented, deliberate): synonym/homonym
+ * handling of real virtual caches is out of scope — the model is
+ * timing-only and workloads use a single address space.
+ */
+
+#ifndef GPUWALK_TLB_TRANSLATING_PORT_HH
+#define GPUWALK_TLB_TRANSLATING_PORT_HH
+
+#include "mem/request.hh"
+#include "sim/stats.hh"
+#include "tlb/tlb_hierarchy.hh"
+
+namespace gpuwalk::tlb {
+
+/** Translates request addresses before forwarding downstream. */
+class TranslatingPort : public mem::MemoryDevice
+{
+  public:
+    /**
+     * @param tlbs The GPU TLB hierarchy (translation path).
+     * @param below The physically-addressed next level.
+     */
+    TranslatingPort(TlbHierarchy &tlbs, mem::MemoryDevice &below)
+        : tlbs_(tlbs), below_(below), statGroup_("xlate_port")
+    {
+        statGroup_.add(requests_);
+    }
+
+    void
+    access(mem::MemoryRequest req) override
+    {
+        ++requests_;
+        TranslationRequest xlate;
+        xlate.vaPage = mem::pageAlign(req.addr);
+        xlate.instruction = req.instruction;
+        xlate.wavefront = req.wavefront;
+        xlate.cu = req.cu;
+        const mem::Addr offset = req.addr & (mem::pageSize - 1);
+        xlate.onComplete = [this, offset,
+                            r = std::move(req)](mem::Addr pa_page,
+                                                bool) mutable {
+            r.addr = pa_page | offset;
+            below_.access(std::move(r));
+        };
+        tlbs_.translate(std::move(xlate));
+    }
+
+    std::uint64_t requests() const { return requests_.value(); }
+
+    sim::StatGroup &stats() { return statGroup_; }
+
+  private:
+    TlbHierarchy &tlbs_;
+    mem::MemoryDevice &below_;
+    sim::StatGroup statGroup_;
+    sim::Counter requests_{"requests", "L1-miss translations"};
+};
+
+} // namespace gpuwalk::tlb
+
+#endif // GPUWALK_TLB_TRANSLATING_PORT_HH

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * A process-like virtual address space for GPU workloads.
+ *
+ * Workload generators allocate named buffers; the address space lays
+ * them out in virtual memory and eagerly maps every page through the
+ * shared x86-64 page table (demand paging is out of the paper's scope:
+ * its workloads are fully resident).
+ */
+
+#ifndef GPUWALK_VM_ADDRESS_SPACE_HH
+#define GPUWALK_VM_ADDRESS_SPACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vm/page_table.hh"
+
+namespace gpuwalk::vm {
+
+/** A named, contiguous virtual buffer. */
+struct VaRegion
+{
+    std::string name;
+    mem::Addr base = 0;
+    mem::Addr bytes = 0;
+
+    mem::Addr end() const { return base + bytes; }
+};
+
+/** Virtual address space with eager page-table population. */
+class AddressSpace
+{
+  public:
+    /**
+     * @param store Functional memory holding the page tables.
+     * @param frames Physical allocator shared with the page table.
+     * @param base First virtual address handed out.
+     */
+    AddressSpace(mem::BackingStore &store, FrameAllocator &frames,
+                 mem::Addr base = mem::Addr(1) << 32)
+        : pageTable_(store, frames), frames_(frames), nextVa_(base)
+    {}
+
+    /**
+     * Selects the page size used for subsequent allocations. With
+     * large pages, regions are 2 MB-aligned and mapped with PS-bit
+     * PD-level leaves (the paper's §VI discussion point).
+     */
+    void useLargePages(bool enable) { largePages_ = enable; }
+    bool largePagesEnabled() const { return largePages_; }
+
+    /**
+     * Allocates @p bytes of virtual memory (rounded up to whole
+     * pages — 4 KB or 2 MB depending on the page-size policy) and
+     * maps every page to fresh physical frames.
+     * @return the region descriptor.
+     */
+    VaRegion
+    allocate(const std::string &name, mem::Addr bytes)
+    {
+        const mem::Addr granule = largePages_ ? largePageSize
+                                              : mem::pageSize;
+        nextVa_ = (nextVa_ + granule - 1) & ~(granule - 1);
+        const mem::Addr size = (bytes + granule - 1) & ~(granule - 1);
+        VaRegion region{name, nextVa_, size};
+        // Leave an unmapped guard page between regions so workload bugs
+        // surface as translation failures rather than silent overlap.
+        nextVa_ += size + granule;
+
+        for (mem::Addr va = region.base; va < region.end();
+             va += granule) {
+            if (largePages_)
+                pageTable_.mapLarge(va, frames_.allocateLargeFrame());
+            else
+                pageTable_.map(va, frames_.allocateFrame());
+        }
+        regions_.push_back(region);
+        return region;
+    }
+
+    /**
+     * Maps the page containing @p va if it is not mapped yet
+     * (honouring the page-size policy). Used when replaying external
+     * traces whose regions were never allocated through allocate().
+     */
+    void
+    ensureMapped(mem::Addr va)
+    {
+        if (pageTable_.translate(va).has_value())
+            return;
+        if (largePages_) {
+            pageTable_.mapLarge(va & ~largePageMask,
+                                frames_.allocateLargeFrame());
+        } else {
+            pageTable_.map(mem::pageAlign(va),
+                           frames_.allocateFrame());
+        }
+    }
+
+    /** The backing page table (shared CPU/GPU table in the paper). */
+    PageTable &pageTable() { return pageTable_; }
+    const PageTable &pageTable() const { return pageTable_; }
+
+    /** All regions allocated so far. */
+    const std::vector<VaRegion> &regions() const { return regions_; }
+
+    /** Total mapped bytes (the workload's memory footprint). */
+    mem::Addr
+    footprintBytes() const
+    {
+        mem::Addr total = 0;
+        for (const auto &r : regions_)
+            total += r.bytes;
+        return total;
+    }
+
+  private:
+    PageTable pageTable_;
+    FrameAllocator &frames_;
+    mem::Addr nextVa_;
+    bool largePages_ = false;
+    std::vector<VaRegion> regions_;
+};
+
+} // namespace gpuwalk::vm
+
+#endif // GPUWALK_VM_ADDRESS_SPACE_HH

@@ -1,0 +1,114 @@
+#include "vm/page_table.hh"
+
+namespace gpuwalk::vm {
+
+PageTable::PageTable(mem::BackingStore &store, FrameAllocator &frames)
+    : store_(store), frames_(frames)
+{
+    root_ = frames_.allocateFrame();
+    ++tablePages_;
+    // Frames from the backing store are zero-filled on first touch, so
+    // the fresh root is already all-not-present.
+}
+
+mem::Addr
+PageTable::ensureTable(mem::Addr slot)
+{
+    std::uint64_t entry = store_.read64(slot);
+    if (entry & pte::present)
+        return entry & pte::addrMask;
+
+    mem::Addr table = frames_.allocateFrame();
+    ++tablePages_;
+    store_.write64(slot, (table & pte::addrMask) | pte::present
+                             | pte::writable);
+    return table;
+}
+
+void
+PageTable::map(mem::Addr va, mem::Addr pa, bool writable)
+{
+    GPUWALK_ASSERT((va & (mem::pageSize - 1)) == 0, "unaligned va ", va);
+    GPUWALK_ASSERT((pa & (mem::pageSize - 1)) == 0, "unaligned pa ", pa);
+
+    mem::Addr pdpt = ensureTable(entrySlot(root_, va, PtLevel::Pml4));
+    mem::Addr pd = ensureTable(entrySlot(pdpt, va, PtLevel::Pdpt));
+    mem::Addr pt = ensureTable(entrySlot(pd, va, PtLevel::Pd));
+
+    std::uint64_t leaf = (pa & pte::addrMask) | pte::present;
+    if (writable)
+        leaf |= pte::writable;
+    const mem::Addr slot = entrySlot(pt, va, PtLevel::Pt);
+    if ((store_.read64(slot) & pte::present) == 0)
+        ++mappings_;
+    store_.write64(slot, leaf);
+}
+
+void
+PageTable::mapLarge(mem::Addr va, mem::Addr pa, bool writable)
+{
+    GPUWALK_ASSERT((va & largePageMask) == 0, "unaligned 2MB va ", va);
+    GPUWALK_ASSERT((pa & largePageMask) == 0, "unaligned 2MB pa ", pa);
+
+    mem::Addr pdpt = ensureTable(entrySlot(root_, va, PtLevel::Pml4));
+    mem::Addr pd = ensureTable(entrySlot(pdpt, va, PtLevel::Pdpt));
+
+    const mem::Addr slot = entrySlot(pd, va, PtLevel::Pd);
+    const std::uint64_t old = store_.read64(slot);
+    GPUWALK_ASSERT(!(old & pte::present) || (old & pte::pageSize),
+                   "2MB mapping over existing 4KB subtree at ", va);
+
+    std::uint64_t leaf =
+        (pa & pte::addrMask2M) | pte::present | pte::pageSize;
+    if (writable)
+        leaf |= pte::writable;
+    if (!(old & pte::present))
+        ++mappings_;
+    store_.write64(slot, leaf);
+}
+
+std::optional<mem::Addr>
+translateFrom(const mem::BackingStore &store, mem::Addr root,
+              mem::Addr va)
+{
+    mem::Addr table = root;
+    for (unsigned level = numPtLevels; level >= 1; --level) {
+        const mem::Addr slot =
+            table + std::uint64_t(PageTable::indexAt(va,
+                                                     PtLevel{level}))
+                        * 8;
+        const std::uint64_t entry = store.read64(slot);
+        if (!(entry & pte::present))
+            return std::nullopt;
+        if (level == 2 && (entry & pte::pageSize)) {
+            // 2 MB leaf at the PD level.
+            return (entry & pte::addrMask2M) | (va & largePageMask);
+        }
+        table = entry & pte::addrMask;
+    }
+    return table | (va & (mem::pageSize - 1));
+}
+
+std::optional<mem::Addr>
+PageTable::translate(mem::Addr va) const
+{
+    return translateFrom(store_, root_, va);
+}
+
+std::optional<mem::Addr>
+PageTable::entryAddress(mem::Addr va, PtLevel level) const
+{
+    mem::Addr table = root_;
+    for (unsigned l = numPtLevels; l > static_cast<unsigned>(level); --l) {
+        const std::uint64_t entry =
+            store_.read64(entrySlot(table, va, PtLevel{l}));
+        if (!(entry & pte::present))
+            return std::nullopt;
+        if (l == 2 && (entry & pte::pageSize))
+            return std::nullopt; // 2MB leaf: no deeper level exists
+        table = entry & pte::addrMask;
+    }
+    return entrySlot(table, va, level);
+}
+
+} // namespace gpuwalk::vm

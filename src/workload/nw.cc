@@ -1,0 +1,71 @@
+#include "workload/nw.hh"
+
+#include "workload/patterns.hh"
+
+namespace gpuwalk::workload {
+
+gpu::GpuWorkload
+NwWorkload::doGenerate(vm::AddressSpace &as, const WorkloadParams &params)
+{
+    WorkloadParams scaled = params;
+    scaled.computeCycles = baseCompute(params);
+    constexpr mem::Addr elem = 4; // int scores
+    const mem::Addr footprint = scaledFootprintBytes(params);
+    // Score matrix + reference (similarity) matrix, equal sized.
+    const std::uint64_t n = squareDim(footprint / 2, elem);
+    const vm::VaRegion score = as.allocate("score", n * n * elem);
+    const vm::VaRegion ref = as.allocate("reference", n * n * elem);
+
+    // Anti-diagonal stride between lane cells: down one row, left one
+    // column.
+    const mem::Addr diag_stride = (n - 1) * elem;
+
+    gpu::GpuWorkload w;
+    w.traces.reserve(params.wavefronts);
+
+    const std::uint64_t row_blocks =
+        std::max<std::uint64_t>(1, (n - gpu::wavefrontSize)
+                                       / gpu::wavefrontSize);
+
+    for (unsigned wf = 0; wf < params.wavefronts; ++wf) {
+        sim::Rng rng(params.seed * 0x7f4a7c15ull + wf);
+        gpu::WavefrontTrace trace;
+        trace.reserve(params.instructionsPerWavefront);
+
+        // Each wavefront owns a 64-row band and slides the diagonal
+        // rightwards across it.
+        const std::uint64_t r0 =
+            (std::uint64_t(wf) % row_blocks) * gpu::wavefrontSize;
+        std::uint64_t c = gpu::wavefrontSize + (wf % 17);
+
+        auto cell = [&](const vm::VaRegion &m, std::uint64_t row,
+                        std::uint64_t col) {
+            return m.base + (row * n + col % (n - gpu::wavefrontSize)) * elem;
+        };
+
+        while (trace.size() < params.instructionsPerWavefront) {
+            // Load the north-west dependency diagonal (divergent).
+            trace.push_back(makeInstr(
+                stridedLanes(cell(score, r0, c - 1), diag_stride), true,
+                jitteredCompute(rng, scaled.computeCycles)));
+            if (trace.size() >= params.instructionsPerWavefront)
+                break;
+            // Load the reference matrix along the same diagonal.
+            trace.push_back(makeInstr(
+                stridedLanes(cell(ref, r0, c), diag_stride), true,
+                jitteredCompute(rng, scaled.computeCycles)));
+            if (trace.size() >= params.instructionsPerWavefront)
+                break;
+            // Store the computed diagonal.
+            trace.push_back(makeInstr(
+                stridedLanes(cell(score, r0, c), diag_stride), false,
+                jitteredCompute(rng, scaled.computeCycles)));
+            ++c;
+        }
+        trace.resize(params.instructionsPerWavefront);
+        w.traces.push_back(std::move(trace));
+    }
+    return w;
+}
+
+} // namespace gpuwalk::workload

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * NW: Needleman-Wunsch DNA sequence alignment (531.82 MB).
+ *
+ * The dynamic-programming kernel sweeps the score matrix along
+ * anti-diagonals: lane i updates cell (r+i, c-i), whose address stride
+ * is (N-1)*4 bytes — tens of kilobytes for the paper's footprint, so
+ * every diagonal step is fully page-divergent. Consecutive diagonals
+ * revisit the same rows, giving strong intra-wavefront page reuse
+ * (unlike XSBench's pure-random accesses).
+ */
+
+#ifndef GPUWALK_WORKLOAD_NW_HH
+#define GPUWALK_WORKLOAD_NW_HH
+
+#include "workload/workload.hh"
+
+namespace gpuwalk::workload {
+
+/** Needleman-Wunsch anti-diagonal DP sweep model. */
+class NwWorkload : public WorkloadGenerator
+{
+  public:
+    NwWorkload()
+        : WorkloadGenerator(
+              {"NW",
+               "Optimization algorithm for DNA sequence alignments",
+               531.82, true, 1.5})
+    {}
+
+  private:
+    gpu::GpuWorkload doGenerate(vm::AddressSpace &as,
+                                const WorkloadParams &params) override;
+};
+
+} // namespace gpuwalk::workload
+
+#endif // GPUWALK_WORKLOAD_NW_HH

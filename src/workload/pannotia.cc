@@ -1,0 +1,83 @@
+#include "workload/pannotia.hh"
+
+#include "workload/patterns.hh"
+
+namespace gpuwalk::workload {
+
+gpu::GpuWorkload
+PannotiaWorkload::doGenerate(vm::AddressSpace &as,
+                             const WorkloadParams &params)
+{
+    WorkloadParams scaled = params;
+    scaled.computeCycles = baseCompute(params);
+    const mem::Addr footprint = scaledFootprintBytes(params);
+    // CSR layout: edge (column-index) array dominates, plus row
+    // offsets and a per-vertex property array.
+    const vm::VaRegion edges = as.allocate("col_idx", footprint / 2);
+    const vm::VaRegion offsets =
+        as.allocate("row_offsets", footprint / 4);
+    const vm::VaRegion props = as.allocate("properties", footprint / 4);
+
+    gpu::GpuWorkload w;
+    w.traces.reserve(params.wavefronts);
+
+    const std::uint64_t edge_elems = edges.bytes / 4;
+    const std::uint64_t prop_elems = props.bytes / 8;
+
+    for (unsigned wf = 0; wf < params.wavefronts; ++wf) {
+        sim::Rng rng(params.seed * 40503ull + wf);
+        gpu::WavefrontTrace trace;
+        trace.reserve(params.instructionsPerWavefront);
+
+        // Each wavefront walks its own contiguous slice of the edge
+        // list (frontier-partitioned work).
+        std::uint64_t edge_pos = (std::uint64_t(wf) * edge_elems)
+                                 / std::max(1u, params.wavefronts);
+        std::uint64_t step = 0;
+
+        while (trace.size() < params.instructionsPerWavefront) {
+            // Stream 64 consecutive edge indices: one or two lines,
+            // a single page — perfectly coalesced.
+            trace.push_back(makeInstr(
+                sequentialLanes(edges.base
+                                    + (edge_pos
+                                       % (edge_elems
+                                          - gpu::wavefrontSize))
+                                          * 4,
+                                4),
+                true, jitteredCompute(rng, scaled.computeCycles)));
+            edge_pos += gpu::wavefrontSize;
+
+            if (++step % gatherPeriod_ == 0
+                && trace.size() < params.instructionsPerWavefront) {
+                // Gather neighbour properties: community structure
+                // keeps the targets within a window, touching only a
+                // handful of (hot) pages.
+                const std::uint64_t focus =
+                    (edge_pos * prop_elems / edge_elems) % prop_elems;
+                trace.push_back(makeInstr(
+                    windowedRandomLanes(rng, props, 8, focus,
+                                        windowElems_),
+                    true, jitteredCompute(rng, scaled.computeCycles)));
+            }
+            if (step % (gatherPeriod_ * 4) == 0
+                && trace.size() < params.instructionsPerWavefront) {
+                // Occasional row-offset lookups, also streaming.
+                trace.push_back(makeInstr(
+                    sequentialLanes(
+                        offsets.base
+                            + ((edge_pos / 8)
+                               % (offsets.bytes / 4
+                                  - gpu::wavefrontSize))
+                                  * 4,
+                        4),
+                    true, jitteredCompute(rng, scaled.computeCycles)));
+            }
+        }
+        trace.resize(params.instructionsPerWavefront);
+        w.traces.push_back(std::move(trace));
+    }
+    return w;
+}
+
+} // namespace gpuwalk::workload

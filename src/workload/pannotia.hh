@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Pannotia graph workloads: SSSP, MIS, Color (paper: regular).
+ *
+ * The paper classifies these three as regular — their CSR traversals
+ * stream offset/index arrays with unit stride, and vertex-property
+ * gathers cluster around the frontier (community locality), so the
+ * coalescer and TLBs absorb nearly all translation traffic. They are
+ * included to show the scheduler does not hurt translation-insensitive
+ * workloads (Figs. 8 and 9, right halves).
+ */
+
+#ifndef GPUWALK_WORKLOAD_PANNOTIA_HH
+#define GPUWALK_WORKLOAD_PANNOTIA_HH
+
+#include "workload/workload.hh"
+
+namespace gpuwalk::workload {
+
+/** Shared CSR-traversal shape of the three Pannotia kernels. */
+class PannotiaWorkload : public WorkloadGenerator
+{
+  public:
+    PannotiaWorkload(WorkloadInfo info, unsigned gather_period,
+                     std::uint64_t window_elems)
+        : WorkloadGenerator(std::move(info)),
+          gatherPeriod_(gather_period), windowElems_(window_elems)
+    {}
+
+  private:
+    gpu::GpuWorkload doGenerate(vm::AddressSpace &as,
+                                const WorkloadParams &params) override;
+
+    unsigned gatherPeriod_;
+    std::uint64_t windowElems_;
+};
+
+/** SSSP: shortest path search (104.32 MB). */
+class SsspWorkload : public PannotiaWorkload
+{
+  public:
+    SsspWorkload()
+        : PannotiaWorkload({"SSP", "Shortest path search algorithm",
+                            104.32, false},
+                           /*gather_period=*/3,
+                           /*window_elems=*/4096)
+    {}
+};
+
+/** MIS: maximal independent set (72.38 MB). */
+class MisWorkload : public PannotiaWorkload
+{
+  public:
+    MisWorkload()
+        : PannotiaWorkload({"MIS", "Maximal subset search algorithm",
+                            72.38, false},
+                           /*gather_period=*/4,
+                           /*window_elems=*/2048)
+    {}
+};
+
+/** Color: graph coloring (26.68 MB). */
+class ColorWorkload : public PannotiaWorkload
+{
+  public:
+    ColorWorkload()
+        : PannotiaWorkload({"CLR", "Graph coloring algorithm", 26.68,
+                            false},
+                           /*gather_period=*/4,
+                           /*window_elems=*/2048)
+    {}
+};
+
+} // namespace gpuwalk::workload
+
+#endif // GPUWALK_WORKLOAD_PANNOTIA_HH

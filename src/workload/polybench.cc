@@ -1,0 +1,255 @@
+#include "workload/polybench.hh"
+
+#include "workload/patterns.hh"
+
+namespace gpuwalk::workload {
+
+namespace {
+
+constexpr mem::Addr elemBytes = 8; // doubles
+
+/** Shared shape of the four kernels' traces. */
+struct MatrixKernel
+{
+    vm::VaRegion a;          ///< primary matrix
+    vm::VaRegion b;          ///< optional second matrix (GESUMMV)
+    vm::VaRegion x;          ///< broadcast operand vector
+    vm::VaRegion y;          ///< sequential operand/result vector
+    std::uint64_t n = 0;     ///< matrix dimension
+
+    mem::Addr
+    columnAddr(std::uint64_t row, std::uint64_t col,
+               const vm::VaRegion &m) const
+    {
+        return m.base + (row * n + col) * elemBytes;
+    }
+};
+
+/**
+ * Emits one wavefront's trace for a column-sweeping kernel.
+ *
+ * @param k Kernel geometry.
+ * @param wf Wavefront index (selects the row block and column phase).
+ * @param params Trace length etc.
+ * @param use_b Interleave loads from the second matrix (GESUMMV).
+ * @param vector_period Emit a coalesced vector access every this many
+ *        column steps (controls the divergent:coalesced mix).
+ */
+gpu::WavefrontTrace
+columnSweepTrace(const MatrixKernel &k, unsigned wf,
+                 const WorkloadParams &params, bool use_b,
+                 unsigned vector_period)
+{
+    gpu::WavefrontTrace trace;
+    trace.reserve(params.instructionsPerWavefront);
+    sim::Rng rng(params.seed * 0x9e3779b9ull + wf);
+
+    // Keep the whole 64-row block inside the matrix.
+    const std::uint64_t row_blocks = k.n / gpu::wavefrontSize;
+    const std::uint64_t row0 =
+        (std::uint64_t(wf) % row_blocks) * gpu::wavefrontSize;
+    // Phase-shift the column start per wavefront so wavefronts do not
+    // march in lockstep over the same columns.
+    std::uint64_t col = (std::uint64_t(wf) * 97) % k.n;
+
+    auto compute = [&] {
+        return jitteredCompute(rng, params.computeCycles);
+    };
+
+    unsigned step = 0;
+    while (trace.size() < params.instructionsPerWavefront) {
+        // Column load from A: lane i touches A[row0+i][col]; the row
+        // stride (n*8 bytes) exceeds a page, so this diverges across
+        // as many pages as there are active lanes. Loop tails and
+        // branch masks occasionally deactivate part of the wavefront.
+        trace.push_back(makeInstr(
+            stridedLanes(k.columnAddr(row0, col, k.a),
+                         k.n * elemBytes, activeLaneCount(rng)),
+            true, compute()));
+
+        if (use_b && trace.size() < params.instructionsPerWavefront) {
+            trace.push_back(makeInstr(
+                stridedLanes(k.columnAddr(row0, col, k.b),
+                             k.n * elemBytes, activeLaneCount(rng)),
+                true, compute()));
+        }
+
+        if (++step % vector_period == 0
+            && trace.size() < params.instructionsPerWavefront) {
+            // Broadcast operand x[col] (perfectly coalesced)...
+            trace.push_back(makeInstr(
+                broadcastLanes(k.x.base + (col % k.n) * elemBytes),
+                true, compute()));
+            if (trace.size() < params.instructionsPerWavefront) {
+                // ...and the per-row accumulator y[row0+lane]
+                // (sequential, 1-2 pages).
+                trace.push_back(makeInstr(
+                    sequentialLanes(k.y.base + row0 * elemBytes,
+                                    elemBytes),
+                    false, compute()));
+            }
+        }
+        col = (col + 1) % k.n;
+    }
+    trace.resize(params.instructionsPerWavefront);
+    return trace;
+}
+
+/** Allocates the kernel's buffers at the scaled footprint. */
+MatrixKernel
+makeKernel(vm::AddressSpace &as, mem::Addr footprint_bytes,
+           unsigned matrices)
+{
+    MatrixKernel k;
+    // Vectors are a rounding error; size matrices from the footprint.
+    k.n = squareDim(footprint_bytes / matrices, elemBytes);
+    k.a = as.allocate("A", k.n * k.n * elemBytes);
+    if (matrices > 1)
+        k.b = as.allocate("B", k.n * k.n * elemBytes);
+    k.x = as.allocate("x", k.n * elemBytes);
+    k.y = as.allocate("y", k.n * elemBytes);
+    return k;
+}
+
+/**
+ * Emits a row-streaming phase: thread-per-column kernels (ATAX's
+ * y = A^T tmp, BICG's s = A^T r) walk each matrix row with 64
+ * consecutive lanes — unit-stride, coalescing to one or two pages —
+ * interleaved with broadcast reads of the per-row operand.
+ */
+gpu::WavefrontTrace
+rowStreamTrace(const MatrixKernel &k, unsigned wf,
+               const WorkloadParams &params, std::size_t count,
+               sim::Rng &rng)
+{
+    gpu::WavefrontTrace trace;
+    trace.reserve(count);
+    const std::uint64_t cols = k.n - gpu::wavefrontSize;
+    std::uint64_t row = (std::uint64_t(wf) * 131) % k.n;
+    std::uint64_t col = (std::uint64_t(wf) * 61) % cols;
+
+    while (trace.size() < count) {
+        // 64 consecutive elements of row: coalesced.
+        trace.push_back(makeInstr(
+            sequentialLanes(k.a.base + (row * k.n + col) * elemBytes,
+                            elemBytes),
+            true, jitteredCompute(rng, params.computeCycles)));
+        col += gpu::wavefrontSize;
+        if (col >= cols) {
+            col = 0;
+            row = (row + 1) % k.n;
+        }
+        if (trace.size() < count && trace.size() % 4 == 0) {
+            // Broadcast of the per-row operand (tmp[i] / r[i]).
+            trace.push_back(makeInstr(
+                broadcastLanes(k.y.base + row * elemBytes), true,
+                jitteredCompute(rng, params.computeCycles)));
+        }
+    }
+    trace.resize(count);
+    return trace;
+}
+
+/**
+ * Two-phase kernels (ATAX, BICG): a divergent column-sweep kernel
+ * followed by a coalesced row-streaming kernel, as their GPU ports
+ * launch them (thread-per-row then thread-per-column).
+ */
+gpu::GpuWorkload
+buildTwoPhaseWorkload(vm::AddressSpace &as, const WorkloadParams &params,
+                      mem::Addr footprint, unsigned vector_period)
+{
+    const MatrixKernel k = makeKernel(as, footprint, 1);
+    gpu::GpuWorkload w;
+    w.traces.reserve(params.wavefronts);
+    for (unsigned wf = 0; wf < params.wavefronts; ++wf) {
+        sim::Rng rng(params.seed * 0x9e3779b9ull + wf);
+        // Divergent phase first (the translation-bound kernel).
+        WorkloadParams phase1 = params;
+        phase1.instructionsPerWavefront =
+            params.instructionsPerWavefront * 3 / 4;
+        auto trace =
+            columnSweepTrace(k, wf, phase1, false, vector_period);
+        // Coalesced second kernel.
+        auto tail = rowStreamTrace(
+            k, wf, params,
+            params.instructionsPerWavefront - trace.size(), rng);
+        trace.insert(trace.end(),
+                     std::make_move_iterator(tail.begin()),
+                     std::make_move_iterator(tail.end()));
+        w.traces.push_back(std::move(trace));
+    }
+    return w;
+}
+
+gpu::GpuWorkload
+buildWorkload(vm::AddressSpace &as, const WorkloadParams &params,
+              mem::Addr footprint, unsigned matrices, bool use_b,
+              unsigned vector_period)
+{
+    const MatrixKernel k = makeKernel(as, footprint, matrices);
+    // params.computeCycles has already been scaled by the caller.
+    gpu::GpuWorkload w;
+    w.traces.reserve(params.wavefronts);
+    for (unsigned wf = 0; wf < params.wavefronts; ++wf)
+        w.traces.push_back(
+            columnSweepTrace(k, wf, params, use_b, vector_period));
+    return w;
+}
+
+} // namespace
+
+gpu::GpuWorkload
+MvtWorkload::doGenerate(vm::AddressSpace &as, const WorkloadParams &params)
+{
+    // x1 += A[i][j]*y1[j] plus the transposed kernel: one matrix,
+    // vector op every 2 column steps (divergent:coalesced ~ 1:1).
+    WorkloadParams scaled = params;
+    scaled.computeCycles = baseCompute(params);
+    return buildWorkload(as, scaled, scaledFootprintBytes(params),
+                         /*matrices=*/1, /*use_b=*/false,
+                         /*vector_period=*/2);
+}
+
+gpu::GpuWorkload
+AtaxWorkload::doGenerate(vm::AddressSpace &as,
+                         const WorkloadParams &params)
+{
+    // A^T (A x): a divergent thread-per-row kernel (tmp = A x)
+    // followed by a coalesced thread-per-column kernel (y = A^T tmp).
+    WorkloadParams scaled = params;
+    scaled.computeCycles = baseCompute(params);
+    return buildTwoPhaseWorkload(as, scaled,
+                                 scaledFootprintBytes(params),
+                                 /*vector_period=*/3);
+}
+
+gpu::GpuWorkload
+BicgWorkload::doGenerate(vm::AddressSpace &as,
+                         const WorkloadParams &params)
+{
+    // q = A p diverges (thread per row); s = A^T r streams rows
+    // (thread per column) — the same two-phase shape as ATAX at a
+    // 2x larger matrix.
+    WorkloadParams scaled = params;
+    scaled.computeCycles = baseCompute(params);
+    return buildTwoPhaseWorkload(as, scaled,
+                                 scaledFootprintBytes(params),
+                                 /*vector_period=*/2);
+}
+
+gpu::GpuWorkload
+GesummvWorkload::doGenerate(vm::AddressSpace &as,
+                            const WorkloadParams &params)
+{
+    // y = alpha*A*x + beta*B*x: two divergent matrix streams per
+    // column step — the heaviest translation load of the four
+    // (matching its Fig. 3 distribution).
+    WorkloadParams scaled = params;
+    scaled.computeCycles = baseCompute(params);
+    return buildWorkload(as, scaled, scaledFootprintBytes(params),
+                         /*matrices=*/2, /*use_b=*/true,
+                         /*vector_period=*/4);
+}
+
+} // namespace gpuwalk::workload

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Polybench-derived irregular workloads: MVT, ATAX, BICG, GESUMMV.
+ *
+ * In the GPU ports of these kernels each workitem owns one matrix row
+ * and the inner loop runs over columns, so a single SIMD load touches
+ * a fixed column j across 64 consecutive rows — a stride of N*8 bytes,
+ * far larger than a page. Every such instruction therefore needs up to
+ * 64 translations (full memory-access divergence), while the
+ * interleaved vector operands stay coalesced. Consecutive column steps
+ * reuse the same 64 row-pages, giving intra-wavefront TLB locality
+ * that inter-wavefront contention thrashes — the dynamics behind the
+ * paper's Figures 11 and 12.
+ */
+
+#ifndef GPUWALK_WORKLOAD_POLYBENCH_HH
+#define GPUWALK_WORKLOAD_POLYBENCH_HH
+
+#include "workload/workload.hh"
+
+namespace gpuwalk::workload {
+
+/** MVT: matrix-vector product and transpose (128.14 MB). */
+class MvtWorkload : public WorkloadGenerator
+{
+  public:
+    MvtWorkload()
+        : WorkloadGenerator({"MVT",
+                             "Matrix vector product and transpose",
+                             128.14, true, 1.0})
+    {}
+
+  private:
+    gpu::GpuWorkload doGenerate(vm::AddressSpace &as,
+                                const WorkloadParams &params) override;
+};
+
+/** ATAX: matrix transpose and vector multiplication (64.06 MB). */
+class AtaxWorkload : public WorkloadGenerator
+{
+  public:
+    AtaxWorkload()
+        : WorkloadGenerator(
+              {"ATX", "Matrix transpose and vector multiplication",
+               64.06, true, 1.0})
+    {}
+
+  private:
+    gpu::GpuWorkload doGenerate(vm::AddressSpace &as,
+                                const WorkloadParams &params) override;
+};
+
+/** BICG: sub-kernel of the BiCGStab linear solver (128.11 MB). */
+class BicgWorkload : public WorkloadGenerator
+{
+  public:
+    BicgWorkload()
+        : WorkloadGenerator(
+              {"BIC", "Sub kernel of BiCGStab linear solver", 128.11,
+               true, 1.0})
+    {}
+
+  private:
+    gpu::GpuWorkload doGenerate(vm::AddressSpace &as,
+                                const WorkloadParams &params) override;
+};
+
+/** GESUMMV: scalar, vector and matrix multiplication (128.06 MB). */
+class GesummvWorkload : public WorkloadGenerator
+{
+  public:
+    GesummvWorkload()
+        : WorkloadGenerator(
+              {"GEV", "Scalar, vector and matrix multiplication",
+               128.06, true, 6.0})
+    {}
+
+  private:
+    gpu::GpuWorkload doGenerate(vm::AddressSpace &as,
+                                const WorkloadParams &params) override;
+};
+
+} // namespace gpuwalk::workload
+
+#endif // GPUWALK_WORKLOAD_POLYBENCH_HH

@@ -1,0 +1,69 @@
+#include "workload/registry.hh"
+
+#include "sim/logging.hh"
+#include "workload/nw.hh"
+#include "workload/pannotia.hh"
+#include "workload/polybench.hh"
+#include "workload/rodinia.hh"
+#include "workload/xsbench.hh"
+
+namespace gpuwalk::workload {
+
+std::unique_ptr<WorkloadGenerator>
+makeWorkload(const std::string &abbrev)
+{
+    if (abbrev == "XSB")
+        return std::make_unique<XsbenchWorkload>();
+    if (abbrev == "MVT")
+        return std::make_unique<MvtWorkload>();
+    if (abbrev == "ATX")
+        return std::make_unique<AtaxWorkload>();
+    if (abbrev == "NW")
+        return std::make_unique<NwWorkload>();
+    if (abbrev == "BIC")
+        return std::make_unique<BicgWorkload>();
+    if (abbrev == "GEV")
+        return std::make_unique<GesummvWorkload>();
+    if (abbrev == "SSP")
+        return std::make_unique<SsspWorkload>();
+    if (abbrev == "MIS")
+        return std::make_unique<MisWorkload>();
+    if (abbrev == "CLR")
+        return std::make_unique<ColorWorkload>();
+    if (abbrev == "BCK")
+        return std::make_unique<BackpropWorkload>();
+    if (abbrev == "KMN")
+        return std::make_unique<KmeansWorkload>();
+    if (abbrev == "HOT")
+        return std::make_unique<HotspotWorkload>();
+    sim::fatal("unknown workload '", abbrev, "'");
+}
+
+std::vector<std::string>
+irregularWorkloadNames()
+{
+    return {"XSB", "MVT", "ATX", "NW", "BIC", "GEV"};
+}
+
+std::vector<std::string>
+regularWorkloadNames()
+{
+    return {"SSP", "MIS", "CLR", "BCK", "KMN", "HOT"};
+}
+
+std::vector<std::string>
+allWorkloadNames()
+{
+    auto names = irregularWorkloadNames();
+    for (auto &n : regularWorkloadNames())
+        names.push_back(n);
+    return names;
+}
+
+std::vector<std::string>
+motivationWorkloadNames()
+{
+    return {"MVT", "ATX", "BIC", "GEV"};
+}
+
+} // namespace gpuwalk::workload

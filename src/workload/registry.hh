@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The Table II benchmark registry.
+ */
+
+#ifndef GPUWALK_WORKLOAD_REGISTRY_HH
+#define GPUWALK_WORKLOAD_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/workload.hh"
+
+namespace gpuwalk::workload {
+
+/**
+ * Creates the generator for @p abbrev ("XSB", "MVT", ...), matching
+ * Table II. fatal() on unknown names.
+ */
+std::unique_ptr<WorkloadGenerator> makeWorkload(const std::string &abbrev);
+
+/** All twelve Table II abbreviations, irregular set first. */
+std::vector<std::string> allWorkloadNames();
+
+/** The six irregular benchmarks (XSB MVT ATX NW BIC GEV). */
+std::vector<std::string> irregularWorkloadNames();
+
+/** The six regular benchmarks (SSP MIS CLR BCK KMN HOT). */
+std::vector<std::string> regularWorkloadNames();
+
+/** The four benchmarks shown in the paper's motivation figures 2-6. */
+std::vector<std::string> motivationWorkloadNames();
+
+} // namespace gpuwalk::workload
+
+#endif // GPUWALK_WORKLOAD_REGISTRY_HH

@@ -1,0 +1,67 @@
+#include "workload/rodinia.hh"
+
+#include "workload/patterns.hh"
+
+namespace gpuwalk::workload {
+
+gpu::GpuWorkload
+RodiniaWorkload::doGenerate(vm::AddressSpace &as,
+                            const WorkloadParams &params)
+{
+    WorkloadParams scaled = params;
+    scaled.computeCycles = baseCompute(params);
+    constexpr mem::Addr elem = 4; // floats
+    const mem::Addr footprint = scaledFootprintBytes(params);
+
+    std::vector<vm::VaRegion> arrays;
+    for (unsigned s = 0; s < streams_; ++s) {
+        arrays.push_back(as.allocate("stream" + std::to_string(s),
+                                     footprint / streams_));
+    }
+    // Small hot structure (weights / centroids / coefficients).
+    const vm::VaRegion hot = as.allocate("hot", 16 * 1024);
+
+    gpu::GpuWorkload w;
+    w.traces.reserve(params.wavefronts);
+
+    for (unsigned wf = 0; wf < params.wavefronts; ++wf) {
+        sim::Rng rng(params.seed * 0x85ebca6bull + wf);
+        gpu::WavefrontTrace trace;
+        trace.reserve(params.instructionsPerWavefront);
+
+        const std::uint64_t elems = arrays[0].bytes / elem;
+        const std::uint64_t usable = elems - gpu::wavefrontSize;
+        std::uint64_t pos = (std::uint64_t(wf) * elems)
+                            / std::max(1u, params.wavefronts);
+        std::uint64_t step = 0;
+
+        while (trace.size() < params.instructionsPerWavefront) {
+            for (unsigned s = 0;
+                 s < streams_
+                 && trace.size() < params.instructionsPerWavefront;
+                 ++s) {
+                const bool is_store = (s + 1 == streams_)
+                                      && (step % 2 == 1);
+                trace.push_back(makeInstr(
+                    sequentialLanes(arrays[s].base
+                                        + (pos % usable) * elem,
+                                    elem),
+                    !is_store, jitteredCompute(rng, scaled.computeCycles)));
+            }
+            pos += gpu::wavefrontSize;
+            ++step;
+            if (broadcastPeriod_ != 0 && step % broadcastPeriod_ == 0
+                && trace.size() < params.instructionsPerWavefront) {
+                trace.push_back(makeInstr(
+                    broadcastLanes(hot.base
+                                   + (step % (hot.bytes / 64)) * 64),
+                    true, jitteredCompute(rng, scaled.computeCycles)));
+            }
+        }
+        trace.resize(params.instructionsPerWavefront);
+        w.traces.push_back(std::move(trace));
+    }
+    return w;
+}
+
+} // namespace gpuwalk::workload

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Rodinia workloads: Back Propagation, K-Means, Hotspot (regular).
+ *
+ * All three stream dense arrays with unit stride: the coalescer folds
+ * each SIMD instruction onto one or two lines of a single page, small
+ * hot structures (centroids, weights) stay TLB-resident, and page
+ * walks are rare and cheap. Included, like the Pannotia set, to show
+ * scheduling does not perturb translation-insensitive applications.
+ */
+
+#ifndef GPUWALK_WORKLOAD_RODINIA_HH
+#define GPUWALK_WORKLOAD_RODINIA_HH
+
+#include "workload/workload.hh"
+
+namespace gpuwalk::workload {
+
+/** Shared streaming shape of the three Rodinia kernels. */
+class RodiniaWorkload : public WorkloadGenerator
+{
+  public:
+    /**
+     * @param info Table II row.
+     * @param streams Number of arrays streamed together per step
+     *        (Hotspot reads three stencil rows, backprop two layers).
+     * @param broadcast_period Broadcast a hot scalar structure every
+     *        this many steps (0 = never).
+     */
+    RodiniaWorkload(WorkloadInfo info, unsigned streams,
+                    unsigned broadcast_period)
+        : WorkloadGenerator(std::move(info)), streams_(streams),
+          broadcastPeriod_(broadcast_period)
+    {}
+
+  private:
+    gpu::GpuWorkload doGenerate(vm::AddressSpace &as,
+                                const WorkloadParams &params) override;
+
+    unsigned streams_;
+    unsigned broadcastPeriod_;
+};
+
+/** Back Propagation: machine learning (108.03 MB). */
+class BackpropWorkload : public RodiniaWorkload
+{
+  public:
+    BackpropWorkload()
+        : RodiniaWorkload({"BCK", "Machine learning algorithm", 108.03,
+                           false},
+                          /*streams=*/2, /*broadcast_period=*/4)
+    {}
+};
+
+/** K-Means: clustering (4.33 MB). */
+class KmeansWorkload : public RodiniaWorkload
+{
+  public:
+    KmeansWorkload()
+        : RodiniaWorkload({"KMN", "Clustering algorithm", 4.33, false},
+                          /*streams=*/1, /*broadcast_period=*/2)
+    {}
+};
+
+/** Hotspot: processor thermal simulation (12.02 MB). */
+class HotspotWorkload : public RodiniaWorkload
+{
+  public:
+    HotspotWorkload()
+        : RodiniaWorkload({"HOT",
+                           "Processor thermal simulation algorithm",
+                           12.02, false},
+                          /*streams=*/3, /*broadcast_period=*/0)
+    {}
+};
+
+} // namespace gpuwalk::workload
+
+#endif // GPUWALK_WORKLOAD_RODINIA_HH

@@ -1,0 +1,92 @@
+#include "workload/xsbench.hh"
+
+#include "workload/patterns.hh"
+
+namespace gpuwalk::workload {
+
+gpu::GpuWorkload
+XsbenchWorkload::doGenerate(vm::AddressSpace &as,
+                            const WorkloadParams &params)
+{
+    WorkloadParams scaled = params;
+    scaled.computeCycles = baseCompute(params);
+    const mem::Addr footprint = scaledFootprintBytes(params);
+    // Roughly XSBench's split: the unionized energy grid dominates,
+    // plus nuclide grid-point data.
+    const vm::VaRegion grid =
+        as.allocate("energy_grid", footprint * 2 / 3);
+    const vm::VaRegion xs_data =
+        as.allocate("nuclide_xs", footprint / 3);
+
+    const std::uint64_t grid_elems = grid.bytes / 8;
+    constexpr unsigned probeSteps = 6;
+
+    gpu::GpuWorkload w;
+    w.traces.reserve(params.wavefronts);
+
+    for (unsigned wf = 0; wf < params.wavefronts; ++wf) {
+        sim::Rng rng(params.seed * 2654435761ull + wf);
+        gpu::WavefrontTrace trace;
+        trace.reserve(params.instructionsPerWavefront);
+
+        while (trace.size() < params.instructionsPerWavefront) {
+            // One Monte Carlo lookup per lane: a binary search over
+            // the unionized energy grid. Each lane has its own target
+            // energy, but the search narrows top-down, so the first
+            // probe steps land on the (hot, shared) upper levels of
+            // the search tree and only the last steps fully diverge —
+            // per-instruction translation work therefore ramps from
+            // one page to one page per lane within each lookup.
+            std::vector<std::uint64_t> target(gpu::wavefrontSize);
+            for (auto &t : target)
+                t = rng.below(grid_elems);
+
+            for (unsigned step = 0;
+                 step < probeSteps
+                 && trace.size() < params.instructionsPerWavefront;
+                 ++step) {
+                // Probe address: the lane's target rounded to the
+                // granularity of this search level.
+                const std::uint64_t buckets = 1ull << (step + 1);
+                const std::uint64_t gran =
+                    std::max<std::uint64_t>(1, grid_elems / buckets);
+                std::vector<mem::Addr> lanes;
+                lanes.reserve(gpu::wavefrontSize);
+                for (auto t : target) {
+                    const std::uint64_t mid =
+                        (t / gran) * gran + gran / 2;
+                    lanes.push_back(grid.base
+                                    + (mid % grid_elems) * 8);
+                }
+                trace.push_back(makeInstr(
+                    std::move(lanes), true,
+                    jitteredCompute(rng, scaled.computeCycles)));
+            }
+
+            if (trace.size() < params.instructionsPerWavefront) {
+                // Gather the nuclide cross-section data at the located
+                // grid point: fully divergent, one random page per
+                // lane.
+                trace.push_back(makeInstr(
+                    randomLanes(rng, xs_data, 8), true,
+                    jitteredCompute(rng, scaled.computeCycles)));
+            }
+            if (trace.size() < params.instructionsPerWavefront) {
+                // Accumulate per-workitem results: coalesced store.
+                trace.push_back(makeInstr(
+                    sequentialLanes(
+                        xs_data.base
+                            + (std::uint64_t(wf) * gpu::wavefrontSize
+                               * 8)
+                                  % (xs_data.bytes / 2),
+                        8),
+                    false, jitteredCompute(rng, scaled.computeCycles)));
+            }
+        }
+        trace.resize(params.instructionsPerWavefront);
+        w.traces.push_back(std::move(trace));
+    }
+    return w;
+}
+
+} // namespace gpuwalk::workload

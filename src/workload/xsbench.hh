@@ -1,0 +1,37 @@
+/**
+ * @file
+ * XSBench: the DOE Monte Carlo neutron-transport proxy (212.25 MB).
+ *
+ * The macroscopic cross-section lookup kernel draws a random particle
+ * energy per workitem, binary-searches the unionized energy grid, and
+ * gathers per-nuclide cross-section data. Every lane follows an
+ * independent random path, so each SIMD load touches up to 64 random
+ * pages with essentially no reuse — the most translation-hostile
+ * pattern in the suite.
+ */
+
+#ifndef GPUWALK_WORKLOAD_XSBENCH_HH
+#define GPUWALK_WORKLOAD_XSBENCH_HH
+
+#include "workload/workload.hh"
+
+namespace gpuwalk::workload {
+
+/** XSBench Monte Carlo neutronics proxy-app model. */
+class XsbenchWorkload : public WorkloadGenerator
+{
+  public:
+    XsbenchWorkload()
+        : WorkloadGenerator(
+              {"XSB", "Monte Carlo neutronics application", 212.25,
+               true, 2.0})
+    {}
+
+  private:
+    gpu::GpuWorkload doGenerate(vm::AddressSpace &as,
+                                const WorkloadParams &params) override;
+};
+
+} // namespace gpuwalk::workload
+
+#endif // GPUWALK_WORKLOAD_XSBENCH_HH

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for the address space and frame allocator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "vm/address_space.hh"
+
+namespace {
+
+using namespace gpuwalk;
+using namespace gpuwalk::vm;
+using gpuwalk::mem::Addr;
+
+TEST(FrameAllocator, SequentialAllocation)
+{
+    FrameAllocator alloc(Addr(1) << 20, /*scramble=*/false);
+    EXPECT_EQ(alloc.framesTotal(), 256u);
+    EXPECT_EQ(alloc.allocateFrame(), 0u);
+    EXPECT_EQ(alloc.allocateFrame(), 4096u);
+    EXPECT_EQ(alloc.framesAllocated(), 2u);
+}
+
+TEST(FrameAllocator, ScrambleIsBijective)
+{
+    FrameAllocator alloc(Addr(1) << 22, /*scramble=*/true);
+    std::set<Addr> seen;
+    for (std::uint64_t i = 0; i < alloc.framesTotal(); ++i) {
+        const Addr f = alloc.allocateFrame();
+        EXPECT_EQ(f % mem::pageSize, 0u);
+        EXPECT_LT(f, Addr(1) << 22);
+        EXPECT_TRUE(seen.insert(f).second) << "duplicate frame " << f;
+    }
+}
+
+TEST(FrameAllocator, ScrambleScattersNeighbours)
+{
+    FrameAllocator alloc(Addr(1) << 26, /*scramble=*/true);
+    const Addr a = alloc.allocateFrame();
+    const Addr b = alloc.allocateFrame();
+    EXPECT_NE(b, a + mem::pageSize);
+}
+
+TEST(FrameAllocatorDeathTest, ExhaustionPanics)
+{
+    FrameAllocator alloc(2 * mem::pageSize);
+    alloc.allocateFrame();
+    alloc.allocateFrame();
+    EXPECT_DEATH(alloc.allocateFrame(), "out of physical memory");
+}
+
+struct AddressSpaceFixture : public ::testing::Test
+{
+    mem::BackingStore store;
+    FrameAllocator frames{Addr(1) << 30};
+    AddressSpace as{store, frames};
+};
+
+TEST_F(AddressSpaceFixture, AllocateMapsEveryPage)
+{
+    const auto region = as.allocate("buf", 64 * 1024);
+    EXPECT_EQ(region.bytes, 64u * 1024u);
+    for (Addr va = region.base; va < region.end(); va += mem::pageSize)
+        EXPECT_TRUE(as.pageTable().translate(va).has_value());
+}
+
+TEST_F(AddressSpaceFixture, RoundsUpToWholePages)
+{
+    const auto region = as.allocate("odd", 100);
+    EXPECT_EQ(region.bytes, mem::pageSize);
+}
+
+TEST_F(AddressSpaceFixture, GuardPagesBetweenRegions)
+{
+    const auto a = as.allocate("a", mem::pageSize);
+    const auto b = as.allocate("b", mem::pageSize);
+    EXPECT_GE(b.base, a.end() + mem::pageSize);
+    // The guard page is unmapped.
+    EXPECT_FALSE(as.pageTable().translate(a.end()).has_value());
+}
+
+TEST_F(AddressSpaceFixture, DistinctRegionsDistinctFrames)
+{
+    const auto a = as.allocate("a", 16 * mem::pageSize);
+    const auto b = as.allocate("b", 16 * mem::pageSize);
+    std::set<Addr> frames_seen;
+    for (const auto &r : {a, b}) {
+        for (Addr va = r.base; va < r.end(); va += mem::pageSize) {
+            auto pa = as.pageTable().translate(va);
+            ASSERT_TRUE(pa.has_value());
+            EXPECT_TRUE(frames_seen.insert(*pa).second);
+        }
+    }
+}
+
+TEST_F(AddressSpaceFixture, FootprintSumsRegions)
+{
+    as.allocate("a", 3 * mem::pageSize);
+    as.allocate("b", 5 * mem::pageSize);
+    EXPECT_EQ(as.footprintBytes(), 8u * mem::pageSize);
+    EXPECT_EQ(as.regions().size(), 2u);
+}
+
+TEST_F(AddressSpaceFixture, RegionsCarryNames)
+{
+    as.allocate("matrix_A", mem::pageSize);
+    EXPECT_EQ(as.regions().front().name, "matrix_A");
+}
+
+} // namespace

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Unit tests for the functional backing store.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/backing_store.hh"
+
+namespace {
+
+using namespace gpuwalk::mem;
+
+TEST(BackingStore, UnwrittenMemoryReadsZero)
+{
+    BackingStore store;
+    EXPECT_EQ(store.read64(0x1000), 0u);
+    EXPECT_EQ(store.read(0xdeadb000, 4), 0u);
+    // Reads do not materialize frames.
+    EXPECT_EQ(store.framesAllocated(), 0u);
+}
+
+TEST(BackingStore, Read64RoundTrips)
+{
+    BackingStore store;
+    store.write64(0x2000, 0x0123456789abcdefull);
+    EXPECT_EQ(store.read64(0x2000), 0x0123456789abcdefull);
+    EXPECT_EQ(store.framesAllocated(), 1u);
+}
+
+TEST(BackingStore, SubWordAccesses)
+{
+    BackingStore store;
+    store.write(0x3000, 0xaabbccdd, 4);
+    EXPECT_EQ(store.read(0x3000, 4), 0xaabbccddu);
+    EXPECT_EQ(store.read(0x3000, 2), 0xccddu);   // little endian
+    EXPECT_EQ(store.read(0x3002, 2), 0xaabbu);
+    EXPECT_EQ(store.read(0x3003, 1), 0xaau);
+}
+
+TEST(BackingStore, FramesAreIndependent)
+{
+    BackingStore store;
+    store.write64(0x0000, 1);
+    store.write64(0x1000, 2);
+    store.write64(0x2000, 3);
+    EXPECT_EQ(store.read64(0x0000), 1u);
+    EXPECT_EQ(store.read64(0x1000), 2u);
+    EXPECT_EQ(store.read64(0x2000), 3u);
+    EXPECT_EQ(store.framesAllocated(), 3u);
+}
+
+TEST(BackingStore, OverwriteWithinFrame)
+{
+    BackingStore store;
+    store.write64(0x5000, ~0ull);
+    store.write(0x5004, 0, 4);
+    EXPECT_EQ(store.read64(0x5000), 0x00000000ffffffffull);
+}
+
+TEST(BackingStore, HighAddressesWork)
+{
+    BackingStore store;
+    const Addr high = Addr(1) << 45;
+    store.write64(high + 8, 77);
+    EXPECT_EQ(store.read64(high + 8), 77u);
+}
+
+TEST(BackingStoreDeathTest, CrossFrameAccessPanics)
+{
+    BackingStore store;
+    EXPECT_DEATH(store.read(0x1ffc, 8), "crosses frame");
+    EXPECT_DEATH(store.write(0x1fff, 1, 2), "crosses frame");
+}
+
+TEST(BackingStoreDeathTest, BadSizePanics)
+{
+    BackingStore store;
+    EXPECT_DEATH(store.read(0x1000, 16), "bad read size");
+    EXPECT_DEATH(store.write(0x1000, 0, 0), "bad write size");
+}
+
+} // namespace

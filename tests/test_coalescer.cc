@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for the access coalescer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tlb/coalescer.hh"
+
+namespace {
+
+using namespace gpuwalk;
+using namespace gpuwalk::tlb;
+using gpuwalk::mem::Addr;
+
+TEST(Coalescer, EmptyInput)
+{
+    const auto out = coalesce({});
+    EXPECT_TRUE(out.pages.empty());
+    EXPECT_TRUE(out.lines.empty());
+    EXPECT_EQ(out.activeLanes, 0u);
+    EXPECT_DOUBLE_EQ(out.pageDivergence(), 0.0);
+}
+
+TEST(Coalescer, PerfectlyCoalescedBroadcast)
+{
+    std::vector<Addr> lanes(64, 0x1234);
+    const auto out = coalesce(lanes);
+    EXPECT_EQ(out.pages.size(), 1u);
+    EXPECT_EQ(out.lines.size(), 1u);
+    EXPECT_EQ(out.pages[0], 0x1000u);
+    EXPECT_EQ(out.lines[0], 0x1200u);
+}
+
+TEST(Coalescer, UnitStrideTouchesFewLines)
+{
+    // 64 lanes x 4-byte elements = 256 bytes = 4 lines, 1 page.
+    std::vector<Addr> lanes;
+    for (Addr i = 0; i < 64; ++i)
+        lanes.push_back(0x10000 + i * 4);
+    const auto out = coalesce(lanes);
+    EXPECT_EQ(out.pages.size(), 1u);
+    EXPECT_EQ(out.lines.size(), 4u);
+}
+
+TEST(Coalescer, PageStrideFullyDiverges)
+{
+    std::vector<Addr> lanes;
+    for (Addr i = 0; i < 64; ++i)
+        lanes.push_back(0x100000 + i * 32768); // 32 KB row stride
+    const auto out = coalesce(lanes);
+    EXPECT_EQ(out.pages.size(), 64u);
+    EXPECT_EQ(out.lines.size(), 64u);
+    EXPECT_DOUBLE_EQ(out.pageDivergence(), 1.0);
+}
+
+TEST(Coalescer, SubPageStridePartiallyCoalesces)
+{
+    // 1 KB stride: 4 lanes per page.
+    std::vector<Addr> lanes;
+    for (Addr i = 0; i < 64; ++i)
+        lanes.push_back(0x100000 + i * 1024);
+    const auto out = coalesce(lanes);
+    EXPECT_EQ(out.pages.size(), 16u);
+    EXPECT_EQ(out.lines.size(), 64u);
+}
+
+TEST(Coalescer, PreservesFirstOccurrenceOrder)
+{
+    std::vector<Addr> lanes{0x3000, 0x1000, 0x3040, 0x2000};
+    const auto out = coalesce(lanes);
+    ASSERT_EQ(out.pages.size(), 3u);
+    EXPECT_EQ(out.pages[0], 0x3000u);
+    EXPECT_EQ(out.pages[1], 0x1000u);
+    EXPECT_EQ(out.pages[2], 0x2000u);
+}
+
+TEST(Coalescer, LinesAndPagesIndependent)
+{
+    // Two lines on the same page.
+    std::vector<Addr> lanes{0x5000, 0x5040};
+    const auto out = coalesce(lanes);
+    EXPECT_EQ(out.pages.size(), 1u);
+    EXPECT_EQ(out.lines.size(), 2u);
+}
+
+TEST(Coalescer, DivergenceMetricPartial)
+{
+    std::vector<Addr> lanes;
+    for (Addr i = 0; i < 32; ++i)
+        lanes.push_back(i * mem::pageSize);
+    for (Addr i = 0; i < 32; ++i)
+        lanes.push_back(i * mem::pageSize); // duplicates
+    const auto out = coalesce(lanes);
+    EXPECT_EQ(out.activeLanes, 64u);
+    EXPECT_EQ(out.pages.size(), 32u);
+    EXPECT_DOUBLE_EQ(out.pageDivergence(), 0.5);
+}
+
+} // namespace

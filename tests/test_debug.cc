@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Tests for the flag-gated debug tracing facility.
+ *
+ * The flag set is parsed from GPUWALK_DEBUG once per process, so the
+ * enabled-path is exercised in a forked child (gtest death test)
+ * where the environment can be set before the first parse.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "sim/debug.hh"
+
+namespace {
+
+using namespace gpuwalk::sim;
+
+TEST(DebugTrace, DisabledByDefault)
+{
+    // The test environment does not set GPUWALK_DEBUG.
+    ASSERT_EQ(std::getenv("GPUWALK_DEBUG"), nullptr);
+    EXPECT_FALSE(debug::enabled("walks"));
+    EXPECT_FALSE(debug::enabled("all"));
+}
+
+TEST(DebugTrace, LogIsNoOpWhenDisabled)
+{
+    // Must not emit or crash; formatting is skipped entirely.
+    testing::internal::CaptureStderr();
+    debug::log("walks", 123, "should not appear ", 42);
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+TEST(DebugTraceDeathTest, EnabledFlagEmitsWithTimestamp)
+{
+    // Run the enabled path in a re-executed child process (threadsafe
+    // death-test style) so GPUWALK_DEBUG is set before the lazy parse.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_EXIT(
+        {
+            setenv("GPUWALK_DEBUG", "walks,sched", 1);
+            if (!debug::enabled("walks"))
+                _exit(2);
+            if (!debug::enabled("sched"))
+                _exit(3);
+            if (debug::enabled("dram"))
+                _exit(4);
+            debug::log("walks", 777, "hello ", 42);
+            _exit(0);
+        },
+        ::testing::ExitedWithCode(0), "777: \\[walks\\] hello 42");
+}
+
+TEST(DebugTraceDeathTest, AllEnablesEverything)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_EXIT(
+        {
+            setenv("GPUWALK_DEBUG", "all", 1);
+            _exit(debug::enabled("anything") ? 0 : 1);
+        },
+        ::testing::ExitedWithCode(0), "");
+}
+
+} // namespace

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Unit tests for the deterministic discrete-event queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace {
+
+using gpuwalk::sim::EventPriority;
+using gpuwalk::sim::EventQueue;
+using gpuwalk::sim::Tick;
+
+TEST(EventQueue, StartsEmptyAtTickZero)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_FALSE(eq.runOne());
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, EqualTickEventsRunInInsertionOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, PriorityBreaksTiesBeforeInsertionOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&] { order.push_back(1); }, EventPriority::Late);
+    eq.schedule(5, [&] { order.push_back(2); }, EventPriority::Default);
+    eq.schedule(5, [&] { order.push_back(3); }, EventPriority::Early);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{3, 2, 1}));
+}
+
+TEST(EventQueue, ScheduleInIsRelativeToNow)
+{
+    EventQueue eq;
+    Tick fired_at = 0;
+    eq.schedule(100, [&] {
+        eq.scheduleIn(50, [&] { fired_at = eq.now(); });
+    });
+    eq.run();
+    EXPECT_EQ(fired_at, 150u);
+}
+
+TEST(EventQueue, EventsCanScheduleAtCurrentTick)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] {
+        eq.schedule(10, [&] { ++fired; });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 10u);
+}
+
+TEST(EventQueue, RunHonoursLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(20, [&] { ++fired; });
+    eq.schedule(30, [&] { ++fired; });
+    eq.run(20);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.pending(), 1u);
+}
+
+TEST(EventQueue, RunEventsBoundsExecution)
+{
+    EventQueue eq;
+    int fired = 0;
+    for (Tick t = 1; t <= 10; ++t)
+        eq.schedule(t, [&] { ++fired; });
+    EXPECT_EQ(eq.runEvents(4), 4u);
+    EXPECT_EQ(fired, 4);
+    EXPECT_EQ(eq.pending(), 6u);
+}
+
+TEST(EventQueue, ExecutedCountsAllEvents)
+{
+    EventQueue eq;
+    for (Tick t = 1; t <= 5; ++t)
+        eq.schedule(t, [] {});
+    eq.run();
+    EXPECT_EQ(eq.executed(), 5u);
+}
+
+TEST(EventQueueDeathTest, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.run();
+    EXPECT_DEATH(eq.schedule(50, [] {}), "past");
+}
+
+TEST(EventQueue, CascadedEventsKeepDeterministicOrder)
+{
+    // Two event chains interleaving at the same ticks must execute in
+    // a reproducible order: run twice, compare histories.
+    auto run_once = [] {
+        EventQueue eq;
+        std::vector<int> history;
+        for (int chain = 0; chain < 2; ++chain) {
+            eq.schedule(1, [&eq, &history, chain] {
+                history.push_back(chain);
+                eq.scheduleIn(2, [&history, chain] {
+                    history.push_back(10 + chain);
+                });
+            });
+        }
+        eq.run();
+        return history;
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+} // namespace

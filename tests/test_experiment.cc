@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unit tests for the experiment harness helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "system/experiment.hh"
+
+namespace {
+
+using namespace gpuwalk;
+using namespace gpuwalk::system;
+
+TEST(TablePrinterTest, HeaderRowAndRule)
+{
+    TablePrinter t({"app", "value"}, 8);
+    std::ostringstream os;
+    t.printHeader(os);
+    t.printRow(os, {"MVT", "1.35"});
+    const std::string text = os.str();
+    EXPECT_NE(text.find("app"), std::string::npos);
+    EXPECT_NE(text.find("value"), std::string::npos);
+    EXPECT_NE(text.find("MVT"), std::string::npos);
+    EXPECT_NE(text.find("--------"), std::string::npos);
+}
+
+TEST(TablePrinterTest, FmtPrecision)
+{
+    EXPECT_EQ(TablePrinter::fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(TablePrinter::fmt(1.0, 3), "1.000");
+    EXPECT_EQ(TablePrinter::fmt(0.5, 0), "0");
+}
+
+TEST(ExperimentHelpers, WithSchedulerOnlyChangesScheduler)
+{
+    auto base = SystemConfig::baseline();
+    auto changed = withScheduler(base, core::SchedulerKind::Random);
+    EXPECT_EQ(changed.scheduler, core::SchedulerKind::Random);
+    EXPECT_EQ(changed.iommu.numWalkers, base.iommu.numWalkers);
+    EXPECT_EQ(changed.gpuTlb.l2Entries, base.gpuTlb.l2Entries);
+}
+
+TEST(ExperimentHelpers, ExperimentParamsAreFullFootprint)
+{
+    const auto p = experimentParams();
+    EXPECT_DOUBLE_EQ(p.footprintScale, 1.0);
+    EXPECT_GT(p.wavefronts, 0u);
+    EXPECT_GT(p.instructionsPerWavefront, 0u);
+}
+
+TEST(ExperimentHelpers, RunOneProducesConsistentResult)
+{
+    auto params = experimentParams();
+    params.wavefronts = 16;
+    params.instructionsPerWavefront = 6;
+    params.footprintScale = 0.02;
+    const auto result = runOne(SystemConfig::baseline(), "KMN", params);
+    EXPECT_EQ(result.workload, "KMN");
+    EXPECT_EQ(result.scheduler, core::SchedulerKind::Fcfs);
+    EXPECT_EQ(result.stats.instructions, 16u * 6u);
+}
+
+TEST(ExperimentHelpers, PrintBannerEchoesConfig)
+{
+    std::ostringstream os;
+    printBanner(os, "Figure X", "description here",
+                SystemConfig::baseline());
+    const auto text = os.str();
+    EXPECT_NE(text.find("Figure X"), std::string::npos);
+    EXPECT_NE(text.find("description here"), std::string::npos);
+    EXPECT_NE(text.find("8 CUs"), std::string::npos);
+    EXPECT_NE(text.find("DDR3-1600"), std::string::npos);
+}
+
+TEST(ExperimentMathDeathTest, GeomeanRejectsBadInput)
+{
+    EXPECT_DEATH(geomean({}), "geomean");
+    EXPECT_DEATH(geomean({1.0, 0.0}), "positive");
+}
+
+} // namespace

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for multi-program co-execution: per-app accounting, shared
+ * translation hardware, and completion invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "system/experiment.hh"
+
+namespace {
+
+using namespace gpuwalk;
+
+workload::WorkloadParams
+tinyParams()
+{
+    workload::WorkloadParams p;
+    p.wavefronts = 12;
+    p.instructionsPerWavefront = 8;
+    p.footprintScale = 0.03;
+    return p;
+}
+
+TEST(MultiProgram, TwoAppsBothComplete)
+{
+    system::System sys(system::SystemConfig::baseline());
+    sys.loadBenchmark("MVT", tinyParams(), 0);
+    sys.loadBenchmark("HOT", tinyParams(), 1);
+    const auto stats = sys.run();
+
+    EXPECT_EQ(stats.instructions, 2u * 12u * 8u);
+    ASSERT_EQ(stats.appFinishTicks.size(), 2u);
+    EXPECT_GT(stats.appFinishTicks[0], 0u);
+    EXPECT_GT(stats.appFinishTicks[1], 0u);
+    EXPECT_EQ(std::max(stats.appFinishTicks[0],
+                       stats.appFinishTicks[1]),
+              stats.runtimeTicks);
+}
+
+TEST(MultiProgram, PerAppWavefrontCountsAreTracked)
+{
+    system::System sys(system::SystemConfig::baseline());
+    sys.loadBenchmark("ATX", tinyParams(), 0);
+    sys.loadBenchmark("KMN", tinyParams(), 1);
+    sys.run();
+    EXPECT_EQ(sys.gpu().numApps(), 2u);
+    EXPECT_EQ(sys.gpu().appWavefrontsDone(0), 12u);
+    EXPECT_EQ(sys.gpu().appWavefrontsDone(1), 12u);
+}
+
+TEST(MultiProgram, SingleAppStillWorksAsAppZero)
+{
+    system::System sys(system::SystemConfig::baseline());
+    sys.loadBenchmark("BIC", tinyParams());
+    const auto stats = sys.run();
+    ASSERT_EQ(stats.appFinishTicks.size(), 1u);
+    EXPECT_EQ(stats.appFinishTicks[0], stats.runtimeTicks);
+}
+
+TEST(MultiProgram, SameAppIdAccumulates)
+{
+    // Loading twice under one app id extends that app.
+    system::System sys(system::SystemConfig::baseline());
+    sys.loadBenchmark("CLR", tinyParams(), 0);
+    sys.loadBenchmark("CLR", tinyParams(), 0);
+    sys.run();
+    EXPECT_EQ(sys.gpu().numApps(), 1u);
+    EXPECT_EQ(sys.gpu().appWavefrontsDone(0), 24u);
+}
+
+TEST(MultiProgram, ContentionSlowsTheVictim)
+{
+    // A translation-light app co-running with a translation-heavy one
+    // must finish no sooner than when running alone.
+    auto cfg = system::SystemConfig::baseline();
+
+    system::System solo(cfg);
+    solo.loadBenchmark("HOT", tinyParams());
+    const auto solo_t = solo.run().runtimeTicks;
+
+    system::System shared(cfg);
+    shared.loadBenchmark("MVT", tinyParams(), 0);
+    shared.loadBenchmark("HOT", tinyParams(), 1);
+    const auto stats = shared.run();
+    EXPECT_GE(stats.appFinishTicks[1], solo_t);
+}
+
+TEST(MultiProgram, DeterministicAcrossRuns)
+{
+    auto run = [] {
+        system::System sys(system::SystemConfig::baseline());
+        sys.loadBenchmark("MVT", tinyParams(), 0);
+        sys.loadBenchmark("SSP", tinyParams(), 1);
+        return sys.run();
+    };
+    const auto a = run();
+    const auto b = run();
+    EXPECT_EQ(a.appFinishTicks, b.appFinishTicks);
+    EXPECT_EQ(a.walkRequests, b.walkRequests);
+}
+
+} // namespace

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Unit tests for the x86-64 four-level page table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/backing_store.hh"
+#include "vm/frame_allocator.hh"
+#include "vm/page_table.hh"
+
+namespace {
+
+using namespace gpuwalk;
+using namespace gpuwalk::vm;
+using gpuwalk::mem::Addr;
+
+struct PageTableFixture : public ::testing::Test
+{
+    mem::BackingStore store;
+    FrameAllocator frames{Addr(1) << 30};
+    PageTable table{store, frames};
+};
+
+TEST_F(PageTableFixture, EmptyTableTranslatesNothing)
+{
+    EXPECT_FALSE(table.translate(0x1000).has_value());
+    EXPECT_EQ(table.mappings(), 0u);
+    EXPECT_EQ(table.tablePages(), 1u); // just the root
+}
+
+TEST_F(PageTableFixture, MapThenTranslate)
+{
+    table.map(0x40000000, 0x5000);
+    auto pa = table.translate(0x40000000);
+    ASSERT_TRUE(pa.has_value());
+    EXPECT_EQ(*pa, 0x5000u);
+}
+
+TEST_F(PageTableFixture, OffsetWithinPagePreserved)
+{
+    table.map(0x40000000, 0x5000);
+    auto pa = table.translate(0x40000abc);
+    ASSERT_TRUE(pa.has_value());
+    EXPECT_EQ(*pa, 0x5abcu);
+}
+
+TEST_F(PageTableFixture, FourLevelAllocation)
+{
+    table.map(0x40000000, 0x5000);
+    // Root + PDPT + PD + PT.
+    EXPECT_EQ(table.tablePages(), 4u);
+    EXPECT_EQ(table.mappings(), 1u);
+}
+
+TEST_F(PageTableFixture, NeighbouringPagesShareTables)
+{
+    table.map(0x40000000, 0x5000);
+    table.map(0x40001000, 0x6000);
+    EXPECT_EQ(table.tablePages(), 4u); // same PT page
+    EXPECT_EQ(table.mappings(), 2u);
+}
+
+TEST_F(PageTableFixture, DistantPagesAllocateSeparateSubtrees)
+{
+    table.map(0x40000000, 0x5000);
+    const auto before = table.tablePages();
+    // 512 GB away: different PML4 entry.
+    table.map(Addr(1) << 39 | 0x40000000, 0x7000);
+    EXPECT_EQ(table.tablePages(), before + 3);
+}
+
+TEST_F(PageTableFixture, IndexExtraction)
+{
+    // VA = PML4 idx 1, PDPT idx 2, PD idx 3, PT idx 4.
+    const Addr va = (Addr(1) << 39) | (Addr(2) << 30) | (Addr(3) << 21)
+                    | (Addr(4) << 12);
+    EXPECT_EQ(PageTable::indexAt(va, PtLevel::Pml4), 1u);
+    EXPECT_EQ(PageTable::indexAt(va, PtLevel::Pdpt), 2u);
+    EXPECT_EQ(PageTable::indexAt(va, PtLevel::Pd), 3u);
+    EXPECT_EQ(PageTable::indexAt(va, PtLevel::Pt), 4u);
+}
+
+TEST_F(PageTableFixture, RegionBaseGranularity)
+{
+    const Addr va = 0x40352abc;
+    EXPECT_EQ(PageTable::regionBase(va, PtLevel::Pt), 0x40352000u);
+    EXPECT_EQ(PageTable::regionBase(va, PtLevel::Pd),
+              va & ~((Addr(1) << 21) - 1));
+    EXPECT_EQ(PageTable::regionBase(va, PtLevel::Pdpt),
+              va & ~((Addr(1) << 30) - 1));
+}
+
+TEST_F(PageTableFixture, EntryAddressChainsThroughLevels)
+{
+    const Addr va = 0x40000000;
+    table.map(va, 0x5000);
+
+    // The PML4 entry lives in the root frame at the right slot.
+    auto pml4e = table.entryAddress(va, PtLevel::Pml4);
+    ASSERT_TRUE(pml4e.has_value());
+    EXPECT_EQ(*pml4e, table.root()
+                          + Addr(PageTable::indexAt(va, PtLevel::Pml4))
+                                * 8);
+
+    // Following the chain functionally reaches the leaf PTE, whose
+    // stored frame is the mapped physical page.
+    auto pte = table.entryAddress(va, PtLevel::Pt);
+    ASSERT_TRUE(pte.has_value());
+    const std::uint64_t leaf = store.read64(*pte);
+    EXPECT_TRUE(leaf & pte::present);
+    EXPECT_EQ(leaf & pte::addrMask, 0x5000u);
+}
+
+TEST_F(PageTableFixture, EntryAddressOnUnmappedUpperLevel)
+{
+    EXPECT_FALSE(table.entryAddress(0x40000000, PtLevel::Pt)
+                     .has_value());
+    // The root always exists, so the PML4 slot is addressable.
+    EXPECT_TRUE(table.entryAddress(0x40000000, PtLevel::Pml4)
+                    .has_value());
+}
+
+TEST_F(PageTableFixture, RemapUpdatesTranslation)
+{
+    table.map(0x40000000, 0x5000);
+    table.map(0x40000000, 0x9000);
+    EXPECT_EQ(table.mappings(), 1u); // same VA, not a new mapping
+    EXPECT_EQ(*table.translate(0x40000000), 0x9000u);
+}
+
+TEST_F(PageTableFixture, ManyMappingsAllTranslate)
+{
+    for (Addr i = 0; i < 2048; ++i)
+        table.map(0x40000000 + i * mem::pageSize, 0x100000 + i * mem::pageSize);
+    for (Addr i = 0; i < 2048; ++i) {
+        auto pa = table.translate(0x40000000 + i * mem::pageSize + 42);
+        ASSERT_TRUE(pa.has_value());
+        EXPECT_EQ(*pa, 0x100000 + i * mem::pageSize + 42);
+    }
+    // 2048 pages span 4 PT pages under one PD.
+    EXPECT_EQ(table.tablePages(), 3u + 4u);
+}
+
+TEST_F(PageTableFixture, NonWritableMapping)
+{
+    table.map(0x40000000, 0x5000, /*writable=*/false);
+    auto pte_addr = table.entryAddress(0x40000000, PtLevel::Pt);
+    ASSERT_TRUE(pte_addr.has_value());
+    EXPECT_FALSE(store.read64(*pte_addr) & pte::writable);
+}
+
+TEST_F(PageTableFixture, DeathOnUnalignedMap)
+{
+    EXPECT_DEATH(table.map(0x40000001, 0x5000), "unaligned va");
+    EXPECT_DEATH(table.map(0x40000000, 0x5001), "unaligned pa");
+}
+
+} // namespace

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Unit tests for the page walk caches and their counter-based pinned
+ * replacement (paper §IV design subtleties).
+ */
+
+#include <gtest/gtest.h>
+
+#include "iommu/page_walk_cache.hh"
+
+namespace {
+
+using namespace gpuwalk;
+using namespace gpuwalk::iommu;
+using gpuwalk::mem::Addr;
+using gpuwalk::vm::PtLevel;
+
+constexpr Addr root = 0x1000;
+
+TEST(PageWalkCache, ColdLookupStartsAtRoot)
+{
+    PageWalkCache pwc({}, root);
+    const auto start = pwc.lookup(0x40000000);
+    EXPECT_EQ(start.level, 4u);
+    EXPECT_EQ(start.tableBase, root);
+    EXPECT_EQ(start.accesses(), 4u);
+    EXPECT_EQ(pwc.misses(), 1u);
+}
+
+TEST(PageWalkCache, FillThenLookupSkipsLevels)
+{
+    PageWalkCache pwc({}, root);
+    const Addr va = 0x40000000;
+    pwc.fill(va, PtLevel::Pml4, 0x2000);
+    auto start = pwc.lookup(va);
+    EXPECT_EQ(start.level, 3u);
+    EXPECT_EQ(start.tableBase, 0x2000u);
+
+    pwc.fill(va, PtLevel::Pdpt, 0x3000);
+    pwc.fill(va, PtLevel::Pd, 0x4000);
+    start = pwc.lookup(va);
+    EXPECT_EQ(start.level, 1u);
+    EXPECT_EQ(start.tableBase, 0x4000u);
+    EXPECT_EQ(start.accesses(), 1u);
+}
+
+TEST(PageWalkCache, DeepestHitWinsEvenWithoutUpperLevels)
+{
+    PageWalkCache pwc({}, root);
+    const Addr va = 0x40000000;
+    // A PD-level entry alone lets the walker jump straight to the
+    // leaf table ("skip, don't walk").
+    pwc.fill(va, PtLevel::Pd, 0x4000);
+    const auto start = pwc.lookup(va);
+    EXPECT_EQ(start.level, 1u);
+    EXPECT_EQ(start.tableBase, 0x4000u);
+}
+
+TEST(PageWalkCache, RegionGranularitySharing)
+{
+    PageWalkCache pwc({}, root);
+    pwc.fill(0x40000000, PtLevel::Pd, 0x4000);
+    pwc.fill(0x40000000, PtLevel::Pdpt, 0x3000);
+    pwc.fill(0x40000000, PtLevel::Pml4, 0x2000);
+    // Another page in the same 2 MB region hits all three levels.
+    const auto start = pwc.lookup(0x40000000 + 5 * mem::pageSize);
+    EXPECT_EQ(start.level, 1u);
+    // A page in a different 2 MB region misses the PD level.
+    const auto start2 = pwc.lookup(0x40000000 + (Addr(2) << 21));
+    EXPECT_EQ(start2.level, 2u);
+}
+
+TEST(PageWalkCache, ProbeEstimateMatchesLookupDepth)
+{
+    PageWalkCache pwc({}, root);
+    const Addr va = 0x40000000;
+    EXPECT_EQ(pwc.peekEstimate(va), 4u);
+    pwc.fill(va, PtLevel::Pml4, 0x2000);
+    EXPECT_EQ(pwc.peekEstimate(va), 3u);
+    pwc.fill(va, PtLevel::Pdpt, 0x3000);
+    EXPECT_EQ(pwc.peekEstimate(va), 2u);
+    pwc.fill(va, PtLevel::Pd, 0x4000);
+    EXPECT_EQ(pwc.peekEstimate(va), 1u);
+    EXPECT_EQ(pwc.probeEstimate(va), 1u);
+}
+
+TEST(PageWalkCache, ProbesPinEntriesAgainstReplacement)
+{
+    PwcConfig cfg;
+    cfg.entriesPerLevel = 4;
+    cfg.associativity = 4; // one set: easy conflict pressure
+    cfg.pinScoredEntries = true;
+    PageWalkCache pwc(cfg, root);
+
+    // Fill the PD cache with 4 regions; probe (pin) the first one.
+    for (Addr r = 0; r < 4; ++r)
+        pwc.fill(r << 21, PtLevel::Pd, 0x4000 + (r << 12));
+    ASSERT_EQ(pwc.probeEstimate(0), 1u); // pins region 0
+
+    // Insert a new region: the pinned entry must survive.
+    pwc.fill(Addr(9) << 21, PtLevel::Pd, 0x9000);
+    EXPECT_EQ(pwc.peekEstimate(0), 1u);
+    EXPECT_GE(pwc.pinnedSkips(), 1u);
+}
+
+TEST(PageWalkCache, WalkLookupUnpinsEntries)
+{
+    PwcConfig cfg;
+    cfg.entriesPerLevel = 4;
+    cfg.associativity = 4;
+    PageWalkCache pwc(cfg, root);
+
+    for (Addr r = 0; r < 4; ++r)
+        pwc.fill(r << 21, PtLevel::Pd, 0x4000);
+    pwc.probeEstimate(0);  // pin
+    pwc.lookup(0);         // unpin (walk consumed the estimate)
+
+    // Now region 0 is evictable again: inserting a new region with
+    // all other entries more recently used evicts region 0.
+    for (Addr r = 1; r < 4; ++r)
+        pwc.lookup(r << 21); // refresh LRU of others
+    pwc.fill(Addr(9) << 21, PtLevel::Pd, 0x9000);
+    EXPECT_EQ(pwc.peekEstimate(0), 4u);
+}
+
+TEST(PageWalkCache, AllPinnedFallsBackToLru)
+{
+    PwcConfig cfg;
+    cfg.entriesPerLevel = 2;
+    cfg.associativity = 2;
+    PageWalkCache pwc(cfg, root);
+    pwc.fill(Addr(0) << 21, PtLevel::Pd, 0x4000);
+    pwc.fill(Addr(1) << 21, PtLevel::Pd, 0x5000);
+    pwc.probeEstimate(Addr(0) << 21);
+    pwc.probeEstimate(Addr(1) << 21);
+    // Both pinned; the fill must still succeed (plain LRU victim).
+    pwc.fill(Addr(2) << 21, PtLevel::Pd, 0x6000);
+    EXPECT_EQ(pwc.peekEstimate(Addr(2) << 21), 1u);
+}
+
+TEST(PageWalkCache, PinningDisabledByConfig)
+{
+    PwcConfig cfg;
+    cfg.entriesPerLevel = 2;
+    cfg.associativity = 2;
+    cfg.pinScoredEntries = false;
+    PageWalkCache pwc(cfg, root);
+    pwc.fill(Addr(0) << 21, PtLevel::Pd, 0x4000);
+    pwc.fill(Addr(1) << 21, PtLevel::Pd, 0x5000);
+    pwc.probeEstimate(Addr(0) << 21); // would pin region 0
+    pwc.fill(Addr(2) << 21, PtLevel::Pd, 0x6000);
+    // Without pinning, plain LRU evicts region 0 (probes skip LRU
+    // updates, so region 0 is oldest).
+    EXPECT_EQ(pwc.peekEstimate(Addr(0) << 21), 4u);
+    EXPECT_EQ(pwc.pinnedSkips(), 0u);
+}
+
+TEST(PageWalkCache, CountersSaturateAtThree)
+{
+    PwcConfig cfg;
+    cfg.entriesPerLevel = 2;
+    cfg.associativity = 2;
+    PageWalkCache pwc(cfg, root);
+    pwc.fill(0, PtLevel::Pd, 0x4000);
+    for (int i = 0; i < 10; ++i)
+        pwc.probeEstimate(0);
+    // Three walk lookups fully unpin (saturated at 3, not 10).
+    pwc.lookup(0);
+    pwc.lookup(0);
+    pwc.lookup(0);
+    pwc.fill(Addr(1) << 21, PtLevel::Pd, 0x5000);
+    pwc.fill(Addr(2) << 21, PtLevel::Pd, 0x6000);
+    // Region 0 was evictable after three unpins.
+    EXPECT_EQ(pwc.peekEstimate(0), 4u);
+}
+
+TEST(PageWalkCache, InvalidateAllClears)
+{
+    PageWalkCache pwc({}, root);
+    pwc.fill(0x40000000, PtLevel::Pml4, 0x2000);
+    pwc.invalidateAll();
+    EXPECT_EQ(pwc.peekEstimate(0x40000000), 4u);
+}
+
+TEST(PageWalkCacheDeathTest, LeafFillRejected)
+{
+    PageWalkCache pwc({}, root);
+    EXPECT_DEATH(pwc.fill(0x40000000, PtLevel::Pt, 0x2000),
+                 "upper levels");
+}
+
+} // namespace

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Unit tests for the single-ported RateLimiter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/rate_limiter.hh"
+
+namespace {
+
+using namespace gpuwalk::sim;
+
+TEST(RateLimiter, FirstSubmissionRunsImmediately)
+{
+    EventQueue eq;
+    RateLimiter port(eq, 500);
+    Tick ran_at = maxTick;
+    port.submit([&] { ran_at = eq.now(); });
+    eq.run();
+    EXPECT_EQ(ran_at, 0u);
+}
+
+TEST(RateLimiter, BurstSerializesAtOnePerPeriod)
+{
+    EventQueue eq;
+    RateLimiter port(eq, 500);
+    std::vector<Tick> times;
+    for (int i = 0; i < 5; ++i)
+        port.submit([&] { times.push_back(eq.now()); });
+    eq.run();
+    ASSERT_EQ(times.size(), 5u);
+    for (std::size_t i = 0; i < times.size(); ++i)
+        EXPECT_EQ(times[i], i * 500);
+}
+
+TEST(RateLimiter, IdlePortDoesNotAccumulateCredit)
+{
+    EventQueue eq;
+    RateLimiter port(eq, 500);
+    port.submit([] {});
+    eq.run();
+    // Long idle gap; the next burst still paces from "now".
+    eq.schedule(10'000, [] {});
+    eq.run();
+    std::vector<Tick> times;
+    port.submit([&] { times.push_back(eq.now()); });
+    port.submit([&] { times.push_back(eq.now()); });
+    eq.run();
+    ASSERT_EQ(times.size(), 2u);
+    EXPECT_EQ(times[0], 10'000u);
+    EXPECT_EQ(times[1], 10'500u);
+}
+
+TEST(RateLimiter, PreservesFifoOrder)
+{
+    EventQueue eq;
+    RateLimiter port(eq, 100);
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        port.submit([&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(RateLimiter, NextSlotReflectsBacklog)
+{
+    EventQueue eq;
+    RateLimiter port(eq, 500);
+    EXPECT_EQ(port.nextSlot(), 0u);
+    port.submit([] {});
+    EXPECT_EQ(port.nextSlot(), 500u);
+    port.submit([] {});
+    EXPECT_EQ(port.nextSlot(), 1000u);
+}
+
+TEST(RateLimiter, SubmissionsFromInsideActionsPace)
+{
+    EventQueue eq;
+    RateLimiter port(eq, 250);
+    std::vector<Tick> times;
+    port.submit([&] {
+        times.push_back(eq.now());
+        port.submit([&] { times.push_back(eq.now()); });
+    });
+    eq.run();
+    ASSERT_EQ(times.size(), 2u);
+    EXPECT_EQ(times[1], times[0] + 250);
+}
+
+} // namespace

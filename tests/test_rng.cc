@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+#include "sim/rng.hh"
+
+namespace {
+
+using gpuwalk::sim::Rng;
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        equal += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowOneIsAlwaysZero)
+{
+    Rng rng(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, RangeIsInclusive)
+{
+    Rng rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.range(5, 8);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 8u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u); // all four values appear
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(13);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceRespectsProbability)
+{
+    Rng rng(17);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.chance(0.25) ? 1 : 0;
+    EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+}
+
+TEST(Rng, BelowIsRoughlyUniform)
+{
+    Rng rng(19);
+    std::array<int, 8> counts{};
+    for (int i = 0; i < 80000; ++i)
+        ++counts[rng.below(8)];
+    for (int c : counts)
+        EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(Rng, BurstBoundedByCap)
+{
+    Rng rng(23);
+    for (int i = 0; i < 1000; ++i) {
+        const auto b = rng.burst(0.9, 5);
+        EXPECT_GE(b, 1u);
+        EXPECT_LE(b, 5u);
+    }
+}
+
+TEST(RngDeathTest, BelowZeroPanics)
+{
+    Rng rng(1);
+    EXPECT_DEATH(rng.below(0), "Rng::below");
+}
+
+} // namespace

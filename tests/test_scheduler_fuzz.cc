@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Randomized invariant checks on the scheduling policies: drive each
+ * scheduler through thousands of random insert/dispatch cycles and
+ * assert its defining property at every selection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/fcfs_scheduler.hh"
+#include "core/oldest_job_scheduler.hh"
+#include "core/simt_aware_scheduler.hh"
+#include "core/srpt_scheduler.hh"
+#include "core/walk_scheduler.hh"
+#include "sim/rng.hh"
+
+namespace {
+
+using namespace gpuwalk;
+using namespace gpuwalk::core;
+
+/** Random insert/extract driver shared by the per-policy tests. */
+template <typename CheckFn>
+void
+drive(WalkScheduler &sched, CheckFn &&check, std::uint64_t seed,
+      bool with_scores = false)
+{
+    sim::Rng rng(seed);
+    WalkBuffer buf(64);
+    std::uint64_t next_seq = 0;
+    std::map<tlb::InstructionId, std::uint64_t> scores;
+
+    for (int i = 0; i < 20000; ++i) {
+        if (!buf.full() && (buf.empty() || rng.chance(0.55))) {
+            PendingWalk w;
+            w.seq = next_seq++;
+            w.request.instruction = rng.below(16);
+            w.request.vaPage = rng.below(1024) << 12;
+            if (with_scores) {
+                // Emulate the IOMMU's accumulation rule.
+                auto &s = scores[w.request.instruction];
+                s += 1 + rng.below(4);
+                w.score = s;
+                buf.forEachOfInstruction(
+                    w.request.instruction,
+                    [&](PendingWalk &e) { e.score = s; });
+            }
+            buf.insert(std::move(w));
+        } else {
+            const std::size_t idx = sched.selectNext(buf);
+            ASSERT_LT(idx, buf.size());
+            check(buf, idx, sched);
+            PendingWalk w = buf.extract(idx);
+            sched.onDispatch(buf, w);
+            if (buf.empty())
+                scores.clear();
+        }
+    }
+}
+
+TEST(SchedulerFuzz, FcfsAlwaysPicksGlobalOldest)
+{
+    FcfsScheduler sched;
+    drive(sched,
+          [](const WalkBuffer &buf, std::size_t idx, WalkScheduler &) {
+              ASSERT_EQ(buf.at(idx).seq,
+                        buf.at(buf.oldestIndex()).seq);
+          },
+          11);
+}
+
+TEST(SchedulerFuzz, SimtAwareBatchesOrPicksMinScore)
+{
+    SimtAwareScheduler sched;
+    drive(
+        sched,
+        [](const WalkBuffer &buf, std::size_t idx, WalkScheduler &s) {
+            auto &simt = static_cast<SimtAwareScheduler &>(s);
+            const auto &picked = buf.at(idx);
+            if (simt.lastInstruction()) {
+                // If any sibling of the last instruction is present,
+                // the pick must be one of them (and the oldest).
+                bool sibling_exists = false;
+                std::uint64_t oldest_sibling = ~0ull;
+                for (const auto &e : buf.entries()) {
+                    if (e.request.instruction
+                        == *simt.lastInstruction()) {
+                        sibling_exists = true;
+                        oldest_sibling =
+                            std::min(oldest_sibling, e.seq);
+                    }
+                }
+                if (sibling_exists) {
+                    ASSERT_EQ(picked.request.instruction,
+                              *simt.lastInstruction());
+                    ASSERT_EQ(picked.seq, oldest_sibling);
+                    return;
+                }
+            }
+            // Otherwise: minimum score; ties oldest-first.
+            for (const auto &e : buf.entries()) {
+                ASSERT_FALSE(e.score < picked.score
+                             || (e.score == picked.score
+                                 && e.seq < picked.seq))
+                    << "better candidate existed";
+            }
+        },
+        13, /*with_scores=*/true);
+}
+
+TEST(SchedulerFuzz, OldestJobNeverSkipsOlderInstructions)
+{
+    OldestJobScheduler sched;
+    // Track instruction first-arrival externally as the reference.
+    std::map<tlb::InstructionId, std::uint64_t> first_seen;
+    sim::Rng rng(17);
+    WalkBuffer buf(64);
+    std::uint64_t next_seq = 0;
+
+    for (int i = 0; i < 20000; ++i) {
+        if (!buf.full() && (buf.empty() || rng.chance(0.55))) {
+            PendingWalk w;
+            w.seq = next_seq++;
+            w.request.instruction = rng.below(16);
+            first_seen.try_emplace(w.request.instruction, w.seq);
+            buf.insert(std::move(w));
+        } else {
+            const std::size_t idx = sched.selectNext(buf);
+            const auto picked_age =
+                first_seen.at(buf.at(idx).request.instruction);
+            for (const auto &e : buf.entries()) {
+                ASSERT_GE(first_seen.at(e.request.instruction),
+                          picked_age)
+                    << "older instruction was skipped";
+            }
+            auto w = buf.extract(idx);
+            sched.onDispatch(buf, w);
+        }
+    }
+}
+
+TEST(SchedulerFuzz, SrptMatchesBruteForceRemaining)
+{
+    SrptScheduler sched(/*enable_batching=*/false);
+    auto estimate = [](mem::Addr va) -> unsigned {
+        return 1 + (va >> 12) % 4;
+    };
+    sched.setEstimator(estimate);
+
+    drive(sched,
+          [&](const WalkBuffer &buf, std::size_t idx, WalkScheduler &) {
+              // Brute-force remaining work per instruction.
+              std::map<tlb::InstructionId, std::uint64_t> remaining;
+              for (const auto &e : buf.entries())
+                  remaining[e.request.instruction] +=
+                      estimate(e.request.vaPage);
+              const auto picked =
+                  remaining.at(buf.at(idx).request.instruction);
+              for (const auto &[instr, rem] : remaining)
+                  ASSERT_GE(rem, picked);
+          },
+          19);
+}
+
+TEST(SchedulerFuzz, AgingGuaranteesEventualService)
+{
+    // With threshold T, no request may be bypassed more than T + the
+    // in-flight window times.
+    SimtSchedulerConfig cfg;
+    cfg.agingThreshold = 32;
+    SimtAwareScheduler sched(cfg);
+    drive(
+        sched,
+        [&](const WalkBuffer &buf, std::size_t, WalkScheduler &) {
+            for (const auto &e : buf.entries())
+                ASSERT_LE(e.bypassed, cfg.agingThreshold + 1);
+        },
+        23, /*with_scores=*/true);
+}
+
+} // namespace

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for the statistics framework.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+namespace {
+
+using namespace gpuwalk::sim;
+
+TEST(Counter, StartsAtZeroAndAccumulates)
+{
+    Counter c("events", "test counter");
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 41;
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Scalar, AssignsAndResets)
+{
+    Scalar s("ipc", "test scalar");
+    s = 1.5;
+    EXPECT_DOUBLE_EQ(s.value(), 1.5);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(Average, TracksMeanMinMax)
+{
+    Average a("lat", "latency");
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    a.sample(10.0);
+    a.sample(30.0);
+    a.sample(20.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 20.0);
+    EXPECT_DOUBLE_EQ(a.minValue(), 10.0);
+    EXPECT_DOUBLE_EQ(a.maxValue(), 30.0);
+    EXPECT_EQ(a.count(), 3u);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(Histogram, BucketsMatchPaperFig3Layout)
+{
+    // The Fig. 3 buckets: 1-16, 17-32, 33-48, 49-64, 65-80, 81-256, +.
+    Histogram h("work", "walk work", {16, 32, 48, 64, 80, 256});
+    EXPECT_EQ(h.buckets(), 7u);
+    h.sample(1);
+    h.sample(16);
+    h.sample(17);
+    h.sample(64);
+    h.sample(65);
+    h.sample(256);
+    h.sample(257);
+    EXPECT_EQ(h.bucketCount(0), 2u); // 1, 16
+    EXPECT_EQ(h.bucketCount(1), 1u); // 17
+    EXPECT_EQ(h.bucketCount(3), 1u); // 64
+    EXPECT_EQ(h.bucketCount(4), 1u); // 65
+    EXPECT_EQ(h.bucketCount(5), 1u); // 256
+    EXPECT_EQ(h.bucketCount(6), 1u); // 257 overflow
+    EXPECT_EQ(h.total(), 7u);
+    EXPECT_NEAR(h.fraction(0), 2.0 / 7.0, 1e-12);
+}
+
+TEST(Histogram, LabelsDescribeRanges)
+{
+    Histogram h("h", "d", {16, 32});
+    EXPECT_EQ(h.bucketLabel(0), "0-16");
+    EXPECT_EQ(h.bucketLabel(1), "17-32");
+    EXPECT_EQ(h.bucketLabel(2), "33+");
+}
+
+TEST(Histogram, LinearFactoryCoversRange)
+{
+    auto h = Histogram::linear("h", "d", 100, 4);
+    EXPECT_EQ(h.buckets(), 5u);
+    h.sample(25);
+    h.sample(26);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+}
+
+TEST(Histogram, WeightedSamples)
+{
+    Histogram h("h", "d", {10});
+    h.sample(5, 7);
+    EXPECT_EQ(h.bucketCount(0), 7u);
+    EXPECT_EQ(h.total(), 7u);
+}
+
+TEST(StatGroup, DumpsHierarchicalNames)
+{
+    StatGroup root("sys");
+    StatGroup child("dram");
+    Counter c("reads", "read count");
+    c += 3;
+    child.add(c);
+    root.addChild(child);
+
+    std::ostringstream os;
+    root.dump(os);
+    EXPECT_NE(os.str().find("sys.dram.reads 3"), std::string::npos);
+}
+
+TEST(StatGroup, ResetPropagatesToChildren)
+{
+    StatGroup root("sys");
+    StatGroup child("c");
+    Counter c("n", "d");
+    c += 9;
+    child.add(c);
+    root.addChild(child);
+    root.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+} // namespace

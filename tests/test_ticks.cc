@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Unit tests for the tick/clock arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/ticks.hh"
+
+namespace {
+
+using namespace gpuwalk::sim;
+
+TEST(Clock, GpuClockIs2GHz)
+{
+    EXPECT_EQ(gpuClock.period(), 500u);
+    EXPECT_EQ(gpuClock.toTicks(1), 500u);
+    EXPECT_EQ(gpuClock.toTicks(2'000'000), Tick(1'000'000'000));
+}
+
+TEST(Clock, DramClockIsDdr3_1600)
+{
+    EXPECT_EQ(dramClock.period(), 1250u);
+}
+
+TEST(Clock, FromMHz)
+{
+    EXPECT_EQ(Clock::fromMHz(1000).period(), 1000u);
+    EXPECT_EQ(Clock::fromMHz(800).period(), 1250u);
+    EXPECT_EQ(Clock::fromMHz(2000).period(), 500u);
+}
+
+TEST(Clock, CyclesRoundDown)
+{
+    Clock c(500);
+    EXPECT_EQ(c.toCycles(999), 1u);
+    EXPECT_EQ(c.toCycles(1000), 2u);
+    EXPECT_EQ(c.toCycles(499), 0u);
+}
+
+TEST(Clock, NextEdgeAlignsUp)
+{
+    Clock c(500);
+    EXPECT_EQ(c.nextEdge(0), 0u);
+    EXPECT_EQ(c.nextEdge(1), 500u);
+    EXPECT_EQ(c.nextEdge(500), 500u);
+    EXPECT_EQ(c.nextEdge(501), 1000u);
+}
+
+TEST(Ticks, Constants)
+{
+    EXPECT_EQ(ticksPerNs, 1000u);
+    EXPECT_EQ(maxTick, ~Tick(0));
+}
+
+} // namespace

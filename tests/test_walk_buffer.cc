@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Unit tests for the IOMMU walk-request buffer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pending_walk.hh"
+
+namespace {
+
+using namespace gpuwalk;
+using namespace gpuwalk::core;
+
+PendingWalk
+walk(std::uint64_t seq, tlb::InstructionId instr,
+     mem::Addr va = 0x1000)
+{
+    PendingWalk w;
+    w.seq = seq;
+    w.request.instruction = instr;
+    w.request.vaPage = va;
+    return w;
+}
+
+TEST(WalkBuffer, StartsEmpty)
+{
+    WalkBuffer buf(4);
+    EXPECT_TRUE(buf.empty());
+    EXPECT_FALSE(buf.full());
+    EXPECT_EQ(buf.capacity(), 4u);
+}
+
+TEST(WalkBuffer, InsertUntilFull)
+{
+    WalkBuffer buf(2);
+    buf.insert(walk(0, 1));
+    EXPECT_FALSE(buf.full());
+    buf.insert(walk(1, 2));
+    EXPECT_TRUE(buf.full());
+    EXPECT_EQ(buf.size(), 2u);
+}
+
+TEST(WalkBuffer, ExtractReturnsRequestedEntry)
+{
+    WalkBuffer buf(4);
+    buf.insert(walk(10, 1));
+    buf.insert(walk(11, 2));
+    buf.insert(walk(12, 3));
+    const auto w = buf.extract(1);
+    EXPECT_EQ(w.seq, 11u);
+    EXPECT_EQ(buf.size(), 2u);
+}
+
+TEST(WalkBuffer, OldestIndexFindsLowestSeq)
+{
+    WalkBuffer buf(4);
+    buf.insert(walk(30, 1));
+    buf.insert(walk(10, 2));
+    buf.insert(walk(20, 3));
+    EXPECT_EQ(buf.at(buf.oldestIndex()).seq, 10u);
+    // Extraction reshuffles (swap-erase); oldest remains correct.
+    buf.extract(buf.oldestIndex());
+    EXPECT_EQ(buf.at(buf.oldestIndex()).seq, 20u);
+}
+
+TEST(WalkBuffer, ForEachOfInstructionTouchesOnlySiblings)
+{
+    WalkBuffer buf(8);
+    buf.insert(walk(0, 7));
+    buf.insert(walk(1, 8));
+    buf.insert(walk(2, 7));
+    unsigned touched = 0;
+    buf.forEachOfInstruction(7, [&](PendingWalk &w) {
+        w.score = 42;
+        ++touched;
+    });
+    EXPECT_EQ(touched, 2u);
+    EXPECT_EQ(buf.at(0).score, 42u);
+    EXPECT_EQ(buf.at(1).score, 0u);
+    EXPECT_EQ(buf.at(2).score, 42u);
+}
+
+TEST(WalkBufferDeathTest, OverflowPanics)
+{
+    WalkBuffer buf(1);
+    buf.insert(walk(0, 1));
+    EXPECT_DEATH(buf.insert(walk(1, 2)), "overflow");
+}
+
+TEST(WalkBufferDeathTest, BadIndexPanics)
+{
+    WalkBuffer buf(2);
+    buf.insert(walk(0, 1));
+    EXPECT_DEATH(buf.extract(5), "bad buffer index");
+}
+
+TEST(WalkBufferDeathTest, ZeroCapacityPanics)
+{
+    EXPECT_DEATH(WalkBuffer(0), "capacity");
+}
+
+} // namespace

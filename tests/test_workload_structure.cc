@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Structural tests for the benchmark generators' access-pattern
+ * shapes (beyond the basic divergence partition of test_workloads):
+ * the kernel-phase structure each model claims is actually present in
+ * the traces it emits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tlb/coalescer.hh"
+#include <set>
+
+#include "workload/registry.hh"
+
+namespace {
+
+using namespace gpuwalk;
+using namespace gpuwalk::workload;
+using gpuwalk::mem::Addr;
+
+struct Harness
+{
+    mem::BackingStore store;
+    vm::FrameAllocator frames{Addr(16) << 30};
+    vm::AddressSpace as{store, frames};
+};
+
+WorkloadParams
+structParams()
+{
+    WorkloadParams p;
+    p.wavefronts = 4;
+    p.instructionsPerWavefront = 40;
+    p.footprintScale = 0.25; // strides must exceed a page
+    p.seed = 9;
+    return p;
+}
+
+double
+divergenceOf(const gpu::SimdMemInstruction &instr)
+{
+    return static_cast<double>(
+        tlb::coalesce(instr.laneAddrs).pages.size());
+}
+
+TEST(WorkloadStructure, AtaxIsTwoPhase)
+{
+    Harness h;
+    auto wl = makeWorkload("ATX")->generate(h.as, structParams());
+    for (const auto &trace : wl.traces) {
+        // Phase 1 (first 3/4): dominated by divergent column loads.
+        double head = 0, tail = 0;
+        const std::size_t split = trace.size() * 3 / 4;
+        for (std::size_t i = 0; i < split; ++i)
+            head += divergenceOf(trace[i]);
+        for (std::size_t i = split; i < trace.size(); ++i)
+            tail += divergenceOf(trace[i]);
+        head /= static_cast<double>(split);
+        tail /= static_cast<double>(trace.size() - split);
+        EXPECT_GT(head, 20.0);
+        EXPECT_LT(tail, 3.0); // row-streaming kernel coalesces
+    }
+}
+
+TEST(WorkloadStructure, BicgSharesTheTwoPhaseShape)
+{
+    Harness h;
+    auto wl = makeWorkload("BIC")->generate(h.as, structParams());
+    const auto &trace = wl.traces.front();
+    const std::size_t split = trace.size() * 3 / 4;
+    EXPECT_GT(divergenceOf(trace[0]), 20.0);
+    double tail_max = 0;
+    for (std::size_t i = split; i < trace.size(); ++i)
+        tail_max = std::max(tail_max, divergenceOf(trace[i]));
+    EXPECT_LE(tail_max, 3.0);
+}
+
+TEST(WorkloadStructure, GesummvInterleavesTwoMatrixStreams)
+{
+    Harness h;
+    auto wl = makeWorkload("GEV")->generate(h.as, structParams());
+    // Consecutive divergent loads must come from two disjoint address
+    // regions (matrices A and B).
+    const auto &trace = wl.traces.front();
+    std::vector<Addr> bases;
+    for (const auto &instr : trace) {
+        if (divergenceOf(instr) > 20.0)
+            bases.push_back(instr.laneAddrs.front());
+        if (bases.size() == 2)
+            break;
+    }
+    ASSERT_EQ(bases.size(), 2u);
+    // The two streams are far apart (different regions).
+    const Addr gap = bases[1] > bases[0] ? bases[1] - bases[0]
+                                         : bases[0] - bases[1];
+    EXPECT_GT(gap, Addr(8) << 20);
+}
+
+TEST(WorkloadStructure, NwRevisitsRowsAcrossDiagonalSteps)
+{
+    Harness h;
+    auto wl = makeWorkload("NW")->generate(h.as, structParams());
+    // Consecutive diagonal loads share most of their pages (the band
+    // slides by one column), giving the TLB reuse the model claims.
+    const auto &trace = wl.traces.front();
+    const auto a = tlb::coalesce(trace[0].laneAddrs).pages;
+    const auto b = tlb::coalesce(trace[3].laneAddrs).pages;
+    unsigned shared = 0;
+    for (auto p : a) {
+        for (auto q : b)
+            shared += p == q ? 1 : 0;
+    }
+    EXPECT_GT(shared, a.size() / 2);
+}
+
+TEST(WorkloadStructure, XsbenchEarlyProbesShareLatesDiverge)
+{
+    Harness h;
+    auto params = structParams();
+    params.footprintScale = 0.5;
+    auto wl = makeWorkload("XSB")->generate(h.as, params);
+    const auto &trace = wl.traces.front();
+    // Probe step 0 of the first lookup is nearly fully shared.
+    EXPECT_LE(divergenceOf(trace[0]), 3.0);
+    // Later probe steps and the gather diverge strongly.
+    double max_div = 0;
+    for (std::size_t i = 1; i < 8 && i < trace.size(); ++i)
+        max_div = std::max(max_div, divergenceOf(trace[i]));
+    EXPECT_GT(max_div, 16.0);
+}
+
+TEST(WorkloadStructure, RegularAppsStreamMonotonically)
+{
+    Harness h;
+    auto wl = makeWorkload("BCK")->generate(h.as, structParams());
+    const auto &trace = wl.traces.front();
+    // Streaming accesses advance through the buffer.
+    unsigned forward = 0, total = 0;
+    for (std::size_t i = 1; i < trace.size(); ++i) {
+        if (trace[i].laneAddrs.size() < 2
+            || trace[i - 1].laneAddrs.size() < 2)
+            continue;
+        ++total;
+        forward += trace[i].laneAddrs[0] > trace[i - 1].laneAddrs[0]
+                       ? 1
+                       : 0;
+    }
+    EXPECT_GT(forward, total / 2);
+}
+
+TEST(WorkloadStructure, PartialMasksAppearInIrregularTraces)
+{
+    Harness h;
+    auto wl = makeWorkload("MVT")->generate(h.as, structParams());
+    unsigned partial = 0, full = 0;
+    for (const auto &trace : wl.traces) {
+        for (const auto &instr : trace) {
+            if (instr.laneAddrs.size() == gpu::wavefrontSize)
+                ++full;
+            else if (instr.laneAddrs.size() > 1)
+                ++partial;
+        }
+    }
+    EXPECT_GT(partial, 0u);
+    EXPECT_GT(full, partial); // masks are the exception
+}
+
+TEST(WorkloadStructure, ComputeJitterVariesAcrossInstructions)
+{
+    Harness h;
+    auto wl = makeWorkload("MVT")->generate(h.as, structParams());
+    std::set<sim::Cycles> distinct;
+    for (const auto &instr : wl.traces.front())
+        distinct.insert(instr.computeCycles);
+    EXPECT_GT(distinct.size(), 5u);
+}
+
+} // namespace

@@ -1,0 +1,323 @@
+/**
+ * @file
+ * The gpuwalk command-line simulator driver.
+ *
+ * One binary to run any (workload, scheduler, configuration)
+ * combination, dump component statistics (text or JSON), save/replay
+ * workload traces, and compare schedulers — the front door a
+ * downstream user scripts experiments through.
+ *
+ * Run `gpuwalk --help` for the full flag reference.
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "system/experiment.hh"
+#include "workload/registry.hh"
+#include "workload/trace_io.hh"
+
+using namespace gpuwalk;
+
+namespace {
+
+/** Minimal --key=value / --flag parser. */
+class Flags
+{
+  public:
+    Flags(int argc, char **argv)
+    {
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg.rfind("--", 0) != 0)
+                sim::fatal("unexpected argument '", arg,
+                           "' (flags start with --; see --help)");
+            arg = arg.substr(2);
+            const auto eq = arg.find('=');
+            if (eq == std::string::npos)
+                values_[arg] = "true";
+            else
+                values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+        }
+    }
+
+    bool
+    has(const std::string &key)
+    {
+        consumed_.insert(key);
+        return values_.count(key) > 0;
+    }
+
+    std::string
+    get(const std::string &key, const std::string &fallback)
+    {
+        consumed_.insert(key);
+        auto it = values_.find(key);
+        return it == values_.end() ? fallback : it->second;
+    }
+
+    std::uint64_t
+    getUint(const std::string &key, std::uint64_t fallback)
+    {
+        consumed_.insert(key);
+        auto it = values_.find(key);
+        return it == values_.end()
+                   ? fallback
+                   : std::strtoull(it->second.c_str(), nullptr, 0);
+    }
+
+    double
+    getDouble(const std::string &key, double fallback)
+    {
+        consumed_.insert(key);
+        auto it = values_.find(key);
+        return it == values_.end()
+                   ? fallback
+                   : std::strtod(it->second.c_str(), nullptr);
+    }
+
+    /** fatal() on any flag that no code path consumed. */
+    void
+    rejectUnknown() const
+    {
+        for (const auto &[key, value] : values_) {
+            (void)value;
+            if (!consumed_.count(key))
+                sim::fatal("unknown flag --", key, " (see --help)");
+        }
+    }
+
+  private:
+    std::map<std::string, std::string> values_;
+    std::set<std::string> consumed_;
+};
+
+void
+printHelp()
+{
+    std::cout <<
+        R"(gpuwalk — GPU page-table-walk scheduling simulator
+
+Usage: gpuwalk [flags]
+
+Workload selection (one of):
+  --workload=NAME         Table II benchmark (XSB MVT ATX NW BIC GEV
+                          SSP MIS CLR BCK KMN HOT)
+  --load-trace=FILE       replay a gpuwalk-trace v1 file
+  --list-workloads        print the benchmark table and exit
+
+Scheduler:
+  --scheduler=NAME        fcfs | random | sjf-only | batch-only |
+                          simt-aware | oldest-job | srpt |
+                          fair-share            (default: fcfs)
+  --compare               run fcfs AND simt-aware, report speedup
+  --seed=N                RNG seed (random scheduler + workloads)
+
+Workload shape:
+  --wavefronts=N          total wavefronts          (default: 256)
+  --instructions=N        per wavefront             (default: 48)
+  --footprint-scale=X     fraction of Table II size (default: 1.0)
+  --compute-cycles=N      base ALU gap, cycles      (default: 200)
+  --large-pages           back buffers with 2 MB pages
+
+Hardware overrides (baseline = the paper's Table I):
+  --cus=N                 compute units             (default: 8)
+  --wavefronts-per-cu=N   resident wavefront slots  (default: 2)
+  --l2tlb-entries=N       shared L2 TLB             (default: 512)
+  --walkers=N             IOMMU page table walkers  (default: 8)
+  --buffer-entries=N      IOMMU walk buffer         (default: 256)
+  --pwc-entries=N         PWC entries per level     (default: 16)
+  --no-pwc-pinning        disable counter-pinned PWC replacement
+  --no-walk-cache         walker PTEs go straight to DRAM
+  --aging-threshold=N     SIMT-aware starvation bound
+  --prefetch              IOMMU next-page prefetch (idle bandwidth)
+  --wavefront-sched=P     rr | gto  (CU issue arbitration)
+  --virtual-l1            virtually-addressed L1 data caches
+                          (translate on L1 miss, Yoon et al.)
+
+Output:
+  --stats                 dump all component statistics (text)
+  --json=FILE             write component statistics as JSON
+  --save-trace=FILE       write the generated workload trace
+  --quiet                 suppress the run summary
+)";
+}
+
+void
+listWorkloads()
+{
+    std::cout << "benchmark  class      footprint(MB)  description\n";
+    for (const auto &name : workload::allWorkloadNames()) {
+        const auto info = workload::makeWorkload(name)->info();
+        std::cout.width(11);
+        std::cout << std::left << info.abbrev;
+        std::cout.width(11);
+        std::cout << (info.irregular ? "irregular" : "regular");
+        std::cout.width(15);
+        std::cout << info.footprintMB;
+        std::cout << info.description << "\n";
+    }
+}
+
+system::SystemConfig
+configFromFlags(Flags &flags)
+{
+    auto cfg = system::SystemConfig::baseline();
+    cfg.scheduler =
+        core::schedulerKindFromString(flags.get("scheduler", "fcfs"));
+    cfg.schedulerSeed = flags.getUint("seed", 1);
+    cfg.gpu.numCus = static_cast<unsigned>(flags.getUint("cus", 8));
+    cfg.gpuTlb.numCus = cfg.gpu.numCus;
+    cfg.gpu.wavefrontsPerCu = static_cast<unsigned>(
+        flags.getUint("wavefronts-per-cu", cfg.gpu.wavefrontsPerCu));
+    cfg.gpuTlb.l2Entries = static_cast<unsigned>(
+        flags.getUint("l2tlb-entries", cfg.gpuTlb.l2Entries));
+    cfg.iommu.numWalkers = static_cast<unsigned>(
+        flags.getUint("walkers", cfg.iommu.numWalkers));
+    cfg.iommu.bufferEntries = static_cast<unsigned>(
+        flags.getUint("buffer-entries", cfg.iommu.bufferEntries));
+    cfg.iommu.pwc.entriesPerLevel = static_cast<unsigned>(
+        flags.getUint("pwc-entries", cfg.iommu.pwc.entriesPerLevel));
+    if (flags.has("no-pwc-pinning"))
+        cfg.iommu.pwc.pinScoredEntries = false;
+    if (flags.has("no-walk-cache"))
+        cfg.iommu.useWalkCache = false;
+    cfg.simt.agingThreshold =
+        flags.getUint("aging-threshold", cfg.simt.agingThreshold);
+    if (flags.has("prefetch"))
+        cfg.iommu.prefetchNextPage = true;
+    if (flags.has("virtual-l1"))
+        cfg.gpu.virtualL1Cache = true;
+    const std::string wf_sched = flags.get("wavefront-sched", "rr");
+    if (wf_sched == "gto")
+        cfg.gpu.wavefrontSched = gpu::WavefrontSchedPolicy::OldestFirst;
+    else if (wf_sched != "rr")
+        sim::fatal("unknown --wavefront-sched '", wf_sched,
+                   "' (rr|gto)");
+    return cfg;
+}
+
+workload::WorkloadParams
+paramsFromFlags(Flags &flags)
+{
+    auto params = system::experimentParams();
+    params.wavefronts = static_cast<unsigned>(
+        flags.getUint("wavefronts", params.wavefronts));
+    params.instructionsPerWavefront = static_cast<unsigned>(
+        flags.getUint("instructions", params.instructionsPerWavefront));
+    params.footprintScale =
+        flags.getDouble("footprint-scale", params.footprintScale);
+    params.computeCycles =
+        flags.getUint("compute-cycles", params.computeCycles);
+    params.seed = flags.getUint("seed", params.seed);
+    params.useLargePages = flags.has("large-pages");
+    return params;
+}
+
+/** Runs one simulation; prints a summary unless quiet. */
+system::RunStats
+runConfigured(const system::SystemConfig &cfg, Flags &flags,
+              bool quiet)
+{
+    system::System sys(cfg);
+
+    if (flags.has("load-trace")) {
+        auto wl = workload::loadTraceFile(flags.get("load-trace", ""));
+        // External traces reference raw virtual addresses: map them.
+        workload::mapTraceAddresses(sys.addressSpace(), wl);
+        sys.loadWorkload(std::move(wl));
+    } else {
+        const std::string name = flags.get("workload", "MVT");
+        const auto params = paramsFromFlags(flags);
+        auto gen = workload::makeWorkload(name);
+        sys.addressSpace().useLargePages(params.useLargePages);
+        auto wl = gen->generate(sys.addressSpace(), params);
+        if (flags.has("save-trace"))
+            workload::saveTraceFile(flags.get("save-trace", ""), wl);
+        sys.loadWorkload(std::move(wl));
+    }
+
+    const auto stats = sys.run();
+
+    if (!quiet) {
+        std::cout << "scheduler          "
+                  << core::toString(cfg.scheduler) << "\n"
+                  << "runtime            " << stats.runtimeTicks / 500
+                  << " GPU cycles\n"
+                  << "instructions       " << stats.instructions << "\n"
+                  << "page walks         " << stats.walkRequests << "\n"
+                  << "CU stall cycles    " << stats.stallTicks / 500
+                  << "\n"
+                  << "walk interleaving  "
+                  << system::TablePrinter::fmt(
+                         stats.walks.interleavedFraction * 100, 1)
+                  << "% of multi-walk instructions\n";
+    }
+    if (flags.has("stats"))
+        sys.dumpStats(std::cout);
+    if (flags.has("json")) {
+        const std::string path = flags.get("json", "");
+        std::ofstream os(path);
+        if (!os)
+            sim::fatal("cannot open '", path, "'");
+        os << "{\"gpu\": ";
+        sys.gpu().stats().dumpJson(os);
+        os << ", \"gpu_tlb\": ";
+        sys.tlbs().stats().dumpJson(os);
+        os << ", \"iommu\": ";
+        sys.iommu().stats().dumpJson(os);
+        os << ", \"dram\": ";
+        sys.dram().stats().dumpJson(os);
+        os << "}\n";
+    }
+    return stats;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Flags flags(argc, argv);
+
+    if (flags.has("help")) {
+        printHelp();
+        return 0;
+    }
+    if (flags.has("list-workloads")) {
+        listWorkloads();
+        flags.rejectUnknown();
+        return 0;
+    }
+
+    const bool quiet = flags.has("quiet");
+
+    if (flags.has("compare")) {
+        auto cfg = configFromFlags(flags);
+        std::cout << "=== fcfs ===\n";
+        const auto fcfs = runConfigured(
+            system::withScheduler(cfg, core::SchedulerKind::Fcfs),
+            flags, quiet);
+        std::cout << "=== simt-aware ===\n";
+        const auto simt = runConfigured(
+            system::withScheduler(cfg, core::SchedulerKind::SimtAware),
+            flags, quiet);
+        std::cout << "\nspeedup (simt-aware over fcfs): "
+                  << system::TablePrinter::fmt(
+                         system::speedup(simt, fcfs))
+                  << "\n";
+        flags.rejectUnknown();
+        return 0;
+    }
+
+    const auto cfg = configFromFlags(flags);
+    runConfigured(cfg, flags, quiet);
+    flags.rejectUnknown();
+    return 0;
+}
