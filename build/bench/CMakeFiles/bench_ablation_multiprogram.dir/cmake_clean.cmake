@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multiprogram.dir/bench_ablation_multiprogram.cc.o"
+  "CMakeFiles/bench_ablation_multiprogram.dir/bench_ablation_multiprogram.cc.o.d"
+  "bench_ablation_multiprogram"
+  "bench_ablation_multiprogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multiprogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_active_wavefronts.dir/bench_fig12_active_wavefronts.cc.o"
+  "CMakeFiles/bench_fig12_active_wavefronts.dir/bench_fig12_active_wavefronts.cc.o.d"
+  "bench_fig12_active_wavefronts"
+  "bench_fig12_active_wavefronts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_active_wavefronts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

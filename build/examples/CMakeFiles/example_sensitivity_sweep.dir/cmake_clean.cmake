@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sensitivity_sweep.dir/sensitivity_sweep.cpp.o"
+  "CMakeFiles/example_sensitivity_sweep.dir/sensitivity_sweep.cpp.o.d"
+  "example_sensitivity_sweep"
+  "example_sensitivity_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sensitivity_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/trace_replay.cpp" "examples/CMakeFiles/example_trace_replay.dir/trace_replay.cpp.o" "gcc" "examples/CMakeFiles/example_trace_replay.dir/trace_replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/system/CMakeFiles/gpuwalk_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/gpuwalk_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/gpuwalk_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/iommu/CMakeFiles/gpuwalk_iommu.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gpuwalk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/gpuwalk_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/gpuwalk_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/gpuwalk_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gpuwalk_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/scheduler_factory.cc" "src/core/CMakeFiles/gpuwalk_core.dir/scheduler_factory.cc.o" "gcc" "src/core/CMakeFiles/gpuwalk_core.dir/scheduler_factory.cc.o.d"
+  "/root/repo/src/core/simt_aware_scheduler.cc" "src/core/CMakeFiles/gpuwalk_core.dir/simt_aware_scheduler.cc.o" "gcc" "src/core/CMakeFiles/gpuwalk_core.dir/simt_aware_scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tlb/CMakeFiles/gpuwalk_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gpuwalk_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/gpuwalk_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

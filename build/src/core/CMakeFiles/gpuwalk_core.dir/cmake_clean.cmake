@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuwalk_core.dir/scheduler_factory.cc.o"
+  "CMakeFiles/gpuwalk_core.dir/scheduler_factory.cc.o.d"
+  "CMakeFiles/gpuwalk_core.dir/simt_aware_scheduler.cc.o"
+  "CMakeFiles/gpuwalk_core.dir/simt_aware_scheduler.cc.o.d"
+  "libgpuwalk_core.a"
+  "libgpuwalk_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuwalk_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/compute_unit.cc" "src/gpu/CMakeFiles/gpuwalk_gpu.dir/compute_unit.cc.o" "gcc" "src/gpu/CMakeFiles/gpuwalk_gpu.dir/compute_unit.cc.o.d"
+  "/root/repo/src/gpu/gpu.cc" "src/gpu/CMakeFiles/gpuwalk_gpu.dir/gpu.cc.o" "gcc" "src/gpu/CMakeFiles/gpuwalk_gpu.dir/gpu.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tlb/CMakeFiles/gpuwalk_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/gpuwalk_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gpuwalk_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuwalk_gpu.dir/compute_unit.cc.o"
+  "CMakeFiles/gpuwalk_gpu.dir/compute_unit.cc.o.d"
+  "CMakeFiles/gpuwalk_gpu.dir/gpu.cc.o"
+  "CMakeFiles/gpuwalk_gpu.dir/gpu.cc.o.d"
+  "libgpuwalk_gpu.a"
+  "libgpuwalk_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuwalk_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

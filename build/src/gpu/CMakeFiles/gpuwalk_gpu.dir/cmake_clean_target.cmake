@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgpuwalk_gpu.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/iommu/iommu.cc" "src/iommu/CMakeFiles/gpuwalk_iommu.dir/iommu.cc.o" "gcc" "src/iommu/CMakeFiles/gpuwalk_iommu.dir/iommu.cc.o.d"
+  "/root/repo/src/iommu/page_table_walker.cc" "src/iommu/CMakeFiles/gpuwalk_iommu.dir/page_table_walker.cc.o" "gcc" "src/iommu/CMakeFiles/gpuwalk_iommu.dir/page_table_walker.cc.o.d"
+  "/root/repo/src/iommu/page_walk_cache.cc" "src/iommu/CMakeFiles/gpuwalk_iommu.dir/page_walk_cache.cc.o" "gcc" "src/iommu/CMakeFiles/gpuwalk_iommu.dir/page_walk_cache.cc.o.d"
+  "/root/repo/src/iommu/walk_metrics.cc" "src/iommu/CMakeFiles/gpuwalk_iommu.dir/walk_metrics.cc.o" "gcc" "src/iommu/CMakeFiles/gpuwalk_iommu.dir/walk_metrics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gpuwalk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/gpuwalk_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/gpuwalk_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/gpuwalk_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gpuwalk_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

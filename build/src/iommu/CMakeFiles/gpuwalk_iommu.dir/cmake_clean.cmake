@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuwalk_iommu.dir/iommu.cc.o"
+  "CMakeFiles/gpuwalk_iommu.dir/iommu.cc.o.d"
+  "CMakeFiles/gpuwalk_iommu.dir/page_table_walker.cc.o"
+  "CMakeFiles/gpuwalk_iommu.dir/page_table_walker.cc.o.d"
+  "CMakeFiles/gpuwalk_iommu.dir/page_walk_cache.cc.o"
+  "CMakeFiles/gpuwalk_iommu.dir/page_walk_cache.cc.o.d"
+  "CMakeFiles/gpuwalk_iommu.dir/walk_metrics.cc.o"
+  "CMakeFiles/gpuwalk_iommu.dir/walk_metrics.cc.o.d"
+  "libgpuwalk_iommu.a"
+  "libgpuwalk_iommu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuwalk_iommu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

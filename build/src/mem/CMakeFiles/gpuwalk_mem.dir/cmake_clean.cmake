@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuwalk_mem.dir/cache.cc.o"
+  "CMakeFiles/gpuwalk_mem.dir/cache.cc.o.d"
+  "CMakeFiles/gpuwalk_mem.dir/dram_controller.cc.o"
+  "CMakeFiles/gpuwalk_mem.dir/dram_controller.cc.o.d"
+  "libgpuwalk_mem.a"
+  "libgpuwalk_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuwalk_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuwalk_sim.dir/debug.cc.o"
+  "CMakeFiles/gpuwalk_sim.dir/debug.cc.o.d"
+  "CMakeFiles/gpuwalk_sim.dir/logging.cc.o"
+  "CMakeFiles/gpuwalk_sim.dir/logging.cc.o.d"
+  "CMakeFiles/gpuwalk_sim.dir/stats.cc.o"
+  "CMakeFiles/gpuwalk_sim.dir/stats.cc.o.d"
+  "libgpuwalk_sim.a"
+  "libgpuwalk_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuwalk_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuwalk_system.dir/experiment.cc.o"
+  "CMakeFiles/gpuwalk_system.dir/experiment.cc.o.d"
+  "CMakeFiles/gpuwalk_system.dir/system.cc.o"
+  "CMakeFiles/gpuwalk_system.dir/system.cc.o.d"
+  "CMakeFiles/gpuwalk_system.dir/system_config.cc.o"
+  "CMakeFiles/gpuwalk_system.dir/system_config.cc.o.d"
+  "libgpuwalk_system.a"
+  "libgpuwalk_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuwalk_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuwalk_tlb.dir/coalescer.cc.o"
+  "CMakeFiles/gpuwalk_tlb.dir/coalescer.cc.o.d"
+  "CMakeFiles/gpuwalk_tlb.dir/set_assoc_tlb.cc.o"
+  "CMakeFiles/gpuwalk_tlb.dir/set_assoc_tlb.cc.o.d"
+  "CMakeFiles/gpuwalk_tlb.dir/tlb_hierarchy.cc.o"
+  "CMakeFiles/gpuwalk_tlb.dir/tlb_hierarchy.cc.o.d"
+  "libgpuwalk_tlb.a"
+  "libgpuwalk_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuwalk_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

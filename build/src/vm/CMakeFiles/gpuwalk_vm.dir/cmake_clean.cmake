@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuwalk_vm.dir/page_table.cc.o"
+  "CMakeFiles/gpuwalk_vm.dir/page_table.cc.o.d"
+  "libgpuwalk_vm.a"
+  "libgpuwalk_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuwalk_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/nw.cc" "src/workload/CMakeFiles/gpuwalk_workload.dir/nw.cc.o" "gcc" "src/workload/CMakeFiles/gpuwalk_workload.dir/nw.cc.o.d"
+  "/root/repo/src/workload/pannotia.cc" "src/workload/CMakeFiles/gpuwalk_workload.dir/pannotia.cc.o" "gcc" "src/workload/CMakeFiles/gpuwalk_workload.dir/pannotia.cc.o.d"
+  "/root/repo/src/workload/patterns.cc" "src/workload/CMakeFiles/gpuwalk_workload.dir/patterns.cc.o" "gcc" "src/workload/CMakeFiles/gpuwalk_workload.dir/patterns.cc.o.d"
+  "/root/repo/src/workload/polybench.cc" "src/workload/CMakeFiles/gpuwalk_workload.dir/polybench.cc.o" "gcc" "src/workload/CMakeFiles/gpuwalk_workload.dir/polybench.cc.o.d"
+  "/root/repo/src/workload/registry.cc" "src/workload/CMakeFiles/gpuwalk_workload.dir/registry.cc.o" "gcc" "src/workload/CMakeFiles/gpuwalk_workload.dir/registry.cc.o.d"
+  "/root/repo/src/workload/rodinia.cc" "src/workload/CMakeFiles/gpuwalk_workload.dir/rodinia.cc.o" "gcc" "src/workload/CMakeFiles/gpuwalk_workload.dir/rodinia.cc.o.d"
+  "/root/repo/src/workload/trace_io.cc" "src/workload/CMakeFiles/gpuwalk_workload.dir/trace_io.cc.o" "gcc" "src/workload/CMakeFiles/gpuwalk_workload.dir/trace_io.cc.o.d"
+  "/root/repo/src/workload/xsbench.cc" "src/workload/CMakeFiles/gpuwalk_workload.dir/xsbench.cc.o" "gcc" "src/workload/CMakeFiles/gpuwalk_workload.dir/xsbench.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpu/CMakeFiles/gpuwalk_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/gpuwalk_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gpuwalk_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/gpuwalk_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/gpuwalk_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

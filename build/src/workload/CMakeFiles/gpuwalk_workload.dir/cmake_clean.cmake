@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuwalk_workload.dir/nw.cc.o"
+  "CMakeFiles/gpuwalk_workload.dir/nw.cc.o.d"
+  "CMakeFiles/gpuwalk_workload.dir/pannotia.cc.o"
+  "CMakeFiles/gpuwalk_workload.dir/pannotia.cc.o.d"
+  "CMakeFiles/gpuwalk_workload.dir/patterns.cc.o"
+  "CMakeFiles/gpuwalk_workload.dir/patterns.cc.o.d"
+  "CMakeFiles/gpuwalk_workload.dir/polybench.cc.o"
+  "CMakeFiles/gpuwalk_workload.dir/polybench.cc.o.d"
+  "CMakeFiles/gpuwalk_workload.dir/registry.cc.o"
+  "CMakeFiles/gpuwalk_workload.dir/registry.cc.o.d"
+  "CMakeFiles/gpuwalk_workload.dir/rodinia.cc.o"
+  "CMakeFiles/gpuwalk_workload.dir/rodinia.cc.o.d"
+  "CMakeFiles/gpuwalk_workload.dir/trace_io.cc.o"
+  "CMakeFiles/gpuwalk_workload.dir/trace_io.cc.o.d"
+  "CMakeFiles/gpuwalk_workload.dir/xsbench.cc.o"
+  "CMakeFiles/gpuwalk_workload.dir/xsbench.cc.o.d"
+  "libgpuwalk_workload.a"
+  "libgpuwalk_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuwalk_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_address_space.cc" "tests/CMakeFiles/gpuwalk_tests.dir/test_address_space.cc.o" "gcc" "tests/CMakeFiles/gpuwalk_tests.dir/test_address_space.cc.o.d"
+  "/root/repo/tests/test_backing_store.cc" "tests/CMakeFiles/gpuwalk_tests.dir/test_backing_store.cc.o" "gcc" "tests/CMakeFiles/gpuwalk_tests.dir/test_backing_store.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/gpuwalk_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/gpuwalk_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_coalescer.cc" "tests/CMakeFiles/gpuwalk_tests.dir/test_coalescer.cc.o" "gcc" "tests/CMakeFiles/gpuwalk_tests.dir/test_coalescer.cc.o.d"
+  "/root/repo/tests/test_debug.cc" "tests/CMakeFiles/gpuwalk_tests.dir/test_debug.cc.o" "gcc" "tests/CMakeFiles/gpuwalk_tests.dir/test_debug.cc.o.d"
+  "/root/repo/tests/test_dram.cc" "tests/CMakeFiles/gpuwalk_tests.dir/test_dram.cc.o" "gcc" "tests/CMakeFiles/gpuwalk_tests.dir/test_dram.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/gpuwalk_tests.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/gpuwalk_tests.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_experiment.cc" "tests/CMakeFiles/gpuwalk_tests.dir/test_experiment.cc.o" "gcc" "tests/CMakeFiles/gpuwalk_tests.dir/test_experiment.cc.o.d"
+  "/root/repo/tests/test_extra_schedulers.cc" "tests/CMakeFiles/gpuwalk_tests.dir/test_extra_schedulers.cc.o" "gcc" "tests/CMakeFiles/gpuwalk_tests.dir/test_extra_schedulers.cc.o.d"
+  "/root/repo/tests/test_fair_share.cc" "tests/CMakeFiles/gpuwalk_tests.dir/test_fair_share.cc.o" "gcc" "tests/CMakeFiles/gpuwalk_tests.dir/test_fair_share.cc.o.d"
+  "/root/repo/tests/test_fuzz.cc" "tests/CMakeFiles/gpuwalk_tests.dir/test_fuzz.cc.o" "gcc" "tests/CMakeFiles/gpuwalk_tests.dir/test_fuzz.cc.o.d"
+  "/root/repo/tests/test_gpu.cc" "tests/CMakeFiles/gpuwalk_tests.dir/test_gpu.cc.o" "gcc" "tests/CMakeFiles/gpuwalk_tests.dir/test_gpu.cc.o.d"
+  "/root/repo/tests/test_iommu.cc" "tests/CMakeFiles/gpuwalk_tests.dir/test_iommu.cc.o" "gcc" "tests/CMakeFiles/gpuwalk_tests.dir/test_iommu.cc.o.d"
+  "/root/repo/tests/test_large_pages.cc" "tests/CMakeFiles/gpuwalk_tests.dir/test_large_pages.cc.o" "gcc" "tests/CMakeFiles/gpuwalk_tests.dir/test_large_pages.cc.o.d"
+  "/root/repo/tests/test_multiprogram.cc" "tests/CMakeFiles/gpuwalk_tests.dir/test_multiprogram.cc.o" "gcc" "tests/CMakeFiles/gpuwalk_tests.dir/test_multiprogram.cc.o.d"
+  "/root/repo/tests/test_page_table.cc" "tests/CMakeFiles/gpuwalk_tests.dir/test_page_table.cc.o" "gcc" "tests/CMakeFiles/gpuwalk_tests.dir/test_page_table.cc.o.d"
+  "/root/repo/tests/test_page_table_walker.cc" "tests/CMakeFiles/gpuwalk_tests.dir/test_page_table_walker.cc.o" "gcc" "tests/CMakeFiles/gpuwalk_tests.dir/test_page_table_walker.cc.o.d"
+  "/root/repo/tests/test_page_walk_cache.cc" "tests/CMakeFiles/gpuwalk_tests.dir/test_page_walk_cache.cc.o" "gcc" "tests/CMakeFiles/gpuwalk_tests.dir/test_page_walk_cache.cc.o.d"
+  "/root/repo/tests/test_patterns.cc" "tests/CMakeFiles/gpuwalk_tests.dir/test_patterns.cc.o" "gcc" "tests/CMakeFiles/gpuwalk_tests.dir/test_patterns.cc.o.d"
+  "/root/repo/tests/test_prefetcher.cc" "tests/CMakeFiles/gpuwalk_tests.dir/test_prefetcher.cc.o" "gcc" "tests/CMakeFiles/gpuwalk_tests.dir/test_prefetcher.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/gpuwalk_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/gpuwalk_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_rate_limiter.cc" "tests/CMakeFiles/gpuwalk_tests.dir/test_rate_limiter.cc.o" "gcc" "tests/CMakeFiles/gpuwalk_tests.dir/test_rate_limiter.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/gpuwalk_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/gpuwalk_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_scheduler_fuzz.cc" "tests/CMakeFiles/gpuwalk_tests.dir/test_scheduler_fuzz.cc.o" "gcc" "tests/CMakeFiles/gpuwalk_tests.dir/test_scheduler_fuzz.cc.o.d"
+  "/root/repo/tests/test_schedulers.cc" "tests/CMakeFiles/gpuwalk_tests.dir/test_schedulers.cc.o" "gcc" "tests/CMakeFiles/gpuwalk_tests.dir/test_schedulers.cc.o.d"
+  "/root/repo/tests/test_set_assoc_tlb.cc" "tests/CMakeFiles/gpuwalk_tests.dir/test_set_assoc_tlb.cc.o" "gcc" "tests/CMakeFiles/gpuwalk_tests.dir/test_set_assoc_tlb.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/gpuwalk_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/gpuwalk_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_stats_json.cc" "tests/CMakeFiles/gpuwalk_tests.dir/test_stats_json.cc.o" "gcc" "tests/CMakeFiles/gpuwalk_tests.dir/test_stats_json.cc.o.d"
+  "/root/repo/tests/test_system.cc" "tests/CMakeFiles/gpuwalk_tests.dir/test_system.cc.o" "gcc" "tests/CMakeFiles/gpuwalk_tests.dir/test_system.cc.o.d"
+  "/root/repo/tests/test_ticks.cc" "tests/CMakeFiles/gpuwalk_tests.dir/test_ticks.cc.o" "gcc" "tests/CMakeFiles/gpuwalk_tests.dir/test_ticks.cc.o.d"
+  "/root/repo/tests/test_tlb_hierarchy.cc" "tests/CMakeFiles/gpuwalk_tests.dir/test_tlb_hierarchy.cc.o" "gcc" "tests/CMakeFiles/gpuwalk_tests.dir/test_tlb_hierarchy.cc.o.d"
+  "/root/repo/tests/test_trace_io.cc" "tests/CMakeFiles/gpuwalk_tests.dir/test_trace_io.cc.o" "gcc" "tests/CMakeFiles/gpuwalk_tests.dir/test_trace_io.cc.o.d"
+  "/root/repo/tests/test_virtual_cache.cc" "tests/CMakeFiles/gpuwalk_tests.dir/test_virtual_cache.cc.o" "gcc" "tests/CMakeFiles/gpuwalk_tests.dir/test_virtual_cache.cc.o.d"
+  "/root/repo/tests/test_walk_buffer.cc" "tests/CMakeFiles/gpuwalk_tests.dir/test_walk_buffer.cc.o" "gcc" "tests/CMakeFiles/gpuwalk_tests.dir/test_walk_buffer.cc.o.d"
+  "/root/repo/tests/test_walk_metrics.cc" "tests/CMakeFiles/gpuwalk_tests.dir/test_walk_metrics.cc.o" "gcc" "tests/CMakeFiles/gpuwalk_tests.dir/test_walk_metrics.cc.o.d"
+  "/root/repo/tests/test_workload_structure.cc" "tests/CMakeFiles/gpuwalk_tests.dir/test_workload_structure.cc.o" "gcc" "tests/CMakeFiles/gpuwalk_tests.dir/test_workload_structure.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/gpuwalk_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/gpuwalk_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/system/CMakeFiles/gpuwalk_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/gpuwalk_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/gpuwalk_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/iommu/CMakeFiles/gpuwalk_iommu.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gpuwalk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/gpuwalk_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/gpuwalk_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/gpuwalk_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gpuwalk_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuwalk.dir/gpuwalk_cli.cc.o"
+  "CMakeFiles/gpuwalk.dir/gpuwalk_cli.cc.o.d"
+  "gpuwalk"
+  "gpuwalk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuwalk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

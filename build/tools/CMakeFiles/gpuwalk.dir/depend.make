@@ -1,0 +1,2 @@
+# Empty dependencies file for gpuwalk.
+# This may be replaced when dependencies are built.

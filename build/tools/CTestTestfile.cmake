@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_help "/root/repo/build/tools/gpuwalk" "--help")
+set_tests_properties(cli_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_list_workloads "/root/repo/build/tools/gpuwalk" "--list-workloads")
+set_tests_properties(cli_list_workloads PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run_small "/root/repo/build/tools/gpuwalk" "--workload=KMN" "--wavefronts=8" "--instructions=4" "--footprint-scale=0.02")
+set_tests_properties(cli_run_small PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_compare_small "/root/repo/build/tools/gpuwalk" "--workload=MVT" "--compare" "--wavefronts=8" "--instructions=4" "--footprint-scale=0.02" "--quiet")
+set_tests_properties(cli_compare_small PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_large_pages "/root/repo/build/tools/gpuwalk" "--workload=ATX" "--large-pages" "--wavefronts=8" "--instructions=4" "--footprint-scale=0.05")
+set_tests_properties(cli_large_pages PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_virtual_l1 "/root/repo/build/tools/gpuwalk" "--workload=BIC" "--virtual-l1" "--wavefronts=8" "--instructions=4" "--footprint-scale=0.05")
+set_tests_properties(cli_virtual_l1 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_prefetch "/root/repo/build/tools/gpuwalk" "--workload=BCK" "--prefetch" "--wavefronts=8" "--instructions=4" "--footprint-scale=0.05")
+set_tests_properties(cli_prefetch PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_trace_roundtrip "sh" "-c" "/root/repo/build/tools/gpuwalk --workload=HOT --wavefronts=8               --instructions=4 --footprint-scale=0.02               --save-trace=cli_test.gwt --quiet           && /root/repo/build/tools/gpuwalk --load-trace=cli_test.gwt           && rm cli_test.gwt")
+set_tests_properties(cli_trace_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_json_stats "sh" "-c" "/root/repo/build/tools/gpuwalk --workload=CLR --wavefronts=8               --instructions=4 --footprint-scale=0.02               --json=cli_test.json --quiet           && grep -q '\"iommu\"' cli_test.json && rm cli_test.json")
+set_tests_properties(cli_json_stats PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;29;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_unknown_flag "/root/repo/build/tools/gpuwalk" "--no-such-flag")
+set_tests_properties(cli_rejects_unknown_flag PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;35;add_test;/root/repo/tools/CMakeLists.txt;0;")
