@@ -13,62 +13,65 @@
  * instructions still generating page walks.
  */
 
-#include <iostream>
-
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bench;
-    const auto base = system::SystemConfig::baseline();
-    system::printBanner(std::cout, "Ablation (paper SVI)",
-                        "4 KB base pages vs 2 MB large pages",
-                        base);
+    const char *id = "Ablation (paper SVI)";
+    const char *desc = "4 KB base pages vs 2 MB large pages";
+    const auto opts = exp::parseBenchArgs(argc, argv, id, desc);
 
-    system::TablePrinter table({"app", "walks:4K", "walks:2M",
-                                "simt:4K", "simt:2M"});
-    table.printHeader(std::cout);
+    exp::SweepSpec spec;
+    spec.workloads = workload::irregularWorkloadNames();
+    spec.schedulers = {core::SchedulerKind::Fcfs,
+                       core::SchedulerKind::SimtAware};
+    spec.variants = {
+        {"4K", nullptr},
+        {"2M",
+         [](system::SystemConfig &,
+            workload::WorkloadParams &params) {
+             params.useLargePages = true;
+         }},
+    };
+    const auto result = exp::runSweep(spec, opts.runner);
 
-    auto params4k = system::experimentParams();
-    auto params2m = params4k;
-    params2m.useLargePages = true;
+    exp::Report report(id, desc, spec.base);
+    auto &table = report.addTable(
+        {"app", "walks:4K", "walks:2M", "simt:4K", "simt:2M"});
 
-    for (const auto &app : workload::irregularWorkloadNames()) {
-        const auto f4 = system::runOne(
-            system::withScheduler(base, core::SchedulerKind::Fcfs),
-            app, params4k).stats;
-        const auto s4 = system::runOne(
-            system::withScheduler(base,
-                                  core::SchedulerKind::SimtAware),
-            app, params4k).stats;
-        const auto f2 = system::runOne(
-            system::withScheduler(base, core::SchedulerKind::Fcfs),
-            app, params2m).stats;
-        const auto s2 = system::runOne(
-            system::withScheduler(base,
-                                  core::SchedulerKind::SimtAware),
-            app, params2m).stats;
+    for (const auto &app : spec.workloads) {
+        const auto &f4 =
+            result.stats(app, core::SchedulerKind::Fcfs, "4K");
+        const auto &s4 =
+            result.stats(app, core::SchedulerKind::SimtAware, "4K");
+        const auto &f2 =
+            result.stats(app, core::SchedulerKind::Fcfs, "2M");
+        const auto &s2 =
+            result.stats(app, core::SchedulerKind::SimtAware, "2M");
 
-        table.printRow(std::cout,
-                       {app, std::to_string(f4.walkRequests),
-                        std::to_string(f2.walkRequests),
-                        fmt(system::speedup(s4, f4)),
-                        fmt(system::speedup(s2, f2))});
+        table.addRow({app, std::to_string(f4.walkRequests),
+                      std::to_string(f2.walkRequests),
+                      fmt(exp::speedup(s4, f4)),
+                      fmt(exp::speedup(s2, f2))});
     }
 
-    std::cout
-        << "\nReading: at Table II footprints (tens to hundreds of MB "
-           "= 30-270 large pages), 2 MB entries fit\nentirely in the "
-           "512-entry shared TLB: walks nearly vanish and scheduling "
-           "headroom with them. This\nis exactly the caveat the "
-           "paper's SVI concedes — the benefit hinges on footprint vs "
-           "TLB reach\n(\"today's large page effectively becomes "
-           "tomorrow's small page\"): footprints a few hundred times\n"
-           "larger (or multi-tenant TLB sharing) restore base-page-"
-           "style thrashing at 2 MB granularity, which\nis why "
-           "base-page techniques like walk scheduling stay relevant. "
-           "The paper could not simulate such\nfootprints either "
-           "(\"exorbitant simulation time\").\n";
+    report.addNote(
+        "Reading: at Table II footprints (tens to hundreds of MB "
+        "= 30-270 large pages), 2 MB entries fit\nentirely in the "
+        "512-entry shared TLB: walks nearly vanish and scheduling "
+        "headroom with them. This\nis exactly the caveat the "
+        "paper's SVI concedes — the benefit hinges on footprint vs "
+        "TLB reach\n(\"today's large page effectively becomes "
+        "tomorrow's small page\"): footprints a few hundred times\n"
+        "larger (or multi-tenant TLB sharing) restore base-page-"
+        "style thrashing at 2 MB granularity, which\nis why "
+        "base-page techniques like walk scheduling stay relevant. "
+        "The paper could not simulate such\nfootprints either "
+        "(\"exorbitant simulation time\").");
+    report.render(std::cout);
+    if (!opts.jsonPath.empty())
+        report.writeJsonFile(opts.jsonPath, &result);
     return 0;
 }

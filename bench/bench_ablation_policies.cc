@@ -16,19 +16,16 @@
  *               (degenerates to SJF+batching for single-app runs)
  */
 
-#include <iostream>
-
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bench;
-    const auto base = system::SystemConfig::baseline();
-    system::printBanner(std::cout, "Ablation (policy space)",
-                        "All walk-scheduling policies, speedup vs "
-                        "FCFS",
-                        base);
+    const char *id = "Ablation (policy space)";
+    const char *desc =
+        "All walk-scheduling policies, speedup vs FCFS";
+    const auto opts = exp::parseBenchArgs(argc, argv, id, desc);
 
     const std::vector<core::SchedulerKind> kinds{
         core::SchedulerKind::Random,    core::SchedulerKind::OldestJob,
@@ -37,38 +34,52 @@ main()
         core::SchedulerKind::FairShare,
     };
 
+    exp::SweepSpec spec;
+    spec.workloads = workload::irregularWorkloadNames();
+    spec.schedulers = {core::SchedulerKind::Fcfs};
+    spec.schedulers.insert(spec.schedulers.end(), kinds.begin(),
+                           kinds.end());
+    const auto result = exp::runSweep(spec, opts.runner);
+
     std::vector<std::string> header{"app"};
     for (auto k : kinds)
         header.push_back(core::toString(k));
-    system::TablePrinter table(header);
-    table.printHeader(std::cout);
+
+    exp::Report report(id, desc, spec.base);
+    auto &table = report.addTable(header);
 
     std::vector<MeanTracker> means(kinds.size());
-    for (const auto &app : workload::irregularWorkloadNames()) {
-        const auto fcfs = run(
-            system::withScheduler(base, core::SchedulerKind::Fcfs),
-            app);
+    for (const auto &app : spec.workloads) {
+        const auto &fcfs =
+            result.stats(app, core::SchedulerKind::Fcfs);
         std::vector<std::string> row{app};
         for (std::size_t k = 0; k < kinds.size(); ++k) {
-            const auto stats =
-                run(system::withScheduler(base, kinds[k]), app);
-            const double s = system::speedup(stats, fcfs);
+            const double s =
+                exp::speedup(result.stats(app, kinds[k]), fcfs);
             means[k].add(s);
             row.push_back(fmt(s));
         }
-        table.printRow(std::cout, row);
+        table.addRow(row);
     }
-    table.printRule(std::cout);
+    table.addRule();
     std::vector<std::string> mean_row{"GEOMEAN"};
-    for (auto &m : means)
-        mean_row.push_back(fmt(m.mean()));
-    table.printRow(std::cout, mean_row);
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+        mean_row.push_back(fmt(means[k].mean()));
+        report.addSummary(
+            "geomean_speedup_"
+                + std::string(core::toString(kinds[k])),
+            means[k].mean());
+    }
+    table.addRow(mean_row);
 
-    std::cout
-        << "\nReading: simt-aware vs srpt measures the cost of "
-           "arrival-time scoring (the paper argues\nselection-time "
-           "re-scoring is infeasible in hardware; srpt does it anyway "
-           "as an analysis bound).\noldest-job isolates 'complete "
-           "whole instructions' without any length information.\n";
+    report.addNote(
+        "Reading: simt-aware vs srpt measures the cost of "
+        "arrival-time scoring (the paper argues\nselection-time "
+        "re-scoring is infeasible in hardware; srpt does it anyway "
+        "as an analysis bound).\noldest-job isolates 'complete "
+        "whole instructions' without any length information.");
+    report.render(std::cout);
+    if (!opts.jsonPath.empty())
+        report.writeJsonFile(opts.jsonPath, &result);
     return 0;
 }

@@ -12,56 +12,71 @@
  * walks, nothing should slow down.
  */
 
-#include <iostream>
-
 #include "bench_common.hh"
 
+#include "system/system.hh"
+
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bench;
-    const auto base =
-        system::withScheduler(system::SystemConfig::baseline(),
-                              core::SchedulerKind::SimtAware);
-    system::printBanner(std::cout, "Ablation (prefetch)",
-                        "Idle-bandwidth next-page walk prefetching "
-                        "(SIMT-aware scheduler)",
-                        base);
+    const char *id = "Ablation (prefetch)";
+    const char *desc = "Idle-bandwidth next-page walk prefetching "
+                       "(SIMT-aware scheduler)";
+    const auto opts = exp::parseBenchArgs(argc, argv, id, desc);
 
-    system::TablePrinter table({"app", "walks:off", "walks:on",
-                                "prefetches", "speedup"});
-    table.printHeader(std::cout);
-
-    auto params = system::experimentParams();
-
-    auto run_with = [&](const std::string &app, bool prefetch,
-                        std::uint64_t *prefetches) {
-        auto cfg = base;
-        cfg.iommu.prefetchNextPage = prefetch;
-        system::System sys(cfg);
-        sys.loadBenchmark(app, params);
-        const auto stats = sys.run();
-        if (prefetches)
-            *prefetches = sys.iommu().prefetches();
-        return stats;
+    exp::SweepSpec spec;
+    spec.base = exp::withScheduler(system::SystemConfig::baseline(),
+                                   core::SchedulerKind::SimtAware);
+    spec.workloads = workload::allWorkloadNames();
+    spec.schedulers = {core::SchedulerKind::SimtAware};
+    spec.variants = {
+        {"prefetch-off",
+         [](system::SystemConfig &cfg, workload::WorkloadParams &) {
+             cfg.iommu.prefetchNextPage = false;
+         }},
+        {"prefetch-on",
+         [](system::SystemConfig &cfg, workload::WorkloadParams &) {
+             cfg.iommu.prefetchNextPage = true;
+         }},
     };
+    // Custom body: also capture the prefetch-issue counter.
+    spec.body = [](const exp::JobSpec &job) {
+        system::System sys(job.cfg);
+        sys.loadBenchmark(job.workload, job.params);
+        exp::RunResult res;
+        res.stats = sys.run();
+        res.extra["prefetches"] =
+            static_cast<double>(sys.iommu().prefetches());
+        return res;
+    };
+    const auto result = exp::runSweep(spec, opts.runner);
 
-    for (const auto &app : workload::allWorkloadNames()) {
-        std::uint64_t prefetches = 0;
-        const auto off = run_with(app, false, nullptr);
-        const auto on = run_with(app, true, &prefetches);
-        table.printRow(std::cout,
-                       {app, std::to_string(off.walkRequests),
-                        std::to_string(on.walkRequests),
-                        std::to_string(prefetches),
-                        fmt(system::speedup(on, off))});
+    exp::Report report(id, desc, spec.base);
+    auto &table = report.addTable(
+        {"app", "walks:off", "walks:on", "prefetches", "speedup"});
+
+    for (const auto &app : spec.workloads) {
+        const auto &off = result.at(
+            app, core::SchedulerKind::SimtAware, "prefetch-off");
+        const auto &on = result.at(
+            app, core::SchedulerKind::SimtAware, "prefetch-on");
+        table.addRow(
+            {app, std::to_string(off.stats.walkRequests),
+             std::to_string(on.stats.walkRequests),
+             std::to_string(static_cast<std::uint64_t>(
+                 on.extra.at("prefetches"))),
+             fmt(exp::speedup(on.stats, off.stats))});
     }
 
-    std::cout << "\nReading: sequential streams (regular apps, NW's "
-                 "diagonal bands) convert demand walks into\nprefetch "
-                 "hits; random access (XSB) gains nothing. Speedups "
-                 "hover near 1.0 because the irregular\napps' walkers "
-                 "are rarely idle — the conservative policy's cost "
-                 "guarantee.\n";
+    report.addNote(
+        "Reading: sequential streams (regular apps, NW's diagonal "
+        "bands) convert demand walks into\nprefetch hits; random "
+        "access (XSB) gains nothing. Speedups hover near 1.0 because "
+        "the irregular\napps' walkers are rarely idle — the "
+        "conservative policy's cost guarantee.");
+    report.render(std::cout);
+    if (!opts.jsonPath.empty())
+        report.writeJsonFile(opts.jsonPath, &result);
     return 0;
 }

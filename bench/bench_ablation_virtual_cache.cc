@@ -10,48 +10,61 @@
  * benchmark, and how much scheduling headroom remains in each design.
  */
 
-#include <iostream>
-
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bench;
-    const auto base = system::SystemConfig::baseline();
-    system::printBanner(std::cout, "Ablation (virtual caches)",
-                        "Physical L1s (translate-before-access) vs "
-                        "virtual L1s (translate-on-miss)",
-                        base);
+    const char *id = "Ablation (virtual caches)";
+    const char *desc = "Physical L1s (translate-before-access) vs "
+                       "virtual L1s (translate-on-miss)";
+    const auto opts = exp::parseBenchArgs(argc, argv, id, desc);
 
-    system::TablePrinter table({"app", "walks:phys", "walks:virt",
-                                "simt:phys", "simt:virt"});
-    table.printHeader(std::cout);
+    exp::SweepSpec spec;
+    spec.workloads = workload::irregularWorkloadNames();
+    spec.schedulers = {core::SchedulerKind::Fcfs,
+                       core::SchedulerKind::SimtAware};
+    spec.variants = {
+        {"phys", nullptr},
+        {"virt",
+         [](system::SystemConfig &cfg, workload::WorkloadParams &) {
+             cfg.gpu.virtualL1Cache = true;
+         }},
+    };
+    const auto result = exp::runSweep(spec, opts.runner);
 
-    for (const auto &app : workload::irregularWorkloadNames()) {
-        auto virt = base;
-        virt.gpu.virtualL1Cache = true;
+    exp::Report report(id, desc, spec.base);
+    auto &table = report.addTable(
+        {"app", "walks:phys", "walks:virt", "simt:phys", "simt:virt"});
 
-        const auto phys = compareSchedulers(base, app);
-        const auto vres = compareSchedulers(virt, app);
+    for (const auto &app : spec.workloads) {
+        const auto &pf =
+            result.stats(app, core::SchedulerKind::Fcfs, "phys");
+        const auto &ps =
+            result.stats(app, core::SchedulerKind::SimtAware, "phys");
+        const auto &vf =
+            result.stats(app, core::SchedulerKind::Fcfs, "virt");
+        const auto &vs =
+            result.stats(app, core::SchedulerKind::SimtAware, "virt");
 
-        table.printRow(
-            std::cout,
-            {app, std::to_string(phys.fcfs.walkRequests),
-             std::to_string(vres.fcfs.walkRequests),
-             fmt(system::speedup(phys.simt, phys.fcfs)),
-             fmt(system::speedup(vres.simt, vres.fcfs))});
+        table.addRow({app, std::to_string(pf.walkRequests),
+                      std::to_string(vf.walkRequests),
+                      fmt(exp::speedup(ps, pf)),
+                      fmt(exp::speedup(vs, vf))});
     }
 
-    std::cout
-        << "\nReading: virtual L1s filter translations behind L1 data "
-           "reuse. Divergent column sweeps reuse\ncache lines across "
-           "consecutive column steps, so their translation traffic "
-           "drops and the walk\nscheduler's headroom shrinks with it; "
-           "access patterns without L1 reuse keep their walk "
-           "traffic\nand their scheduling benefit. The two techniques "
-           "attack the same bottleneck at different points\n— "
-           "consistent with the paper calling them orthogonal (SVII)."
-           "\n";
+    report.addNote(
+        "Reading: virtual L1s filter translations behind L1 data "
+        "reuse. Divergent column sweeps reuse\ncache lines across "
+        "consecutive column steps, so their translation traffic "
+        "drops and the walk\nscheduler's headroom shrinks with it; "
+        "access patterns without L1 reuse keep their walk "
+        "traffic\nand their scheduling benefit. The two techniques "
+        "attack the same bottleneck at different points\n— "
+        "consistent with the paper calling them orthogonal (SVII).");
+    report.render(std::cout);
+    if (!opts.jsonPath.empty())
+        report.writeJsonFile(opts.jsonPath, &result);
     return 0;
 }

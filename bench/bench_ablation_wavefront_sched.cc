@@ -12,60 +12,78 @@
  * wavefront scheduler addresses translation overheads.
  */
 
-#include <iostream>
-
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bench;
-    const auto base = system::SystemConfig::baseline();
-    system::printBanner(std::cout, "Ablation (wavefront scheduling)",
-                        "CU issue policy x walk scheduler",
-                        base);
+    const char *id = "Ablation (wavefront scheduling)";
+    const char *desc = "CU issue policy x walk scheduler";
+    const auto opts = exp::parseBenchArgs(argc, argv, id, desc);
 
-    system::TablePrinter table({"app", "rr:fcfs", "rr:simt",
-                                "gto:fcfs", "gto:simt", "simt@gto"});
-    table.printHeader(std::cout);
+    exp::SweepSpec spec;
+    spec.workloads = workload::irregularWorkloadNames();
+    spec.schedulers = {core::SchedulerKind::Fcfs,
+                       core::SchedulerKind::SimtAware};
+    spec.variants = {
+        {"rr",
+         [](system::SystemConfig &cfg, workload::WorkloadParams &) {
+             cfg.gpu.wavefrontSched =
+                 gpu::WavefrontSchedPolicy::RoundRobin;
+         }},
+        {"gto",
+         [](system::SystemConfig &cfg, workload::WorkloadParams &) {
+             cfg.gpu.wavefrontSched =
+                 gpu::WavefrontSchedPolicy::OldestFirst;
+         }},
+    };
+    const auto result = exp::runSweep(spec, opts.runner);
+
+    exp::Report report(id, desc, spec.base);
+    auto &table = report.addTable({"app", "rr:fcfs", "rr:simt",
+                                   "gto:fcfs", "gto:simt",
+                                   "simt@gto"});
 
     MeanTracker rr_gain, gto_gain;
-    for (const auto &app : workload::irregularWorkloadNames()) {
-        auto rr = base;
-        rr.gpu.wavefrontSched = gpu::WavefrontSchedPolicy::RoundRobin;
-        auto gto = base;
-        gto.gpu.wavefrontSched = gpu::WavefrontSchedPolicy::OldestFirst;
-
-        const auto rr_cmp = compareSchedulers(rr, app);
-        const auto gto_cmp = compareSchedulers(gto, app);
+    for (const auto &app : spec.workloads) {
+        const auto &rr_fcfs =
+            result.stats(app, core::SchedulerKind::Fcfs, "rr");
+        const auto &rr_simt =
+            result.stats(app, core::SchedulerKind::SimtAware, "rr");
+        const auto &gto_fcfs =
+            result.stats(app, core::SchedulerKind::Fcfs, "gto");
+        const auto &gto_simt =
+            result.stats(app, core::SchedulerKind::SimtAware, "gto");
 
         // Normalize everything to RR+FCFS (the baseline of baselines).
         const double base_t =
-            static_cast<double>(rr_cmp.fcfs.runtimeTicks);
+            static_cast<double>(rr_fcfs.runtimeTicks);
         auto rel = [&](const system::RunStats &s) {
             return base_t / static_cast<double>(s.runtimeTicks);
         };
-        const double simt_at_gto =
-            system::speedup(gto_cmp.simt, gto_cmp.fcfs);
-        rr_gain.add(system::speedup(rr_cmp.simt, rr_cmp.fcfs));
+        const double simt_at_gto = exp::speedup(gto_simt, gto_fcfs);
+        rr_gain.add(exp::speedup(rr_simt, rr_fcfs));
         gto_gain.add(simt_at_gto);
 
-        table.printRow(std::cout,
-                       {app, "1.000", fmt(rel(rr_cmp.simt)),
-                        fmt(rel(gto_cmp.fcfs)), fmt(rel(gto_cmp.simt)),
-                        fmt(simt_at_gto)});
+        table.addRow({app, "1.000", fmt(rel(rr_simt)),
+                      fmt(rel(gto_fcfs)), fmt(rel(gto_simt)),
+                      fmt(simt_at_gto)});
     }
-    table.printRule(std::cout);
-    table.printRow(std::cout,
-                   {"GEOMEAN gain", "-", fmt(rr_gain.mean()), "-", "-",
-                    fmt(gto_gain.mean())});
+    table.addRule();
+    table.addRow({"GEOMEAN gain", "-", fmt(rr_gain.mean()), "-", "-",
+                  fmt(gto_gain.mean())});
+    report.addSummary("geomean_gain_rr", rr_gain.mean());
+    report.addSummary("geomean_gain_gto", gto_gain.mean());
 
-    std::cout
-        << "\nReading: columns 2-5 are speedups over RR+FCFS; the "
-           "last column is SIMT-aware's gain within\nthe GTO "
-           "configuration. If it stays near the RR-configuration gain "
-           "(GEOMEAN row), the paper's\nclaim holds: wavefront "
-           "scheduling does not substitute for page-walk scheduling."
-           "\n";
+    report.addNote(
+        "Reading: columns 2-5 are speedups over RR+FCFS; the "
+        "last column is SIMT-aware's gain within\nthe GTO "
+        "configuration. If it stays near the RR-configuration gain "
+        "(GEOMEAN row), the paper's\nclaim holds: wavefront "
+        "scheduling does not substitute for page-walk scheduling.");
+    report.render(std::cout);
+    if (!opts.jsonPath.empty())
+        report.writeJsonFile(opts.jsonPath, &result);
     return 0;
 }

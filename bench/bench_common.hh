@@ -2,11 +2,13 @@
  * @file
  * Shared helpers for the per-figure experiment binaries.
  *
- * Every bench prints: a banner with the experiment id and the exact
- * configuration, one row per benchmark in the same layout as the
- * paper's figure, and the paper's (approximate, eyeballed-from-figure)
- * value next to ours for easy comparison. EXPERIMENTS.md records the
- * full paper-vs-measured discussion.
+ * Every bench declares a SweepSpec (workloads x schedulers x config
+ * variants), executes it on the ParallelRunner (--jobs), and maps the
+ * results into a Report: the paper-figure console table plus optional
+ * structured JSON (--json). The paper's (approximate,
+ * eyeballed-from-figure) values are printed next to ours for easy
+ * comparison; EXPERIMENTS.md records the full paper-vs-measured
+ * discussion.
  */
 
 #ifndef GPUWALK_BENCH_BENCH_COMMON_HH
@@ -17,57 +19,23 @@
 #include <string>
 #include <vector>
 
-#include "system/experiment.hh"
+#include "exp/bench_cli.hh"
+#include "exp/metrics.hh"
+#include "exp/report.hh"
 #include "workload/registry.hh"
 
 namespace bench {
 
 using namespace gpuwalk;
 
-/** Runs one (config, workload) simulation with experiment params. */
-inline system::RunStats
-run(const system::SystemConfig &cfg, const std::string &workload)
-{
-    return system::runOne(cfg, workload, system::experimentParams())
-        .stats;
-}
+using exp::fmt;
+using exp::MeanTracker;
 
-/** Caches per-scheduler runs of one workload under one config. */
-struct SchedulerComparison
+/** True if Table II classifies @p app as irregular. */
+inline bool
+isIrregular(const std::string &app)
 {
-    system::RunStats fcfs;
-    system::RunStats simt;
-};
-
-inline SchedulerComparison
-compareSchedulers(const system::SystemConfig &base,
-                  const std::string &workload)
-{
-    SchedulerComparison out;
-    out.fcfs = run(system::withScheduler(base, core::SchedulerKind::Fcfs),
-                   workload);
-    out.simt = run(
-        system::withScheduler(base, core::SchedulerKind::SimtAware),
-        workload);
-    return out;
-}
-
-/** "MEAN" row helper: geometric mean over collected per-app values. */
-class MeanTracker
-{
-  public:
-    void add(double v) { values_.push_back(v); }
-    double mean() const { return system::geomean(values_); }
-    bool empty() const { return values_.empty(); }
-
-  private:
-    std::vector<double> values_;
-};
-
-inline std::string
-fmt(double v, int precision = 3)
-{
-    return system::TablePrinter::fmt(v, precision);
+    return workload::makeWorkload(app)->info().irregular;
 }
 
 } // namespace bench

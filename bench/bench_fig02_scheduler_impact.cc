@@ -8,19 +8,24 @@
  * motivation figure.
  */
 
-#include <iostream>
-
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bench;
-    auto cfg = system::SystemConfig::baseline();
-    system::printBanner(std::cout, "Figure 2",
-                        "Performance impact of page walk scheduling "
-                        "(speedup over the random scheduler)",
-                        cfg);
+    const char *id = "Figure 2";
+    const char *desc =
+        "Performance impact of page walk scheduling (speedup over the "
+        "random scheduler)";
+    const auto opts = exp::parseBenchArgs(argc, argv, id, desc);
+
+    exp::SweepSpec spec;
+    spec.workloads = workload::motivationWorkloadNames();
+    spec.schedulers = {core::SchedulerKind::Random,
+                       core::SchedulerKind::Fcfs,
+                       core::SchedulerKind::SimtAware};
+    const auto result = exp::runSweep(spec, opts.runner);
 
     // Approximate values eyeballed from the paper's Figure 2 bars.
     const std::map<std::string, std::pair<double, double>> paper{
@@ -30,36 +35,36 @@ main()
         {"GEV", {1.40, 2.10}},
     };
 
-    system::TablePrinter table({"app", "random", "fcfs", "simt-aware",
-                                "paper:fcfs", "paper:simt"});
-    table.printHeader(std::cout);
+    exp::Report report(id, desc, spec.base);
+    auto &table = report.addTable({"app", "random", "fcfs",
+                                   "simt-aware", "paper:fcfs",
+                                   "paper:simt"});
 
     MeanTracker mean_fcfs, mean_simt;
-    for (const auto &app : workload::motivationWorkloadNames()) {
-        const auto random = run(
-            system::withScheduler(cfg, core::SchedulerKind::Random),
-            app);
-        const auto fcfs = run(
-            system::withScheduler(cfg, core::SchedulerKind::Fcfs), app);
-        const auto simt = run(
-            system::withScheduler(cfg, core::SchedulerKind::SimtAware),
-            app);
-
-        const double f = system::speedup(fcfs, random);
-        const double s = system::speedup(simt, random);
+    for (const auto &app : spec.workloads) {
+        const auto &random =
+            result.stats(app, core::SchedulerKind::Random);
+        const double f = exp::speedup(
+            result.stats(app, core::SchedulerKind::Fcfs), random);
+        const double s = exp::speedup(
+            result.stats(app, core::SchedulerKind::SimtAware), random);
         mean_fcfs.add(f);
         mean_simt.add(s);
-        table.printRow(std::cout,
-                       {app, "1.000", fmt(f), fmt(s),
-                        fmt(paper.at(app).first, 2),
-                        fmt(paper.at(app).second, 2)});
+        table.addRow({app, "1.000", fmt(f), fmt(s),
+                      fmt(paper.at(app).first, 2),
+                      fmt(paper.at(app).second, 2)});
     }
-    table.printRule(std::cout);
-    table.printRow(std::cout, {"GEOMEAN", "1.000", fmt(mean_fcfs.mean()),
-                               fmt(mean_simt.mean()), "-", "-"});
+    table.addRule();
+    table.addRow({"GEOMEAN", "1.000", fmt(mean_fcfs.mean()),
+                  fmt(mean_simt.mean()), "-", "-"});
+    report.addSummary("geomean_fcfs_over_random", mean_fcfs.mean());
+    report.addSummary("geomean_simt_over_random", mean_simt.mean());
 
-    std::cout << "\n(paper columns are approximate bar heights from "
-                 "Fig. 2; the paper's headline is a >2.1x spread\n"
-                 "between the best and worst schedule on GEV)\n";
+    report.addNote("(paper columns are approximate bar heights from "
+                   "Fig. 2; the paper's headline is a >2.1x spread\n"
+                   "between the best and worst schedule on GEV)");
+    report.render(std::cout);
+    if (!opts.jsonPath.empty())
+        report.writeJsonFile(opts.jsonPath, &result);
     return 0;
 }

@@ -9,47 +9,44 @@
  * are excluded).
  */
 
-#include <iomanip>
-#include <iostream>
-
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bench;
-    auto cfg = system::SystemConfig::baseline();
-    system::printBanner(std::cout, "Figure 3",
-                        "Per-instruction page-walk memory-access "
-                        "distribution (FCFS)",
-                        cfg);
+    const char *id = "Figure 3";
+    const char *desc = "Per-instruction page-walk memory-access "
+                       "distribution (FCFS)";
+    const auto opts = exp::parseBenchArgs(argc, argv, id, desc);
 
-    std::cout << std::left << std::setw(8) << "app";
-    const std::vector<std::string> labels{"1-16",  "17-32", "33-48",
-                                          "49-64", "65-80", "81-256",
-                                          "257+"};
-    for (const auto &l : labels)
-        std::cout << std::right << std::setw(9) << l;
-    std::cout << "\n" << std::string(8 + 9 * labels.size(), '-') << "\n";
+    exp::SweepSpec spec;
+    spec.workloads = workload::motivationWorkloadNames();
+    spec.schedulers = {core::SchedulerKind::Fcfs};
+    const auto result = exp::runSweep(spec, opts.runner);
 
-    for (const auto &app : workload::motivationWorkloadNames()) {
-        const auto stats =
-            run(system::withScheduler(cfg, core::SchedulerKind::Fcfs),
-                app);
-        std::cout << std::left << std::setw(8) << app;
-        for (std::size_t i = 0; i < stats.walks.workBucketFractions.size();
-             ++i) {
-            std::cout << std::right << std::setw(9)
-                      << fmt(stats.walks.workBucketFractions[i], 3);
-        }
-        std::cout << "\n";
+    exp::Report report(id, desc, spec.base);
+    auto &table = report.addTable({"app", "1-16", "17-32", "33-48",
+                                   "49-64", "65-80", "81-256", "257+"},
+                                  "", /*width=*/9);
+
+    for (const auto &app : spec.workloads) {
+        const auto &stats =
+            result.stats(app, core::SchedulerKind::Fcfs);
+        std::vector<std::string> row{app};
+        for (const double fraction : stats.walks.workBucketFractions)
+            row.push_back(fmt(fraction, 3));
+        table.addRow(std::move(row));
     }
 
-    std::cout
-        << "\npaper (Fig. 3): 27-61% of instructions fall in 1-16 and "
-           "33-70% need 49+ accesses;\nGEV has ~31% of instructions at "
-           "65+ accesses. The same bimodal shape — coalesced\nvector "
-           "ops in the first bucket, 64-lane divergent loads around "
-           "49-64+ — should appear above.\n";
+    report.addNote(
+        "paper (Fig. 3): 27-61% of instructions fall in 1-16 and "
+        "33-70% need 49+ accesses;\nGEV has ~31% of instructions at "
+        "65+ accesses. The same bimodal shape — coalesced\nvector "
+        "ops in the first bucket, 64-lane divergent loads around "
+        "49-64+ — should appear above.");
+    report.render(std::cout);
+    if (!opts.jsonPath.empty())
+        report.writeJsonFile(opts.jsonPath, &result);
     return 0;
 }

@@ -6,39 +6,42 @@
  * walks are excluded (they cannot interleave).
  */
 
-#include <iostream>
-
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bench;
-    auto cfg = system::SystemConfig::baseline();
-    system::printBanner(std::cout, "Figure 5",
-                        "Fraction of multi-walk instructions with "
-                        "interleaved walk service (FCFS)",
-                        cfg);
+    const char *id = "Figure 5";
+    const char *desc = "Fraction of multi-walk instructions with "
+                       "interleaved walk service (FCFS)";
+    const auto opts = exp::parseBenchArgs(argc, argv, id, desc);
 
-    system::TablePrinter table(
-        {"app", "interleaved", "paper(approx)"});
-    table.printHeader(std::cout);
+    exp::SweepSpec spec;
+    spec.workloads = workload::motivationWorkloadNames();
+    spec.schedulers = {core::SchedulerKind::Fcfs};
+    const auto result = exp::runSweep(spec, opts.runner);
 
     // Approximate bar heights from the paper's Figure 5.
     const std::map<std::string, double> paper{
         {"MVT", 0.45}, {"ATX", 0.77}, {"BIC", 0.55}, {"GEV", 0.70}};
 
-    for (const auto &app : workload::motivationWorkloadNames()) {
-        const auto stats =
-            run(system::withScheduler(cfg, core::SchedulerKind::Fcfs),
-                app);
-        table.printRow(std::cout,
-                       {app, fmt(stats.walks.interleavedFraction),
-                        fmt(paper.at(app), 2)});
+    exp::Report report(id, desc, spec.base);
+    auto &table =
+        report.addTable({"app", "interleaved", "paper(approx)"});
+
+    for (const auto &app : spec.workloads) {
+        const auto &stats =
+            result.stats(app, core::SchedulerKind::Fcfs);
+        table.addRow({app, fmt(stats.walks.interleavedFraction),
+                      fmt(paper.at(app), 2)});
     }
 
-    std::cout << "\npaper (Fig. 5): 45-77% of multi-walk instructions "
-                 "interleave under FCFS because the\nshared L2 TLB "
-                 "multiplexes the per-CU miss streams.\n";
+    report.addNote("paper (Fig. 5): 45-77% of multi-walk instructions "
+                   "interleave under FCFS because the\nshared L2 TLB "
+                   "multiplexes the per-CU miss streams.");
+    report.render(std::cout);
+    if (!opts.jsonPath.empty())
+        report.writeJsonFile(opts.jsonPath, &result);
     return 0;
 }

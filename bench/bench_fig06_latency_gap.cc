@@ -5,45 +5,48 @@
  * completed latency. Multi-walk instructions only.
  */
 
-#include <iostream>
-
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bench;
-    auto cfg = system::SystemConfig::baseline();
-    system::printBanner(std::cout, "Figure 6",
-                        "First- vs last-completed walk latency per "
-                        "instruction (FCFS, normalized to first)",
-                        cfg);
+    const char *id = "Figure 6";
+    const char *desc = "First- vs last-completed walk latency per "
+                       "instruction (FCFS, normalized to first)";
+    const auto opts = exp::parseBenchArgs(argc, argv, id, desc);
 
-    system::TablePrinter table({"app", "first", "last", "last/first",
-                                "paper(approx)"});
-    table.printHeader(std::cout);
+    exp::SweepSpec spec;
+    spec.workloads = workload::motivationWorkloadNames();
+    spec.schedulers = {core::SchedulerKind::Fcfs};
+    const auto result = exp::runSweep(spec, opts.runner);
 
     // Approximate last/first ratios from the paper's Figure 6.
     const std::map<std::string, double> paper{
         {"MVT", 2.2}, {"ATX", 3.0}, {"BIC", 2.4}, {"GEV", 2.8}};
 
-    for (const auto &app : workload::motivationWorkloadNames()) {
-        const auto stats =
-            run(system::withScheduler(cfg, core::SchedulerKind::Fcfs),
-                app);
+    exp::Report report(id, desc, spec.base);
+    auto &table = report.addTable(
+        {"app", "first", "last", "last/first", "paper(approx)"});
+
+    for (const auto &app : spec.workloads) {
+        const auto &stats =
+            result.stats(app, core::SchedulerKind::Fcfs);
         const double first = stats.walks.avgFirstCompletedLatency;
         const double last = stats.walks.avgLastCompletedLatency;
-        table.printRow(std::cout,
-                       {app, "1.000",
-                        fmt(first > 0 ? last / first : 0.0),
-                        fmt(first > 0 ? last / first : 0.0),
-                        fmt(paper.at(app), 1)});
+        const double ratio = first > 0 ? last / first : 0.0;
+        table.addRow(
+            {app, "1.000", fmt(ratio), fmt(ratio),
+             fmt(paper.at(app), 1)});
     }
 
-    std::cout
-        << "\npaper (Fig. 6): the last-completed walk's latency is "
-           "2-3x the first's, i.e. an\ninstruction keeps stalling long "
-           "after its first translation returned — the headroom\nthe "
-           "SIMT-aware scheduler's batching recovers.\n";
+    report.addNote(
+        "paper (Fig. 6): the last-completed walk's latency is 2-3x "
+        "the first's, i.e. an\ninstruction keeps stalling long after "
+        "its first translation returned — the headroom\nthe "
+        "SIMT-aware scheduler's batching recovers.");
+    report.render(std::cout);
+    if (!opts.jsonPath.empty())
+        report.writeJsonFile(opts.jsonPath, &result);
     return 0;
 }

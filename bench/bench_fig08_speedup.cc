@@ -6,19 +6,22 @@
  * on irregular applications, no change on regular ones.
  */
 
-#include <iostream>
-
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bench;
-    auto cfg = system::SystemConfig::baseline();
-    system::printBanner(std::cout, "Figure 8",
-                        "Speedup of SIMT-aware walk scheduling over "
-                        "FCFS",
-                        cfg);
+    const char *id = "Figure 8";
+    const char *desc =
+        "Speedup of SIMT-aware walk scheduling over FCFS";
+    const auto opts = exp::parseBenchArgs(argc, argv, id, desc);
+
+    exp::SweepSpec spec;
+    spec.workloads = workload::allWorkloadNames();
+    spec.schedulers = {core::SchedulerKind::Fcfs,
+                       core::SchedulerKind::SimtAware};
+    const auto result = exp::runSweep(spec, opts.runner);
 
     // Approximate bar heights from the paper's Figure 8.
     const std::map<std::string, double> paper{
@@ -26,28 +29,33 @@ main()
         {"BIC", 1.35}, {"GEV", 1.41}, {"SSP", 1.00}, {"MIS", 1.00},
         {"CLR", 1.00}, {"BCK", 1.00}, {"KMN", 1.00}, {"HOT", 1.00}};
 
-    system::TablePrinter table(
+    exp::Report report(id, desc, spec.base);
+    auto &table = report.addTable(
         {"app", "class", "speedup", "paper(approx)"});
-    table.printHeader(std::cout);
 
     MeanTracker irregular_mean, regular_mean;
-    for (const auto &app : workload::allWorkloadNames()) {
-        const bool irregular =
-            workload::makeWorkload(app)->info().irregular;
-        const auto cmp = compareSchedulers(cfg, app);
-        const double s = system::speedup(cmp.simt, cmp.fcfs);
+    for (const auto &app : spec.workloads) {
+        const bool irregular = isIrregular(app);
+        const double s = exp::speedup(
+            result.stats(app, core::SchedulerKind::SimtAware),
+            result.stats(app, core::SchedulerKind::Fcfs));
         (irregular ? irregular_mean : regular_mean).add(s);
-        table.printRow(std::cout,
-                       {app, irregular ? "irregular" : "regular",
-                        fmt(s), fmt(paper.at(app), 2)});
+        table.addRow({app, irregular ? "irregular" : "regular", fmt(s),
+                      fmt(paper.at(app), 2)});
     }
-    table.printRule(std::cout);
-    table.printRow(std::cout, {"GEOMEAN", "irregular",
-                               fmt(irregular_mean.mean()), "1.30"});
-    table.printRow(std::cout, {"GEOMEAN", "regular",
-                               fmt(regular_mean.mean()), "1.00"});
+    table.addRule();
+    table.addRow(
+        {"GEOMEAN", "irregular", fmt(irregular_mean.mean()), "1.30"});
+    table.addRow(
+        {"GEOMEAN", "regular", fmt(regular_mean.mean()), "1.00"});
+    report.addSummary("geomean_speedup_irregular",
+                      irregular_mean.mean());
+    report.addSummary("geomean_speedup_regular", regular_mean.mean());
 
-    std::cout << "\npaper (Fig. 8): +30% geomean, up to +41%, on the "
-                 "six irregular apps; regular apps unchanged.\n";
+    report.addNote("paper (Fig. 8): +30% geomean, up to +41%, on the "
+                   "six irregular apps; regular apps unchanged.");
+    report.render(std::cout);
+    if (!opts.jsonPath.empty())
+        report.writeJsonFile(opts.jsonPath, &result);
     return 0;
 }

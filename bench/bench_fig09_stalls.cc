@@ -5,51 +5,60 @@
  * a CU has resident wavefronts but none can execute.
  */
 
-#include <iostream>
-
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bench;
-    auto cfg = system::SystemConfig::baseline();
-    system::printBanner(std::cout, "Figure 9",
-                        "CU stall cycles under SIMT-aware scheduling "
-                        "(normalized to FCFS)",
-                        cfg);
+    const char *id = "Figure 9";
+    const char *desc = "CU stall cycles under SIMT-aware scheduling "
+                       "(normalized to FCFS)";
+    const auto opts = exp::parseBenchArgs(argc, argv, id, desc);
 
-    system::TablePrinter table(
-        {"app", "class", "norm.stalls", "paper(approx)"});
-    table.printHeader(std::cout);
+    exp::SweepSpec spec;
+    spec.workloads = workload::allWorkloadNames();
+    spec.schedulers = {core::SchedulerKind::Fcfs,
+                       core::SchedulerKind::SimtAware};
+    const auto result = exp::runSweep(spec, opts.runner);
 
     const std::map<std::string, double> paper{
         {"XSB", 0.80}, {"MVT", 0.74}, {"ATX", 0.75}, {"NW", 0.85},
         {"BIC", 0.74}, {"GEV", 0.71}, {"SSP", 1.00}, {"MIS", 1.00},
         {"CLR", 1.00}, {"BCK", 1.00}, {"KMN", 1.00}, {"HOT", 1.00}};
 
+    exp::Report report(id, desc, spec.base);
+    auto &table = report.addTable(
+        {"app", "class", "norm.stalls", "paper(approx)"});
+
     MeanTracker irregular_mean;
-    for (const auto &app : workload::allWorkloadNames()) {
-        const bool irregular =
-            workload::makeWorkload(app)->info().irregular;
-        const auto cmp = compareSchedulers(cfg, app);
+    for (const auto &app : spec.workloads) {
+        const bool irregular = isIrregular(app);
+        const auto &fcfs =
+            result.stats(app, core::SchedulerKind::Fcfs);
+        const auto &simt =
+            result.stats(app, core::SchedulerKind::SimtAware);
         const double norm =
-            cmp.fcfs.stallTicks > 0
-                ? static_cast<double>(cmp.simt.stallTicks)
-                      / static_cast<double>(cmp.fcfs.stallTicks)
+            fcfs.stallTicks > 0
+                ? static_cast<double>(simt.stallTicks)
+                      / static_cast<double>(fcfs.stallTicks)
                 : 1.0;
         if (irregular)
             irregular_mean.add(norm);
-        table.printRow(std::cout,
-                       {app, irregular ? "irregular" : "regular",
-                        fmt(norm), fmt(paper.at(app), 2)});
+        table.addRow({app, irregular ? "irregular" : "regular",
+                      fmt(norm), fmt(paper.at(app), 2)});
     }
-    table.printRule(std::cout);
-    table.printRow(std::cout,
-                   {"GEOMEAN", "irregular", fmt(irregular_mean.mean()),
-                    "0.77"});
+    table.addRule();
+    table.addRow({"GEOMEAN", "irregular", fmt(irregular_mean.mean()),
+                  "0.77"});
+    report.addSummary("geomean_norm_stalls_irregular",
+                      irregular_mean.mean());
 
-    std::cout << "\npaper (Fig. 9): 23% average stall reduction (up to "
-                 "29%) on irregular apps; regular apps unchanged.\n";
+    report.addNote("paper (Fig. 9): 23% average stall reduction (up "
+                   "to 29%) on irregular apps; regular apps "
+                   "unchanged.");
+    report.render(std::cout);
+    if (!opts.jsonPath.empty())
+        report.writeJsonFile(opts.jsonPath, &result);
     return 0;
 }

@@ -5,44 +5,55 @@
  * to the gap under FCFS. Multi-walk instructions only.
  */
 
-#include <iostream>
-
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bench;
-    auto cfg = system::SystemConfig::baseline();
-    system::printBanner(std::cout, "Figure 10",
-                        "First-to-last walk latency gap, SIMT-aware "
-                        "normalized to FCFS",
-                        cfg);
+    const char *id = "Figure 10";
+    const char *desc = "First-to-last walk latency gap, SIMT-aware "
+                       "normalized to FCFS";
+    const auto opts = exp::parseBenchArgs(argc, argv, id, desc);
 
-    system::TablePrinter table({"app", "norm.gap", "paper(approx)"});
-    table.printHeader(std::cout);
+    exp::SweepSpec spec;
+    spec.workloads = workload::irregularWorkloadNames();
+    spec.schedulers = {core::SchedulerKind::Fcfs,
+                       core::SchedulerKind::SimtAware};
+    const auto result = exp::runSweep(spec, opts.runner);
 
     const std::map<std::string, double> paper{
         {"XSB", 0.66}, {"MVT", 0.60}, {"ATX", 0.55},
         {"NW", 0.75},  {"BIC", 0.60}, {"GEV", 0.62}};
 
-    MeanTracker mean;
-    for (const auto &app : workload::irregularWorkloadNames()) {
-        const auto cmp = compareSchedulers(cfg, app);
-        const double norm = cmp.fcfs.walks.avgLatencyGap > 0
-                                ? cmp.simt.walks.avgLatencyGap
-                                      / cmp.fcfs.walks.avgLatencyGap
-                                : 1.0;
-        mean.add(norm);
-        table.printRow(std::cout,
-                       {app, fmt(norm), fmt(paper.at(app), 2)});
-    }
-    table.printRule(std::cout);
-    table.printRow(std::cout, {"GEOMEAN", fmt(mean.mean()), "0.63"});
+    exp::Report report(id, desc, spec.base);
+    auto &table =
+        report.addTable({"app", "norm.gap", "paper(approx)"});
 
-    std::cout << "\npaper (Fig. 10): batching shrinks the gap by 37% "
-                 "on average. See EXPERIMENTS.md for where this\n"
-                 "model's gap behaviour deviates (saturated workloads "
-                 "trade gap for walk-count reduction).\n";
+    MeanTracker mean;
+    for (const auto &app : spec.workloads) {
+        const auto &fcfs =
+            result.stats(app, core::SchedulerKind::Fcfs);
+        const auto &simt =
+            result.stats(app, core::SchedulerKind::SimtAware);
+        const double norm =
+            fcfs.walks.avgLatencyGap > 0
+                ? simt.walks.avgLatencyGap / fcfs.walks.avgLatencyGap
+                : 1.0;
+        mean.add(norm);
+        table.addRow({app, fmt(norm), fmt(paper.at(app), 2)});
+    }
+    table.addRule();
+    table.addRow({"GEOMEAN", fmt(mean.mean()), "0.63"});
+    report.addSummary("geomean_norm_latency_gap", mean.mean());
+
+    report.addNote(
+        "paper (Fig. 10): batching shrinks the gap by 37% on average. "
+        "See EXPERIMENTS.md for where this\nmodel's gap behaviour "
+        "deviates (saturated workloads trade gap for walk-count "
+        "reduction).");
+    report.render(std::cout);
+    if (!opts.jsonPath.empty())
+        report.writeJsonFile(opts.jsonPath, &result);
     return 0;
 }

@@ -6,45 +6,52 @@
  * instructions keeps them from thrashing the shared L2 TLB.
  */
 
-#include <iostream>
-
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bench;
-    auto cfg = system::SystemConfig::baseline();
-    system::printBanner(std::cout, "Figure 11",
-                        "Page walk count under SIMT-aware scheduling "
-                        "(normalized to FCFS)",
-                        cfg);
+    const char *id = "Figure 11";
+    const char *desc = "Page walk count under SIMT-aware scheduling "
+                       "(normalized to FCFS)";
+    const auto opts = exp::parseBenchArgs(argc, argv, id, desc);
 
-    system::TablePrinter table({"app", "fcfs", "simt", "normalized",
-                                "paper(approx)"});
-    table.printHeader(std::cout);
+    exp::SweepSpec spec;
+    spec.workloads = workload::irregularWorkloadNames();
+    spec.schedulers = {core::SchedulerKind::Fcfs,
+                       core::SchedulerKind::SimtAware};
+    const auto result = exp::runSweep(spec, opts.runner);
 
     const std::map<std::string, double> paper{
         {"XSB", 0.85}, {"MVT", 0.75}, {"ATX", 0.78},
         {"NW", 0.85},  {"BIC", 0.76}, {"GEV", 0.70}};
 
-    MeanTracker mean;
-    for (const auto &app : workload::irregularWorkloadNames()) {
-        const auto cmp = compareSchedulers(cfg, app);
-        const double norm =
-            static_cast<double>(cmp.simt.walkRequests)
-            / static_cast<double>(cmp.fcfs.walkRequests);
-        mean.add(norm);
-        table.printRow(std::cout,
-                       {app, std::to_string(cmp.fcfs.walkRequests),
-                        std::to_string(cmp.simt.walkRequests),
-                        fmt(norm), fmt(paper.at(app), 2)});
-    }
-    table.printRule(std::cout);
-    table.printRow(std::cout, {"GEOMEAN", "-", "-", fmt(mean.mean()),
-                               "0.79"});
+    exp::Report report(id, desc, spec.base);
+    auto &table = report.addTable(
+        {"app", "fcfs", "simt", "normalized", "paper(approx)"});
 
-    std::cout << "\npaper (Fig. 11): 21% average reduction (up to 30%) "
-                 "in page walks.\n";
+    MeanTracker mean;
+    for (const auto &app : spec.workloads) {
+        const auto &fcfs =
+            result.stats(app, core::SchedulerKind::Fcfs);
+        const auto &simt =
+            result.stats(app, core::SchedulerKind::SimtAware);
+        const double norm = static_cast<double>(simt.walkRequests)
+                            / static_cast<double>(fcfs.walkRequests);
+        mean.add(norm);
+        table.addRow({app, std::to_string(fcfs.walkRequests),
+                      std::to_string(simt.walkRequests), fmt(norm),
+                      fmt(paper.at(app), 2)});
+    }
+    table.addRule();
+    table.addRow({"GEOMEAN", "-", "-", fmt(mean.mean()), "0.79"});
+    report.addSummary("geomean_norm_walks", mean.mean());
+
+    report.addNote("paper (Fig. 11): 21% average reduction (up to "
+                   "30%) in page walks.");
+    report.render(std::cout);
+    if (!opts.jsonPath.empty())
+        report.writeJsonFile(opts.jsonPath, &result);
     return 0;
 }

@@ -6,48 +6,58 @@
  * contention = the mechanism behind Figure 11's walk reduction.
  */
 
-#include <iostream>
-
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bench;
-    auto cfg = system::SystemConfig::baseline();
-    system::printBanner(std::cout, "Figure 12",
-                        "Distinct wavefronts per L2 TLB epoch, "
-                        "SIMT-aware normalized to FCFS",
-                        cfg);
+    const char *id = "Figure 12";
+    const char *desc = "Distinct wavefronts per L2 TLB epoch, "
+                       "SIMT-aware normalized to FCFS";
+    const auto opts = exp::parseBenchArgs(argc, argv, id, desc);
 
-    system::TablePrinter table({"app", "fcfs", "simt", "normalized",
-                                "paper(approx)"});
-    table.printHeader(std::cout);
+    exp::SweepSpec spec;
+    spec.workloads = workload::irregularWorkloadNames();
+    spec.schedulers = {core::SchedulerKind::Fcfs,
+                       core::SchedulerKind::SimtAware};
+    const auto result = exp::runSweep(spec, opts.runner);
 
     const std::map<std::string, double> paper{
         {"XSB", 0.60}, {"MVT", 0.55}, {"ATX", 0.55},
         {"NW", 0.70},  {"BIC", 0.55}, {"GEV", 0.52}};
 
-    MeanTracker mean;
-    for (const auto &app : workload::irregularWorkloadNames()) {
-        const auto cmp = compareSchedulers(cfg, app);
-        const double norm = cmp.fcfs.avgWavefrontsPerEpoch > 0
-                                ? cmp.simt.avgWavefrontsPerEpoch
-                                      / cmp.fcfs.avgWavefrontsPerEpoch
-                                : 1.0;
-        mean.add(norm);
-        table.printRow(std::cout,
-                       {app, fmt(cmp.fcfs.avgWavefrontsPerEpoch, 1),
-                        fmt(cmp.simt.avgWavefrontsPerEpoch, 1),
-                        fmt(norm), fmt(paper.at(app), 2)});
-    }
-    table.printRule(std::cout);
-    table.printRow(std::cout, {"GEOMEAN", "-", "-", fmt(mean.mean()),
-                               "0.58"});
+    exp::Report report(id, desc, spec.base);
+    auto &table = report.addTable(
+        {"app", "fcfs", "simt", "normalized", "paper(approx)"});
 
-    std::cout << "\npaper (Fig. 12): 42% average reduction in distinct "
-                 "wavefronts per epoch — the scheduler\nimplicitly "
-                 "throttles translation-heavy wavefronts, protecting "
-                 "TLB locality.\n";
+    MeanTracker mean;
+    for (const auto &app : spec.workloads) {
+        const auto &fcfs =
+            result.stats(app, core::SchedulerKind::Fcfs);
+        const auto &simt =
+            result.stats(app, core::SchedulerKind::SimtAware);
+        const double norm =
+            fcfs.avgWavefrontsPerEpoch > 0
+                ? simt.avgWavefrontsPerEpoch
+                      / fcfs.avgWavefrontsPerEpoch
+                : 1.0;
+        mean.add(norm);
+        table.addRow({app, fmt(fcfs.avgWavefrontsPerEpoch, 1),
+                      fmt(simt.avgWavefrontsPerEpoch, 1), fmt(norm),
+                      fmt(paper.at(app), 2)});
+    }
+    table.addRule();
+    table.addRow({"GEOMEAN", "-", "-", fmt(mean.mean()), "0.58"});
+    report.addSummary("geomean_norm_wavefronts_per_epoch",
+                      mean.mean());
+
+    report.addNote(
+        "paper (Fig. 12): 42% average reduction in distinct "
+        "wavefronts per epoch — the scheduler\nimplicitly throttles "
+        "translation-heavy wavefronts, protecting TLB locality.");
+    report.render(std::cout);
+    if (!opts.jsonPath.empty())
+        report.writeJsonFile(opts.jsonPath, &result);
     return 0;
 }

@@ -10,15 +10,16 @@
  * the baseline through (a)/(b) to (c).
  */
 
-#include <iostream>
-
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bench;
-    const auto base = system::SystemConfig::baseline();
+    const char *id = "Figure 13";
+    const char *desc = "SIMT-aware speedup vs FCFS with more "
+                       "translation resources";
+    const auto opts = exp::parseBenchArgs(argc, argv, id, desc);
 
     struct Variant
     {
@@ -33,34 +34,49 @@ main()
         {"(c) 1024 L2 TLB, 16 walkers", 1024, 16, 1.053},
     };
 
-    system::printBanner(std::cout, "Figure 13",
-                        "SIMT-aware speedup vs FCFS with more "
-                        "translation resources",
-                        base);
-
+    exp::SweepSpec spec;
+    spec.workloads = workload::irregularWorkloadNames();
+    spec.schedulers = {core::SchedulerKind::Fcfs,
+                       core::SchedulerKind::SimtAware};
     for (const auto &v : variants) {
-        auto cfg = base;
-        cfg.gpuTlb.l2Entries = v.l2Entries;
-        cfg.iommu.numWalkers = v.walkers;
+        const unsigned l2 = v.l2Entries;
+        const unsigned walkers = v.walkers;
+        spec.variants.push_back(
+            {v.name, [l2, walkers](system::SystemConfig &cfg,
+                                   workload::WorkloadParams &) {
+                 cfg.gpuTlb.l2Entries = l2;
+                 cfg.iommu.numWalkers = walkers;
+             }});
+    }
+    const auto result = exp::runSweep(spec, opts.runner);
 
-        std::cout << "\n" << v.name << "\n";
-        system::TablePrinter table({"app", "speedup"});
-        table.printHeader(std::cout);
+    exp::Report report(id, desc, spec.base);
+    for (const auto &v : variants) {
+        auto &table = report.addTable({"app", "speedup"});
+        table.title = v.name;
 
         MeanTracker mean;
-        for (const auto &app : workload::irregularWorkloadNames()) {
-            const auto cmp = compareSchedulers(cfg, app);
-            const double s = system::speedup(cmp.simt, cmp.fcfs);
+        for (const auto &app : spec.workloads) {
+            const auto &fcfs = result.stats(
+                app, core::SchedulerKind::Fcfs, v.name);
+            const auto &simt = result.stats(
+                app, core::SchedulerKind::SimtAware, v.name);
+            const double s = exp::speedup(simt, fcfs);
             mean.add(s);
-            table.printRow(std::cout, {app, fmt(s)});
+            table.addRow({app, fmt(s)});
         }
-        table.printRule(std::cout);
-        table.printRow(std::cout, {"GEOMEAN", fmt(mean.mean())});
-        std::cout << "paper (Fig. 13" << v.name.substr(1, 1)
-                  << "): mean speedup ~" << fmt(v.paperMean, 3) << "\n";
+        table.addRule();
+        table.addRow({"GEOMEAN", fmt(mean.mean())});
+        report.addNote("paper (Fig. 13" + v.name.substr(1, 1)
+                       + "): mean speedup ~" + fmt(v.paperMean, 3));
+        report.addSummary("geomean_speedup_" + v.name.substr(1, 1),
+                          mean.mean());
     }
 
-    std::cout << "\npaper: benefits shrink as TLB capacity or walker "
-                 "bandwidth grow, but SIMT-aware never loses.\n";
+    report.addNote("paper: benefits shrink as TLB capacity or walker "
+                   "bandwidth grow, but SIMT-aware never loses.");
+    report.render(std::cout);
+    if (!opts.jsonPath.empty())
+        report.writeJsonFile(opts.jsonPath, &result);
     return 0;
 }

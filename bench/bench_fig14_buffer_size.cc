@@ -8,20 +8,16 @@
  * increases it. Speedups must grow monotonically with buffer size.
  */
 
-#include <iostream>
-
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bench;
-    const auto base = system::SystemConfig::baseline();
-
-    system::printBanner(std::cout, "Figure 14",
-                        "SIMT-aware speedup vs FCFS with varying "
-                        "IOMMU buffer size (scheduler lookahead)",
-                        base);
+    const char *id = "Figure 14";
+    const char *desc = "SIMT-aware speedup vs FCFS with varying "
+                       "IOMMU buffer size (scheduler lookahead)";
+    const auto opts = exp::parseBenchArgs(argc, argv, id, desc);
 
     struct Variant
     {
@@ -35,29 +31,48 @@ main()
         {"(b) 512-entry IOMMU buffer", 512, 1.50},
     };
 
+    exp::SweepSpec spec;
+    spec.workloads = workload::irregularWorkloadNames();
+    spec.schedulers = {core::SchedulerKind::Fcfs,
+                       core::SchedulerKind::SimtAware};
     for (const auto &v : variants) {
-        auto cfg = base;
-        cfg.iommu.bufferEntries = v.buffer;
+        const unsigned buffer = v.buffer;
+        spec.variants.push_back(
+            {v.name, [buffer](system::SystemConfig &cfg,
+                              workload::WorkloadParams &) {
+                 cfg.iommu.bufferEntries = buffer;
+             }});
+    }
+    const auto result = exp::runSweep(spec, opts.runner);
 
-        std::cout << "\n" << v.name << "\n";
-        system::TablePrinter table({"app", "speedup"});
-        table.printHeader(std::cout);
+    exp::Report report(id, desc, spec.base);
+    for (const auto &v : variants) {
+        auto &table = report.addTable({"app", "speedup"});
+        table.title = v.name;
 
         MeanTracker mean;
-        for (const auto &app : workload::irregularWorkloadNames()) {
-            const auto cmp = compareSchedulers(cfg, app);
-            const double s = system::speedup(cmp.simt, cmp.fcfs);
+        for (const auto &app : spec.workloads) {
+            const auto &fcfs = result.stats(
+                app, core::SchedulerKind::Fcfs, v.name);
+            const auto &simt = result.stats(
+                app, core::SchedulerKind::SimtAware, v.name);
+            const double s = exp::speedup(simt, fcfs);
             mean.add(s);
-            table.printRow(std::cout, {app, fmt(s)});
+            table.addRow({app, fmt(s)});
         }
-        table.printRule(std::cout);
-        table.printRow(std::cout, {"GEOMEAN", fmt(mean.mean())});
-        std::cout << "paper: mean speedup ~" << fmt(v.paperMean, 2)
-                  << "\n";
+        table.addRule();
+        table.addRow({"GEOMEAN", fmt(mean.mean())});
+        report.addNote("paper: mean speedup ~" + fmt(v.paperMean, 2));
+        report.addSummary(
+            "geomean_speedup_" + std::to_string(v.buffer),
+            mean.mean());
     }
 
-    std::cout << "\npaper (Fig. 14): 13% at 128 entries, 30% at 256, "
-                 "50% at 512 — lookahead is the scheduler's\nraw "
-                 "material.\n";
+    report.addNote(
+        "paper (Fig. 14): 13% at 128 entries, 30% at 256, 50% at 512 "
+        "— lookahead is the scheduler's\nraw material.");
+    report.render(std::cout);
+    if (!opts.jsonPath.empty())
+        report.writeJsonFile(opts.jsonPath, &result);
     return 0;
 }

@@ -10,6 +10,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
 #include "core/fcfs_scheduler.hh"
 #include "core/simt_aware_scheduler.hh"
 #include "core/srpt_scheduler.hh"
@@ -188,7 +193,9 @@ BM_PageTableMap(benchmark::State &state)
     }
     state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_PageTableMap);
+// Each iteration consumes a frame; cap iterations so adaptive timing
+// can't exhaust the 32 GB allocator on fast hosts.
+BENCHMARK(BM_PageTableMap)->Iterations(1 << 20);
 
 void
 BM_PageTableTranslate(benchmark::State &state)
@@ -253,4 +260,48 @@ BENCHMARK(BM_SrptSelect)->Arg(64)->Arg(256)->Arg(512);
 
 } // namespace
 
-BENCHMARK_MAIN();
+/**
+ * Custom main so this binary speaks the same CLI dialect as the other
+ * benches: --json maps onto google-benchmark's JSON reporter, --jobs
+ * is accepted and ignored (micro-benchmarks are single-threaded by
+ * design). Everything else passes through to the library.
+ */
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> passthrough{argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char *flag) -> std::string {
+            const std::string prefix = std::string(flag) + "=";
+            if (arg.rfind(prefix, 0) == 0)
+                return arg.substr(prefix.size());
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s requires a value\n", flag);
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--jobs" || arg.rfind("--jobs=", 0) == 0) {
+            (void)value("--jobs");
+        } else if (arg == "--json" || arg.rfind("--json=", 0) == 0) {
+            passthrough.push_back("--benchmark_out="
+                                  + value("--json"));
+            passthrough.push_back("--benchmark_out_format=json");
+        } else {
+            passthrough.push_back(arg);
+        }
+    }
+
+    std::vector<char *> args;
+    for (auto &s : passthrough)
+        args.push_back(s.data());
+    int bench_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&bench_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                               args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -7,24 +7,25 @@
  * the paper leaves implicit (and this model therefore had to choose).
  */
 
-#include <iostream>
+#include <sstream>
 
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bench;
+    const char *id = "Table I";
+    const char *desc = "baseline system configuration (parameters "
+                       "the paper specifies, reproduced verbatim)";
+    const auto opts = exp::parseBenchArgs(argc, argv, id, desc);
+
     const auto cfg = system::SystemConfig::baseline();
+    exp::Report report(id, desc, cfg);
 
-    std::cout << "Table I: baseline system configuration\n"
-              << "=======================================\n\n"
-              << "Parameters specified by the paper (reproduced "
-                 "verbatim):\n\n";
-    cfg.print(std::cout);
-
-    std::cout
-        << "\nParameters the paper leaves implicit (this model's "
+    std::ostringstream implicit;
+    implicit
+        << "Parameters the paper leaves implicit (this model's "
            "calibrated choices):\n"
         << "  resident wavefronts per CU   "
         << cfg.gpu.wavefrontsPerCu
@@ -44,7 +45,11 @@ main()
         << cfg.iommu.walkCache.hitLatency / cfg.gpu.clockPeriod
         << "-cycle hits\n"
         << "  physical frame allocation    "
-        << (cfg.scrambleFrames ? "scrambled (OS-like)" : "linear")
-        << "\n";
+        << (cfg.scrambleFrames ? "scrambled (OS-like)" : "linear");
+    report.addNote(implicit.str());
+
+    report.render(std::cout);
+    if (!opts.jsonPath.empty())
+        report.writeJsonFile(opts.jsonPath, nullptr);
     return 0;
 }

@@ -7,48 +7,59 @@
  * footprint matches the Table II value.
  */
 
-#include <iomanip>
-#include <iostream>
-
 #include "bench_common.hh"
 
+#include "mem/backing_store.hh"
+#include "vm/address_space.hh"
+#include "vm/frame_allocator.hh"
+
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bench;
+    const char *id = "Table II";
+    const char *desc = "GPU benchmarks and their memory footprints";
+    const auto opts = exp::parseBenchArgs(argc, argv, id, desc);
 
-    std::cout << "Table II: GPU benchmarks\n"
-              << "========================\n\n"
-              << std::left << std::setw(10) << "Benchmark"
-              << std::setw(12) << "Class" << std::setw(52)
-              << "Description" << std::right << std::setw(14)
-              << "Table II (MB)" << std::setw(14) << "mapped (MB)"
-              << "\n"
-              << std::string(102, '-') << "\n";
-
-    for (const auto &name : workload::allWorkloadNames()) {
-        auto gen = workload::makeWorkload(name);
-        const auto &info = gen->info();
-
-        // Actually build the address space to verify the footprint.
+    exp::SweepSpec spec;
+    spec.workloads = workload::allWorkloadNames();
+    // No simulation: each job only builds the benchmark's address
+    // space and measures the eagerly mapped footprint.
+    spec.body = [](const exp::JobSpec &job) {
         mem::BackingStore store;
         vm::FrameAllocator frames(mem::Addr(16) << 30);
         vm::AddressSpace as(store, frames);
-        auto params = system::experimentParams();
-        gen->generate(as, params);
-        const double mapped_mb =
-            static_cast<double>(as.footprintBytes()) / (1024.0 * 1024.0);
+        auto gen = workload::makeWorkload(job.workload);
+        gen->generate(as, job.params);
 
-        std::cout << std::left << std::setw(10) << info.abbrev
-                  << std::setw(12)
-                  << (info.irregular ? "irregular" : "regular")
-                  << std::setw(52) << info.description << std::right
-                  << std::setw(14) << fmt(info.footprintMB, 2)
-                  << std::setw(14) << fmt(mapped_mb, 2) << "\n";
+        exp::RunResult res;
+        res.extra["mapped_mb"] =
+            static_cast<double>(as.footprintBytes())
+            / (1024.0 * 1024.0);
+        return res;
+    };
+    const auto result = exp::runJobs(spec.expand(), opts.runner);
+
+    exp::Report report(id, desc);
+    auto &table = report.addTable({"Benchmark", "Class",
+                                   "Table II (MB)", "mapped (MB)",
+                                   "  Description"});
+
+    for (const auto &name : spec.workloads) {
+        const auto &info = workload::makeWorkload(name)->info();
+        const double mapped_mb =
+            result.at(name).extra.at("mapped_mb");
+        table.addRow({name, info.irregular ? "irregular" : "regular",
+                      fmt(info.footprintMB, 2), fmt(mapped_mb, 2),
+                      "  " + std::string(info.description)});
     }
 
-    std::cout << "\n(mapped footprint = eagerly page-mapped buffers at "
-                 "footprintScale=1; small\n"
-                 "deltas come from page rounding and vector operands)\n";
+    report.addNote(
+        "(mapped footprint = eagerly page-mapped buffers at "
+        "footprintScale=1; small\ndeltas come from page rounding and "
+        "vector operands)");
+    report.render(std::cout);
+    if (!opts.jsonPath.empty())
+        report.writeJsonFile(opts.jsonPath, &result);
     return 0;
 }

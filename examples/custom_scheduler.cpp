@@ -14,7 +14,9 @@
 #include <iostream>
 
 #include "core/walk_scheduler.hh"
-#include "system/experiment.hh"
+#include "exp/metrics.hh"
+#include "exp/run.hh"
+#include "exp/table.hh"
 
 using namespace gpuwalk;
 
@@ -77,7 +79,7 @@ timeWith(const std::string &label,
         cfg.scheduler = kind;
 
     system::System sys(cfg);
-    auto params = system::experimentParams();
+    auto params = exp::experimentParams();
     params.footprintScale = 0.25; // keep the example snappy
     sys.loadBenchmark("ATX", params);
     const auto stats = sys.run();
@@ -107,9 +109,9 @@ main()
 
     std::cout << "\nspeedup over FCFS:\n"
               << "  cu-fair:    "
-              << system::TablePrinter::fmt(fcfs / fair) << "\n"
+              << exp::TablePrinter::fmt(fcfs / fair) << "\n"
               << "  simt-aware: "
-              << system::TablePrinter::fmt(fcfs / simt) << "\n"
+              << exp::TablePrinter::fmt(fcfs / simt) << "\n"
               << "\nWrite your own core::WalkScheduler and set\n"
                  "SystemConfig::schedulerFactory to explore the design "
                  "space the paper opens.\n";

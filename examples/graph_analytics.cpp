@@ -15,7 +15,9 @@
 #include <iostream>
 
 #include "sim/rng.hh"
-#include "system/experiment.hh"
+#include "exp/metrics.hh"
+#include "exp/run.hh"
+#include "exp/table.hh"
 #include "tlb/coalescer.hh"
 #include "workload/patterns.hh"
 
@@ -109,9 +111,9 @@ main(int argc, char **argv)
         std::cout.width(15);
         std::cout << window << " |";
         std::cout.width(12);
-        std::cout << system::TablePrinter::fmt(walks, 2) << " |";
+        std::cout << exp::TablePrinter::fmt(walks, 2) << " |";
         std::cout.width(18);
-        std::cout << system::TablePrinter::fmt(
+        std::cout << exp::TablePrinter::fmt(
                          static_cast<double>(fcfs_rt)
                              / static_cast<double>(simt_rt))
                   << "\n";

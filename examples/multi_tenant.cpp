@@ -14,7 +14,9 @@
 #include <iostream>
 #include <string>
 
-#include "system/experiment.hh"
+#include "exp/metrics.hh"
+#include "exp/run.hh"
+#include "exp/table.hh"
 
 using namespace gpuwalk;
 
@@ -23,7 +25,7 @@ namespace {
 workload::WorkloadParams
 tenantParams()
 {
-    auto params = system::experimentParams();
+    auto params = exp::experimentParams();
     params.wavefronts = 96;
     params.footprintScale = 0.25; // keep the example snappy
     return params;
@@ -77,13 +79,13 @@ main(int argc, char **argv)
             corunFinishTicks(kind, aggressor, victim);
         std::cout << core::toString(kind) << ":\n"
                   << "  " << victim << " slowdown vs solo: "
-                  << system::TablePrinter::fmt(
+                  << exp::TablePrinter::fmt(
                          static_cast<double>(vict)
                              / static_cast<double>(victim_solo),
                          2)
                   << "x\n"
                   << "  " << aggressor << " slowdown vs solo: "
-                  << system::TablePrinter::fmt(
+                  << exp::TablePrinter::fmt(
                          static_cast<double>(aggr)
                              / static_cast<double>(aggr_solo),
                          2)

@@ -13,7 +13,9 @@
 #include <iostream>
 #include <string>
 
-#include "system/experiment.hh"
+#include "exp/metrics.hh"
+#include "exp/run.hh"
+#include "exp/table.hh"
 #include "workload/registry.hh"
 
 using namespace gpuwalk;
@@ -24,7 +26,7 @@ main(int argc, char **argv)
     const std::string workload = argc > 1 ? argv[1] : "MVT";
     const double scale = argc > 2 ? std::atof(argv[2]) : 0.25;
 
-    workload::WorkloadParams params = system::experimentParams();
+    workload::WorkloadParams params = exp::experimentParams();
     params.footprintScale = scale;
 
     auto cfg = system::SystemConfig::baseline();
@@ -35,13 +37,13 @@ main(int argc, char **argv)
               << scale << ")\n\n";
 
     std::cout << "running with FCFS page-walk scheduling...\n";
-    const auto fcfs = system::runOne(
-        system::withScheduler(cfg, core::SchedulerKind::Fcfs), workload,
+    const auto fcfs = exp::runOne(
+        exp::withScheduler(cfg, core::SchedulerKind::Fcfs), workload,
         params);
 
     std::cout << "running with SIMT-aware page-walk scheduling...\n\n";
-    const auto simt = system::runOne(
-        system::withScheduler(cfg, core::SchedulerKind::SimtAware),
+    const auto simt = exp::runOne(
+        exp::withScheduler(cfg, core::SchedulerKind::SimtAware),
         workload, params);
 
     auto report = [](const char *name, const system::RunStats &s) {
@@ -59,7 +61,7 @@ main(int argc, char **argv)
     report("SIMT-aware", simt.stats);
 
     std::cout << "\nspeedup (SIMT-aware over FCFS): "
-              << system::speedup(simt.stats, fcfs.stats) << "x\n"
+              << exp::speedup(simt.stats, fcfs.stats) << "x\n"
               << "(the paper reports ~1.3x average across its six "
                  "irregular workloads)\n";
     return 0;

@@ -11,7 +11,9 @@
 
 #include <iostream>
 
-#include "system/experiment.hh"
+#include "exp/metrics.hh"
+#include "exp/run.hh"
+#include "exp/table.hh"
 
 using namespace gpuwalk;
 
@@ -26,7 +28,7 @@ main(int argc, char **argv)
               << "walkers | FCFS cycles | SIMT cycles | speedup\n"
               << "--------+-------------+-------------+--------\n";
 
-    auto params = system::experimentParams();
+    auto params = exp::experimentParams();
     params.footprintScale = 0.25; // keep the example snappy
 
     for (unsigned walkers : {2u, 4u, 8u, 16u, 32u}) {
@@ -34,12 +36,12 @@ main(int argc, char **argv)
         cfg.iommu.numWalkers = walkers;
 
         const auto fcfs =
-            system::runOne(system::withScheduler(
+            exp::runOne(exp::withScheduler(
                                cfg, core::SchedulerKind::Fcfs),
                            workload, params)
                 .stats;
         const auto simt =
-            system::runOne(system::withScheduler(
+            exp::runOne(exp::withScheduler(
                                cfg, core::SchedulerKind::SimtAware),
                            workload, params)
                 .stats;
@@ -51,8 +53,8 @@ main(int argc, char **argv)
         std::cout.width(12);
         std::cout << simt.runtimeTicks / 500 << " |";
         std::cout.width(8);
-        std::cout << system::TablePrinter::fmt(
-                         system::speedup(simt, fcfs))
+        std::cout << exp::TablePrinter::fmt(
+                         exp::speedup(simt, fcfs))
                   << "\n";
     }
 

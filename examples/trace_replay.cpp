@@ -14,7 +14,9 @@
 #include <iostream>
 #include <string>
 
-#include "system/experiment.hh"
+#include "exp/metrics.hh"
+#include "exp/run.hh"
+#include "exp/table.hh"
 #include "workload/registry.hh"
 #include "workload/trace_io.hh"
 
@@ -49,10 +51,10 @@ main(int argc, char **argv)
               << "   loads/stores      " << summary.loads << "/"
               << summary.stores << "\n"
               << "   avg active lanes  "
-              << system::TablePrinter::fmt(summary.avgActiveLanes, 1)
+              << exp::TablePrinter::fmt(summary.avgActiveLanes, 1)
               << "\n"
               << "   avg unique pages  "
-              << system::TablePrinter::fmt(summary.avgUniquePages, 1)
+              << exp::TablePrinter::fmt(summary.avgUniquePages, 1)
               << " per instruction (memory divergence)\n";
 
     std::cout << "4. replaying through the simulator...\n";

@@ -1,0 +1,80 @@
+#include "exp/bench_cli.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "sim/logging.hh"
+
+namespace gpuwalk::exp {
+
+namespace {
+
+[[noreturn]] void
+printHelp(const std::string &id, const std::string &description)
+{
+    std::cout << id << ": " << description << "\n\n"
+              << "Flags:\n"
+              << "  --jobs N     worker threads for the sweep "
+                 "(default: all hardware threads;\n"
+              << "               1 = serial reference execution)\n"
+              << "  --json PATH  write structured results (per-run "
+                 "stats, summary scalars,\n"
+              << "               config fingerprint, git sha, wall "
+                 "time) as JSON\n"
+              << "  --help       this text\n";
+    std::exit(0);
+}
+
+} // namespace
+
+BenchOptions
+parseBenchArgs(int argc, char **argv, const std::string &id,
+               const std::string &description)
+{
+    BenchOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0)
+            sim::fatal("unexpected argument '", arg,
+                       "' (flags start with --; see --help)");
+        arg = arg.substr(2);
+
+        std::string value;
+        bool have_value = false;
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            value = arg.substr(eq + 1);
+            arg = arg.substr(0, eq);
+            have_value = true;
+        }
+        // "--flag value" spelling: consume the next argument.
+        auto next_value = [&]() -> std::string {
+            if (have_value)
+                return value;
+            if (i + 1 >= argc)
+                sim::fatal("flag --", arg, " needs a value");
+            return argv[++i];
+        };
+
+        if (arg == "help" || arg == "h") {
+            printHelp(id, description);
+        } else if (arg == "jobs") {
+            const std::string v = next_value();
+            char *end = nullptr;
+            const unsigned long n = std::strtoul(v.c_str(), &end, 0);
+            if (v.empty() || end == nullptr || *end != '\0')
+                sim::fatal("--jobs needs a non-negative integer, got '",
+                           v, "'");
+            opts.runner.jobs = static_cast<unsigned>(n);
+        } else if (arg == "json") {
+            opts.jsonPath = next_value();
+            if (opts.jsonPath.empty())
+                sim::fatal("--json needs a file path");
+        } else {
+            sim::fatal("unknown flag --", arg, " (see --help)");
+        }
+    }
+    return opts;
+}
+
+} // namespace gpuwalk::exp

@@ -1,0 +1,29 @@
+#include "exp/metrics.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace gpuwalk::exp {
+
+double
+speedup(const system::RunStats &test, const system::RunStats &base)
+{
+    GPUWALK_ASSERT(test.runtimeTicks > 0, "zero test runtime");
+    return static_cast<double>(base.runtimeTicks)
+           / static_cast<double>(test.runtimeTicks);
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    GPUWALK_ASSERT(!values.empty(), "geomean of nothing");
+    double log_sum = 0.0;
+    for (double v : values) {
+        GPUWALK_ASSERT(v > 0.0, "geomean needs positive values");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace gpuwalk::exp

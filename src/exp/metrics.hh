@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Derived-metric math shared by the experiment reports: speedups and
+ * geometric means, plus the MEAN-row accumulator the figure benches
+ * use.
+ */
+
+#ifndef GPUWALK_EXP_METRICS_HH
+#define GPUWALK_EXP_METRICS_HH
+
+#include <vector>
+
+#include "system/system.hh"
+
+namespace gpuwalk::exp {
+
+/** base runtime / test runtime: > 1 means @p test is faster. */
+double speedup(const system::RunStats &test,
+               const system::RunStats &base);
+
+/** Geometric mean. @pre values positive, non-empty. */
+double geomean(const std::vector<double> &values);
+
+/** "MEAN" row helper: geometric mean over collected per-app values. */
+class MeanTracker
+{
+  public:
+    void add(double v) { values_.push_back(v); }
+    double mean() const { return geomean(values_); }
+    bool empty() const { return values_.empty(); }
+
+  private:
+    std::vector<double> values_;
+};
+
+} // namespace gpuwalk::exp
+
+#endif // GPUWALK_EXP_METRICS_HH

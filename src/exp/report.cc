@@ -1,0 +1,310 @@
+#include "exp/report.hh"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+#ifndef GPUWALK_GIT_SHA
+#define GPUWALK_GIT_SHA "unknown"
+#endif
+
+namespace gpuwalk::exp {
+
+namespace {
+
+void
+jsonEscape(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (const char c : s) {
+        switch (c) {
+        case '"': os << "\\\""; break;
+        case '\\': os << "\\\\"; break;
+        case '\n': os << "\\n"; break;
+        case '\t': os << "\\t"; break;
+        case '\r': os << "\\r"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                os << "\\u" << std::hex << std::setw(4)
+                   << std::setfill('0') << static_cast<int>(c)
+                   << std::dec << std::setfill(' ');
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+void
+jsonNumber(std::ostream &os, double v)
+{
+    // Round-trippable doubles; identical values print identically, so
+    // byte-comparing JSON is a valid determinism check.
+    os << std::setprecision(17) << v << std::setprecision(6);
+}
+
+template <typename T>
+void
+jsonUintArray(std::ostream &os, const std::vector<T> &values)
+{
+    os << '[';
+    for (std::size_t i = 0; i < values.size(); ++i)
+        os << (i ? "," : "") << values[i];
+    os << ']';
+}
+
+void
+jsonDoubleArray(std::ostream &os, const std::vector<double> &values)
+{
+    os << '[';
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        os << (i ? "," : "");
+        jsonNumber(os, values[i]);
+    }
+    os << ']';
+}
+
+} // namespace
+
+void
+Report::Table::addRow(std::vector<std::string> cells)
+{
+    rows.push_back(Row{std::move(cells), false});
+}
+
+void
+Report::Table::addRule()
+{
+    rows.push_back(Row{{}, true});
+}
+
+Report::Report(std::string id, std::string description,
+               const system::SystemConfig &cfg)
+    : id_(std::move(id)), description_(std::move(description)),
+      have_cfg_(true), cfg_(cfg)
+{}
+
+Report::Report(std::string id, std::string description)
+    : id_(std::move(id)), description_(std::move(description))
+{}
+
+Report::Table &
+Report::addTable(std::vector<std::string> columns, std::string title,
+                 unsigned width)
+{
+    Table table;
+    table.title = std::move(title);
+    table.columns = std::move(columns);
+    table.width = width;
+    tables_.push_back(std::move(table));
+    return tables_.back();
+}
+
+void
+Report::addNote(std::string text)
+{
+    notes_.push_back(std::move(text));
+}
+
+void
+Report::addSummary(const std::string &key, double value)
+{
+    summary_.emplace_back(key, value);
+}
+
+void
+Report::render(std::ostream &os) const
+{
+    if (have_cfg_)
+        printBanner(os, id_, description_, cfg_);
+    else
+        os << id_ << ": " << description_ << "\n";
+
+    for (const auto &table : tables_) {
+        if (!table.title.empty())
+            os << "\n" << table.title << "\n";
+        TablePrinter printer(table.columns, table.width);
+        printer.printHeader(os);
+        for (const auto &row : table.rows) {
+            if (row.rule)
+                printer.printRule(os);
+            else
+                printer.printRow(os, row.cells);
+        }
+    }
+    for (const auto &note : notes_)
+        os << "\n" << note << "\n";
+}
+
+void
+Report::writeJson(std::ostream &os, const SweepResult *result) const
+{
+    os << "{\"schema_version\": 1, \"experiment\": {\"id\": ";
+    jsonEscape(os, id_);
+    os << ", \"description\": ";
+    jsonEscape(os, description_);
+    os << "}, \"git_sha\": ";
+    jsonEscape(os, gitSha());
+    os << ", \"config_fingerprint\": ";
+    if (have_cfg_)
+        jsonEscape(os, configFingerprint(cfg_));
+    else
+        os << "null";
+
+    os << ", \"jobs\": " << (result ? result->jobsUsed() : 0)
+       << ", \"wall_seconds\": ";
+    jsonNumber(os, result ? result->wallSeconds() : 0.0);
+
+    os << ", \"runs\": [";
+    if (result) {
+        bool first = true;
+        for (const auto &run : result->runs()) {
+            os << (first ? "" : ", ");
+            first = false;
+            os << "{\"workload\": ";
+            jsonEscape(os, run.workload);
+            os << ", \"scheduler\": ";
+            jsonEscape(os, run.scheduler);
+            os << ", \"variant\": ";
+            jsonEscape(os, run.variant);
+            os << ", \"seed\": " << run.seed << ", \"wall_seconds\": ";
+            jsonNumber(os, run.wallSeconds);
+            os << ", \"stats\": ";
+            statsJson(os, run.stats);
+            os << ", \"extra\": {";
+            bool first_extra = true;
+            for (const auto &[key, value] : run.extra) {
+                os << (first_extra ? "" : ", ");
+                first_extra = false;
+                jsonEscape(os, key);
+                os << ": ";
+                jsonNumber(os, value);
+            }
+            os << "}}";
+        }
+    }
+    os << "]";
+
+    os << ", \"summary\": {";
+    for (std::size_t i = 0; i < summary_.size(); ++i) {
+        os << (i ? ", " : "");
+        jsonEscape(os, summary_[i].first);
+        os << ": ";
+        jsonNumber(os, summary_[i].second);
+    }
+    os << "}";
+
+    os << ", \"tables\": [";
+    bool first_table = true;
+    for (const auto &table : tables_) {
+        os << (first_table ? "" : ", ");
+        first_table = false;
+        os << "{\"title\": ";
+        jsonEscape(os, table.title);
+        os << ", \"columns\": [";
+        for (std::size_t i = 0; i < table.columns.size(); ++i) {
+            os << (i ? ", " : "");
+            jsonEscape(os, table.columns[i]);
+        }
+        os << "], \"rows\": [";
+        bool first_row = true;
+        for (const auto &row : table.rows) {
+            if (row.rule)
+                continue;
+            os << (first_row ? "" : ", ") << "[";
+            first_row = false;
+            for (std::size_t i = 0; i < row.cells.size(); ++i) {
+                os << (i ? ", " : "");
+                jsonEscape(os, row.cells[i]);
+            }
+            os << "]";
+        }
+        os << "]}";
+    }
+    os << "]}\n";
+}
+
+void
+Report::writeJsonFile(const std::string &path,
+                      const SweepResult *result) const
+{
+    std::ofstream os(path);
+    if (!os)
+        sim::fatal("cannot open '", path, "' for JSON output");
+    writeJson(os, result);
+}
+
+std::string
+configFingerprint(const system::SystemConfig &cfg)
+{
+    std::ostringstream text;
+    cfg.print(text);
+    // FNV-1a over the printed form: any knob that shows up in the
+    // banner changes the fingerprint.
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (const char c : text.str()) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001b3ull;
+    }
+    std::ostringstream os;
+    os << std::hex << std::setw(16) << std::setfill('0') << hash;
+    return os.str();
+}
+
+std::string
+gitSha()
+{
+    return GPUWALK_GIT_SHA;
+}
+
+void
+statsJson(std::ostream &os, const system::RunStats &stats)
+{
+    os << "{\"runtime_ticks\": " << stats.runtimeTicks
+       << ", \"stall_ticks\": " << stats.stallTicks
+       << ", \"instructions\": " << stats.instructions
+       << ", \"app_finish_ticks\": ";
+    jsonUintArray(os, stats.appFinishTicks);
+    os << ", \"translation_requests\": " << stats.translationRequests
+       << ", \"walk_requests\": " << stats.walkRequests
+       << ", \"walks_completed\": " << stats.walksCompleted
+       << ", \"avg_wavefronts_per_epoch\": ";
+    jsonNumber(os, stats.avgWavefrontsPerEpoch);
+
+    const auto &walks = stats.walks;
+    os << ", \"walks\": {\"instructions_with_walks\": "
+       << walks.instructionsWithWalks
+       << ", \"multi_walk_instructions\": "
+       << walks.multiWalkInstructions
+       << ", \"interleaved_instructions\": "
+       << walks.interleavedInstructions
+       << ", \"interleaved_fraction\": ";
+    jsonNumber(os, walks.interleavedFraction);
+    os << ", \"total_walks\": " << walks.totalWalks
+       << ", \"total_mem_accesses\": " << walks.totalMemAccesses
+       << ", \"avg_first_completed_latency\": ";
+    jsonNumber(os, walks.avgFirstCompletedLatency);
+    os << ", \"avg_last_completed_latency\": ";
+    jsonNumber(os, walks.avgLastCompletedLatency);
+    os << ", \"avg_latency_gap\": ";
+    jsonNumber(os, walks.avgLatencyGap);
+    os << ", \"work_bucket_counts\": ";
+    jsonUintArray(os, walks.workBucketCounts);
+    os << ", \"work_bucket_fractions\": ";
+    jsonDoubleArray(os, walks.workBucketFractions);
+    os << "}}";
+}
+
+std::string
+statsJsonString(const system::RunStats &stats)
+{
+    std::ostringstream os;
+    statsJson(os, stats);
+    return os.str();
+}
+
+} // namespace gpuwalk::exp

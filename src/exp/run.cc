@@ -1,0 +1,39 @@
+#include "exp/run.hh"
+
+namespace gpuwalk::exp {
+
+RunResult
+runOne(const system::SystemConfig &cfg, const std::string &workload,
+       const workload::WorkloadParams &params)
+{
+    system::System sys(cfg);
+    sys.loadBenchmark(workload, params);
+    RunResult result;
+    result.workload = workload;
+    result.scheduler = core::toString(cfg.scheduler);
+    result.schedulerKind = cfg.scheduler;
+    result.seed = params.seed;
+    result.stats = sys.run();
+    return result;
+}
+
+system::SystemConfig
+withScheduler(system::SystemConfig cfg, core::SchedulerKind kind)
+{
+    cfg.scheduler = kind;
+    return cfg;
+}
+
+workload::WorkloadParams
+experimentParams()
+{
+    workload::WorkloadParams params;
+    params.wavefronts = 256;              // oversubscribed; 2 resident/CU
+    params.instructionsPerWavefront = 48;
+    params.seed = 42;
+    params.footprintScale = 1.0;          // Table II footprints
+    params.computeCycles = 200;           // base; scaled per benchmark
+    return params;
+}
+
+} // namespace gpuwalk::exp

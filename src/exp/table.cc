@@ -1,0 +1,60 @@
+#include "exp/table.hh"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace gpuwalk::exp {
+
+TablePrinter::TablePrinter(std::vector<std::string> columns,
+                           unsigned width)
+    : columns_(std::move(columns)), width_(width)
+{}
+
+void
+TablePrinter::printHeader(std::ostream &os) const
+{
+    printRow(os, columns_);
+    printRule(os);
+}
+
+void
+TablePrinter::printRow(std::ostream &os,
+                       const std::vector<std::string> &cells) const
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i == 0)
+            os << std::left << std::setw(width_) << cells[i];
+        else
+            os << std::right << std::setw(width_) << cells[i];
+    }
+    os << "\n";
+}
+
+void
+TablePrinter::printRule(std::ostream &os) const
+{
+    os << std::string(width_ * columns_.size(), '-') << "\n";
+}
+
+std::string
+TablePrinter::fmt(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+void
+printBanner(std::ostream &os, const std::string &experiment_id,
+            const std::string &description,
+            const system::SystemConfig &cfg)
+{
+    os << "==============================================================\n"
+       << experiment_id << ": " << description << "\n"
+       << "--------------------------------------------------------------\n";
+    cfg.print(os);
+    os << "==============================================================\n";
+}
+
+} // namespace gpuwalk::exp

@@ -106,6 +106,12 @@ class EventQueue
      * Runs until the queue drains or simulated time would exceed
      * @p limit, whichever comes first.
      *
+     * With an explicit limit, time always advances to exactly
+     * @p limit even when the queue drains early, so time-bounded
+     * callers (rate probes, fixed-horizon studies) observe consistent
+     * end times. The unbounded default keeps now() at the last
+     * executed event.
+     *
      * @return the final simulated time.
      */
     Tick
@@ -113,6 +119,8 @@ class EventQueue
     {
         while (!queue_.empty() && queue_.top().when <= limit)
             runOne();
+        if (limit != maxTick && now_ < limit)
+            now_ = limit;
         return now_;
     }
 

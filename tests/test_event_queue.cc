@@ -93,6 +93,35 @@ TEST(EventQueue, RunHonoursLimit)
     EXPECT_EQ(eq.pending(), 1u);
 }
 
+TEST(EventQueue, RunAdvancesToLimitWhenQueueDrainsEarly)
+{
+    // Regression: run(limit) used to leave now() at the last executed
+    // event when the queue drained before the limit, so time-bounded
+    // callers observed end times that depended on event population.
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    EXPECT_EQ(eq.run(100), 100u);
+    EXPECT_EQ(eq.now(), 100u);
+
+    // An empty queue also advances straight to the bound...
+    EXPECT_EQ(eq.run(250), 250u);
+    EXPECT_EQ(eq.now(), 250u);
+
+    // ...and scheduling at the observed end time is legal.
+    int fired = 0;
+    eq.schedule(250, [&] { ++fired; });
+    eq.run(250);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, UnboundedRunKeepsNowAtLastEvent)
+{
+    EventQueue eq;
+    eq.schedule(42, [] {});
+    eq.run();
+    EXPECT_EQ(eq.now(), 42u);
+}
+
 TEST(EventQueue, RunEventsBoundsExecution)
 {
     EventQueue eq;

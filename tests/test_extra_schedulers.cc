@@ -9,7 +9,7 @@
 #include "core/oldest_job_scheduler.hh"
 #include "core/srpt_scheduler.hh"
 #include "core/walk_scheduler.hh"
-#include "system/experiment.hh"
+#include "system/system.hh"
 
 namespace {
 

@@ -6,7 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "core/fair_share_scheduler.hh"
-#include "system/experiment.hh"
+#include "system/system.hh"
 
 namespace {
 

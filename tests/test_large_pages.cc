@@ -8,7 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "iommu/page_table_walker.hh"
-#include "system/experiment.hh"
+#include "system/system.hh"
 #include "tlb/set_assoc_tlb.hh"
 #include "vm/address_space.hh"
 #include "workload/registry.hh"

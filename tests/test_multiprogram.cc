@@ -6,7 +6,7 @@
 
 #include <gtest/gtest.h>
 
-#include "system/experiment.hh"
+#include "system/system.hh"
 
 namespace {
 

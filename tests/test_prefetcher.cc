@@ -7,7 +7,7 @@
 
 #include "iommu/iommu.hh"
 #include "mem/dram_controller.hh"
-#include "system/experiment.hh"
+#include "system/system.hh"
 #include "vm/address_space.hh"
 
 namespace {

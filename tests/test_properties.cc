@@ -10,7 +10,8 @@
 #include <tuple>
 
 #include "core/simt_aware_scheduler.hh"
-#include "system/experiment.hh"
+#include "exp/metrics.hh"
+#include "system/system.hh"
 #include "workload/registry.hh"
 
 namespace {
@@ -258,13 +259,13 @@ INSTANTIATE_TEST_SUITE_P(
 /** Geomean helper sanity. */
 TEST(ExperimentMath, GeomeanAndSpeedup)
 {
-    EXPECT_DOUBLE_EQ(system::geomean({2.0, 8.0}), 4.0);
-    EXPECT_DOUBLE_EQ(system::geomean({1.0}), 1.0);
+    EXPECT_DOUBLE_EQ(exp::geomean({2.0, 8.0}), 4.0);
+    EXPECT_DOUBLE_EQ(exp::geomean({1.0}), 1.0);
     system::RunStats fast, slow;
     fast.runtimeTicks = 100;
     slow.runtimeTicks = 150;
-    EXPECT_DOUBLE_EQ(system::speedup(fast, slow), 1.5);
-    EXPECT_DOUBLE_EQ(system::speedup(slow, fast),
+    EXPECT_DOUBLE_EQ(exp::speedup(fast, slow), 1.5);
+    EXPECT_DOUBLE_EQ(exp::speedup(slow, fast),
                      100.0 / 150.0);
 }
 

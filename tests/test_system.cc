@@ -8,7 +8,6 @@
 
 #include <sstream>
 
-#include "system/experiment.hh"
 #include "system/system.hh"
 #include "workload/registry.hh"
 

@@ -5,7 +5,7 @@
 
 #include <gtest/gtest.h>
 
-#include "system/experiment.hh"
+#include "system/system.hh"
 #include "tlb/translating_port.hh"
 
 namespace {

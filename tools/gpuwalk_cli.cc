@@ -10,16 +10,22 @@
  * Run `gpuwalk --help` for the full flag reference.
  */
 
+#include <array>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "exp/metrics.hh"
+#include "exp/run.hh"
+#include "exp/runner.hh"
+#include "exp/table.hh"
 #include "sim/logging.hh"
-#include "system/experiment.hh"
+#include "system/system.hh"
 #include "workload/registry.hh"
 #include "workload/trace_io.hh"
 
@@ -117,6 +123,9 @@ Scheduler:
                           simt-aware | oldest-job | srpt |
                           fair-share            (default: fcfs)
   --compare               run fcfs AND simt-aware, report speedup
+  --jobs=N                worker threads for --compare
+                          (default: all cores; results are identical
+                          at any N)
   --seed=N                RNG seed (random scheduler + workloads)
 
 Workload shape:
@@ -206,7 +215,7 @@ configFromFlags(Flags &flags)
 workload::WorkloadParams
 paramsFromFlags(Flags &flags)
 {
-    auto params = system::experimentParams();
+    auto params = exp::experimentParams();
     params.wavefronts = static_cast<unsigned>(
         flags.getUint("wavefronts", params.wavefronts));
     params.instructionsPerWavefront = static_cast<unsigned>(
@@ -220,52 +229,77 @@ paramsFromFlags(Flags &flags)
     return params;
 }
 
-/** Runs one simulation; prints a summary unless quiet. */
-system::RunStats
-runConfigured(const system::SystemConfig &cfg, Flags &flags,
-              bool quiet)
+/**
+ * Everything one simulation needs, resolved from the flags up front.
+ * The Flags accessors mutate their consumed-set, so flag reading must
+ * finish before any job body can run on a worker thread.
+ */
+struct CliOptions
+{
+    std::string traceFile;   ///< "" = generate from the registry
+    std::string workload;
+    workload::WorkloadParams params;
+    std::string saveTrace;   ///< "" = don't save
+    bool dumpStats = false;
+    std::string jsonPath;    ///< component-stats JSON ("" = off)
+};
+
+CliOptions
+optionsFromFlags(Flags &flags)
+{
+    CliOptions opt;
+    if (flags.has("load-trace"))
+        opt.traceFile = flags.get("load-trace", "");
+    opt.workload = flags.get("workload", "MVT");
+    opt.params = paramsFromFlags(flags);
+    if (flags.has("save-trace"))
+        opt.saveTrace = flags.get("save-trace", "");
+    opt.dumpStats = flags.has("stats");
+    if (flags.has("json"))
+        opt.jsonPath = flags.get("json", "");
+    return opt;
+}
+
+/** One simulation's outcome plus its deferred text/JSON dumps
+ *  (captured into strings so --compare can run on worker threads and
+ *  still print in order). */
+struct CliRun
+{
+    system::RunStats stats;
+    std::string statsDump;
+    std::string componentJson;
+};
+
+CliRun
+simulate(const system::SystemConfig &cfg, const CliOptions &opt,
+         bool save_trace)
 {
     system::System sys(cfg);
 
-    if (flags.has("load-trace")) {
-        auto wl = workload::loadTraceFile(flags.get("load-trace", ""));
+    if (!opt.traceFile.empty()) {
+        auto wl = workload::loadTraceFile(opt.traceFile);
         // External traces reference raw virtual addresses: map them.
         workload::mapTraceAddresses(sys.addressSpace(), wl);
         sys.loadWorkload(std::move(wl));
     } else {
-        const std::string name = flags.get("workload", "MVT");
-        const auto params = paramsFromFlags(flags);
-        auto gen = workload::makeWorkload(name);
-        sys.addressSpace().useLargePages(params.useLargePages);
-        auto wl = gen->generate(sys.addressSpace(), params);
-        if (flags.has("save-trace"))
-            workload::saveTraceFile(flags.get("save-trace", ""), wl);
+        auto gen = workload::makeWorkload(opt.workload);
+        sys.addressSpace().useLargePages(opt.params.useLargePages);
+        auto wl = gen->generate(sys.addressSpace(), opt.params);
+        if (save_trace && !opt.saveTrace.empty())
+            workload::saveTraceFile(opt.saveTrace, wl);
         sys.loadWorkload(std::move(wl));
     }
 
-    const auto stats = sys.run();
+    CliRun run;
+    run.stats = sys.run();
 
-    if (!quiet) {
-        std::cout << "scheduler          "
-                  << core::toString(cfg.scheduler) << "\n"
-                  << "runtime            " << stats.runtimeTicks / 500
-                  << " GPU cycles\n"
-                  << "instructions       " << stats.instructions << "\n"
-                  << "page walks         " << stats.walkRequests << "\n"
-                  << "CU stall cycles    " << stats.stallTicks / 500
-                  << "\n"
-                  << "walk interleaving  "
-                  << system::TablePrinter::fmt(
-                         stats.walks.interleavedFraction * 100, 1)
-                  << "% of multi-walk instructions\n";
+    if (opt.dumpStats) {
+        std::ostringstream os;
+        sys.dumpStats(os);
+        run.statsDump = os.str();
     }
-    if (flags.has("stats"))
-        sys.dumpStats(std::cout);
-    if (flags.has("json")) {
-        const std::string path = flags.get("json", "");
-        std::ofstream os(path);
-        if (!os)
-            sim::fatal("cannot open '", path, "'");
+    if (!opt.jsonPath.empty()) {
+        std::ostringstream os;
         os << "{\"gpu\": ";
         sys.gpu().stats().dumpJson(os);
         os << ", \"gpu_tlb\": ";
@@ -275,8 +309,39 @@ runConfigured(const system::SystemConfig &cfg, Flags &flags,
         os << ", \"dram\": ";
         sys.dram().stats().dumpJson(os);
         os << "}\n";
+        run.componentJson = os.str();
     }
-    return stats;
+    return run;
+}
+
+/** Prints the run summary and any dumps, in the classic order. */
+void
+reportRun(const system::SystemConfig &cfg, const CliOptions &opt,
+          const CliRun &run, bool quiet)
+{
+    if (!quiet) {
+        const auto &stats = run.stats;
+        std::cout << "scheduler          "
+                  << core::toString(cfg.scheduler) << "\n"
+                  << "runtime            " << stats.runtimeTicks / 500
+                  << " GPU cycles\n"
+                  << "instructions       " << stats.instructions << "\n"
+                  << "page walks         " << stats.walkRequests << "\n"
+                  << "CU stall cycles    " << stats.stallTicks / 500
+                  << "\n"
+                  << "walk interleaving  "
+                  << exp::TablePrinter::fmt(
+                         stats.walks.interleavedFraction * 100, 1)
+                  << "% of multi-walk instructions\n";
+    }
+    if (opt.dumpStats)
+        std::cout << run.statsDump;
+    if (!opt.jsonPath.empty()) {
+        std::ofstream os(opt.jsonPath);
+        if (!os)
+            sim::fatal("cannot open '", opt.jsonPath, "'");
+        os << run.componentJson;
+    }
 }
 
 } // namespace
@@ -297,27 +362,57 @@ main(int argc, char **argv)
     }
 
     const bool quiet = flags.has("quiet");
+    exp::RunnerOptions runner;
+    runner.jobs =
+        static_cast<unsigned>(flags.getUint("jobs", 0));
 
     if (flags.has("compare")) {
-        auto cfg = configFromFlags(flags);
-        std::cout << "=== fcfs ===\n";
-        const auto fcfs = runConfigured(
-            system::withScheduler(cfg, core::SchedulerKind::Fcfs),
-            flags, quiet);
-        std::cout << "=== simt-aware ===\n";
-        const auto simt = runConfigured(
-            system::withScheduler(cfg, core::SchedulerKind::SimtAware),
-            flags, quiet);
-        std::cout << "\nspeedup (simt-aware over fcfs): "
-                  << system::TablePrinter::fmt(
-                         system::speedup(simt, fcfs))
-                  << "\n";
+        const auto cfg = configFromFlags(flags);
+        const auto opt = optionsFromFlags(flags);
         flags.rejectUnknown();
+
+        // Both schedulers as one job pool; dumps are captured into
+        // per-run slots so output order is independent of execution
+        // order.
+        const std::array<core::SchedulerKind, 2> kinds{
+            core::SchedulerKind::Fcfs, core::SchedulerKind::SimtAware};
+        std::array<CliRun, 2> runs;
+        std::vector<exp::Job> jobs;
+        for (std::size_t i = 0; i < kinds.size(); ++i) {
+            exp::Job job;
+            job.workload =
+                opt.traceFile.empty() ? opt.workload : opt.traceFile;
+            job.scheduler = core::toString(kinds[i]);
+            job.body = [&runs, i, &kinds, cfg, &opt] {
+                // Only the first job writes --save-trace (both would
+                // produce identical bytes; avoid the file race).
+                runs[i] = simulate(
+                    exp::withScheduler(cfg, kinds[i]), opt, i == 0);
+                exp::RunResult res;
+                res.stats = runs[i].stats;
+                return res;
+            };
+            jobs.push_back(std::move(job));
+        }
+        exp::runJobs(jobs, runner);
+
+        std::cout << "=== fcfs ===\n";
+        reportRun(exp::withScheduler(cfg, kinds[0]), opt, runs[0],
+                  quiet);
+        std::cout << "=== simt-aware ===\n";
+        reportRun(exp::withScheduler(cfg, kinds[1]), opt, runs[1],
+                  quiet);
+        std::cout << "\nspeedup (simt-aware over fcfs): "
+                  << exp::TablePrinter::fmt(
+                         exp::speedup(runs[1].stats, runs[0].stats))
+                  << "\n";
         return 0;
     }
 
     const auto cfg = configFromFlags(flags);
-    runConfigured(cfg, flags, quiet);
+    const auto opt = optionsFromFlags(flags);
     flags.rejectUnknown();
+    const auto run = simulate(cfg, opt, true);
+    reportRun(cfg, opt, run, quiet);
     return 0;
 }
