@@ -34,6 +34,24 @@ toString(SchedulerKind kind)
     sim::panic("unknown SchedulerKind");
 }
 
+const char *
+toString(PickReason reason)
+{
+    switch (reason) {
+      case PickReason::Immediate:
+        return "immediate";
+      case PickReason::Policy:
+        return "policy";
+      case PickReason::Batch:
+        return "batch";
+      case PickReason::Sjf:
+        return "sjf";
+      case PickReason::Aging:
+        return "aging";
+    }
+    sim::panic("unknown PickReason");
+}
+
 SchedulerKind
 schedulerKindFromString(const std::string &name)
 {

@@ -21,6 +21,7 @@ SimtAwareScheduler::selectNext(const WalkBuffer &buffer)
         }
         if (best != entries.size()) {
             ++agingOverrides_;
+            lastPick_ = PickReason::Aging;
             return best;
         }
     }
@@ -38,6 +39,7 @@ SimtAwareScheduler::selectNext(const WalkBuffer &buffer)
         }
         if (best != entries.size()) {
             ++batchPicks_;
+            lastPick_ = PickReason::Batch;
             return best;
         }
     }
@@ -55,6 +57,7 @@ SimtAwareScheduler::selectNext(const WalkBuffer &buffer)
         if (entries[i].seq < entries[best].seq)
             best = i;
     }
+    lastPick_ = cfg_.enableSjf ? PickReason::Sjf : PickReason::Policy;
     return best;
 }
 

@@ -49,6 +49,8 @@ class SimtAwareScheduler : public WalkScheduler
 
     void onDispatch(WalkBuffer &buffer, const PendingWalk &walk) override;
 
+    PickReason lastPickReason() const override { return lastPick_; }
+
     /** Instruction ID of the most recently dispatched walk, if any. */
     std::optional<tlb::InstructionId>
     lastInstruction() const
@@ -65,6 +67,7 @@ class SimtAwareScheduler : public WalkScheduler
   private:
     SimtSchedulerConfig cfg_;
     std::optional<tlb::InstructionId> lastInstruction_;
+    PickReason lastPick_ = PickReason::Policy;
     std::uint64_t agingOverrides_ = 0;
     std::uint64_t batchPicks_ = 0;
 };

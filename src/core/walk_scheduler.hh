@@ -36,6 +36,23 @@ std::string toString(SchedulerKind kind);
 SchedulerKind schedulerKindFromString(const std::string &name);
 
 /**
+ * Why a dispatch picked the request it did — recorded into Scheduled
+ * trace events so ordering claims (batching, SJF, aging) are testable
+ * per decision rather than inferred from aggregates.
+ */
+enum class PickReason : std::uint8_t
+{
+    Immediate = 0, ///< idle walker, scheduler never consulted
+    Policy,        ///< a policy pick with no finer classification
+    Batch,         ///< same-instruction batching (paper key idea 2)
+    Sjf,           ///< lowest job-length score (paper key idea 1)
+    Aging,         ///< anti-starvation override
+};
+
+/** Short name of @p reason (e.g. "batch"). */
+const char *toString(PickReason reason);
+
+/**
  * Policy deciding the service order of pending page walks.
  *
  * The IOMMU owns the buffer and the walkers; the scheduler only picks
@@ -63,6 +80,16 @@ class WalkScheduler
      * Must not modify the buffer.
      */
     virtual std::size_t selectNext(const WalkBuffer &buffer) = 0;
+
+    /**
+     * Classifies the most recent selectNext() decision. Policies with
+     * a single rule report Policy; the SIMT-aware scheduler
+     * distinguishes its aging/batching/SJF branches.
+     */
+    virtual PickReason lastPickReason() const
+    {
+        return PickReason::Policy;
+    }
 
     /**
      * Observes that @p walk was dispatched to a walker, after it was

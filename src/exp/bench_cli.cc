@@ -21,6 +21,14 @@ printHelp(const std::string &id, const std::string &description)
                  "stats, summary scalars,\n"
               << "               config fingerprint, git sha, wall "
                  "time) as JSON\n"
+              << "  --trace-out PATH  record walk-lifecycle traces and "
+                 "write one Chrome\n"
+              << "               trace_event JSON per run, uniquified "
+                 "from PATH\n"
+              << "               (load in chrome://tracing or "
+                 "ui.perfetto.dev)\n"
+              << "  --trace-ring N  trace ring-buffer capacity in "
+                 "events (default 1Mi)\n"
               << "  --help       this text\n";
     std::exit(0);
 }
@@ -70,6 +78,22 @@ parseBenchArgs(int argc, char **argv, const std::string &id,
             opts.jsonPath = next_value();
             if (opts.jsonPath.empty())
                 sim::fatal("--json needs a file path");
+        } else if (arg == "trace-out") {
+            opts.runner.trace.outPath = next_value();
+            if (opts.runner.trace.outPath.empty())
+                sim::fatal("--trace-out needs a file path");
+            opts.runner.trace.enabled = true;
+        } else if (arg == "trace-ring") {
+            const std::string v = next_value();
+            char *end = nullptr;
+            const unsigned long long n =
+                std::strtoull(v.c_str(), &end, 0);
+            if (v.empty() || end == nullptr || *end != '\0' || n == 0)
+                sim::fatal("--trace-ring needs a positive integer, "
+                           "got '", v, "'");
+            opts.runner.trace.ringCapacity =
+                static_cast<std::size_t>(n);
+            opts.runner.trace.enabled = true;
         } else {
             sim::fatal("unknown flag --", arg, " (see --help)");
         }

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "sim/logging.hh"
+#include "trace/digest.hh"
 
 #ifndef GPUWALK_GIT_SHA
 #define GPUWALK_GIT_SHA "unknown"
@@ -296,7 +297,38 @@ statsJson(std::ostream &os, const system::RunStats &stats)
     jsonUintArray(os, walks.workBucketCounts);
     os << ", \"work_bucket_fractions\": ";
     jsonDoubleArray(os, walks.workBucketFractions);
-    os << "}}";
+    os << "}";
+
+    const auto dist =
+        [&os](const iommu::LatencyBreakdownSummary::Dist &d) {
+            os << "{\"bucket_counts\": ";
+            jsonUintArray(os, d.bucketCounts);
+            os << ", \"samples\": " << d.samples << ", \"avg\": ";
+            jsonNumber(os, d.avg);
+            os << "}";
+        };
+    const auto &lat = stats.latency;
+    os << ", \"latency_breakdown\": {\"bucket_bounds\": ";
+    jsonUintArray(os, iommu::latencyBucketBounds());
+    os << ", \"queue_wait\": ";
+    dist(lat.queueWait);
+    os << ", \"walker_service\": ";
+    dist(lat.walkerService);
+    os << ", \"level_mem\": [";
+    for (std::size_t l = 0; l < lat.levelMem.size(); ++l) {
+        os << (l ? ", " : "");
+        dist(lat.levelMem[l]);
+    }
+    os << "]}";
+
+    os << ", \"traced\": " << (stats.traced ? "true" : "false");
+    if (stats.traced) {
+        os << ", \"trace_digest\": ";
+        jsonEscape(os, trace::digestHex(stats.traceDigest));
+        os << ", \"trace_events\": " << stats.traceEvents
+           << ", \"trace_dropped\": " << stats.traceDropped;
+    }
+    os << "}";
 }
 
 std::string

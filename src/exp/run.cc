@@ -1,6 +1,26 @@
 #include "exp/run.hh"
 
+#include "exp/report.hh"
+#include "trace/chrome_export.hh"
+
 namespace gpuwalk::exp {
+
+std::string
+traceFilePath(const system::SystemConfig &cfg,
+              const std::string &workload, std::uint64_t seed)
+{
+    const std::string &base = cfg.trace.outPath;
+    const auto slash = base.find_last_of('/');
+    auto dot = base.find_last_of('.');
+    if (dot == std::string::npos
+        || (slash != std::string::npos && dot < slash)) {
+        dot = base.size();
+    }
+    return base.substr(0, dot) + "-" + workload + "-"
+           + core::toString(cfg.scheduler) + "-"
+           + configFingerprint(cfg).substr(0, 8) + "-s"
+           + std::to_string(seed) + base.substr(dot);
+}
 
 RunResult
 runOne(const system::SystemConfig &cfg, const std::string &workload,
@@ -14,6 +34,11 @@ runOne(const system::SystemConfig &cfg, const std::string &workload,
     result.schedulerKind = cfg.scheduler;
     result.seed = params.seed;
     result.stats = sys.run();
+    if (sys.tracer() && !cfg.trace.outPath.empty()) {
+        trace::writeChromeTraceFile(traceFilePath(cfg, workload,
+                                                  params.seed),
+                                    *sys.tracer());
+    }
     return result;
 }
 

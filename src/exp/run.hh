@@ -52,6 +52,16 @@ system::SystemConfig withScheduler(system::SystemConfig cfg,
                                    core::SchedulerKind kind);
 
 /**
+ * The Chrome-trace output path runOne writes for one run: the
+ * configured cfg.trace.outPath uniquified with the workload,
+ * scheduler, a config-fingerprint prefix (distinguishes variants) and
+ * the seed, so every run of a sweep gets its own file.
+ */
+std::string traceFilePath(const system::SystemConfig &cfg,
+                          const std::string &workload,
+                          std::uint64_t seed);
+
+/**
  * The default experiment workload shape. Smaller than the paper's
  * full applications (simulation budget), but big enough to exercise
  * TLB thrashing and walker contention at Table II footprints.

@@ -129,7 +129,11 @@ runJobs(const std::vector<Job> &jobs, const RunnerOptions &opts)
 SweepResult
 runSweep(const SweepSpec &spec, const RunnerOptions &opts)
 {
-    return runJobs(spec.expand(), opts);
+    if (!opts.trace.enabled)
+        return runJobs(spec.expand(), opts);
+    SweepSpec traced = spec;
+    traced.base.trace = opts.trace;
+    return runJobs(traced.expand(), opts);
 }
 
 } // namespace gpuwalk::exp

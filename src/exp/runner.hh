@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "exp/sweep.hh"
+#include "trace/trace.hh"
 
 namespace gpuwalk::exp {
 
@@ -24,6 +25,13 @@ struct RunnerOptions
 {
     /** Worker threads; 0 means std::thread::hardware_concurrency. */
     unsigned jobs = 0;
+
+    /**
+     * Walk-lifecycle tracing applied to every run of the sweep
+     * (runSweep copies it into the spec's base config before
+     * expansion). Observation-only: simulated results are unchanged.
+     */
+    trace::TraceConfig trace;
 };
 
 /**

@@ -40,7 +40,7 @@ Iommu::Iommu(sim::EventQueue &eq, const IommuConfig &cfg,
     walkers_.reserve(cfg_.numWalkers);
     for (unsigned i = 0; i < cfg_.numWalkers; ++i) {
         walkers_.push_back(std::make_unique<PageTableWalker>(
-            eq_, *walk_path, store_, pwc_));
+            eq_, *walk_path, store_, pwc_, i));
     }
 
     statGroup_.add(requests_);
@@ -52,11 +52,49 @@ Iommu::Iommu(sim::EventQueue &eq, const IommuConfig &cfg,
     statGroup_.add(bufferOccupancy_);
     statGroup_.add(walkLatency_);
     statGroup_.add(walkAccessesAvg_);
+    latencyGroup_.add(queueWaitHist_);
+    latencyGroup_.add(walkerServiceHist_);
+    latencyGroup_.add(queueWaitAvg_);
+    latencyGroup_.add(walkerServiceAvg_);
+    for (auto &h : levelMemHist_)
+        latencyGroup_.add(h);
+    for (auto &a : levelMemAvg_)
+        latencyGroup_.add(a);
+    statGroup_.addChild(latencyGroup_);
     statGroup_.addChild(l1Tlb_.stats());
     statGroup_.addChild(l2Tlb_.stats());
     statGroup_.addChild(pwc_.stats());
     if (walkCache_)
         statGroup_.addChild(walkCache_->stats());
+}
+
+void
+Iommu::setTracer(trace::Tracer *tracer)
+{
+    tracer_ = tracer;
+    for (auto &w : walkers_)
+        w->setTracer(tracer);
+}
+
+LatencyBreakdownSummary
+Iommu::latencySummary() const
+{
+    const auto dist = [](const sim::Histogram &h, const sim::Average &a) {
+        LatencyBreakdownSummary::Dist d;
+        d.bucketCounts.resize(h.buckets());
+        for (std::size_t i = 0; i < h.buckets(); ++i)
+            d.bucketCounts[i] = h.bucketCount(i);
+        d.samples = h.total();
+        d.avg = a.mean();
+        return d;
+    };
+
+    LatencyBreakdownSummary s;
+    s.queueWait = dist(queueWaitHist_, queueWaitAvg_);
+    s.walkerService = dist(walkerServiceHist_, walkerServiceAvg_);
+    for (unsigned l = 0; l < vm::numPtLevels; ++l)
+        s.levelMem[l] = dist(levelMemHist_[l], levelMemAvg_[l]);
+    return s;
 }
 
 void
@@ -106,13 +144,24 @@ Iommu::enqueueWalk(tlb::TranslationRequest req)
     walk.seq = nextSeq_++;
     metrics_.onArrival(walk.request.instruction);
 
+    if (tracer_) {
+        trace::Event ev;
+        ev.tick = eq_.now();
+        ev.kind = trace::EventKind::Enqueued;
+        ev.wavefront = walk.request.wavefront;
+        ev.instruction = walk.request.instruction;
+        ev.vaPage = walk.request.vaPage;
+        ev.arg0 = buffer_.size();
+        tracer_->record(ev);
+    }
+
     // An idle walker implies the buffer and overflow FIFO are empty
     // (dispatch drains the buffer whenever a walker frees up), so the
     // new request starts immediately and the scheduler plays no role.
     if (PageTableWalker *w = idleWalker()) {
         GPUWALK_ASSERT(buffer_.empty() && overflow_.empty(),
                        "idle walker with pending requests");
-        dispatchTo(*w, std::move(walk));
+        dispatchTo(*w, std::move(walk), core::PickReason::Immediate);
         return;
     }
 
@@ -148,6 +197,18 @@ Iommu::admitToBuffer(core::PendingWalk walk)
             walk.request.instruction,
             [&](core::PendingWalk &e) { e.score = new_score; });
         walk.score = new_score;
+
+        if (tracer_) {
+            trace::Event ev;
+            ev.tick = eq_.now();
+            ev.kind = trace::EventKind::Scored;
+            ev.wavefront = walk.request.wavefront;
+            ev.instruction = walk.request.instruction;
+            ev.vaPage = walk.request.vaPage;
+            ev.arg0 = estimate;
+            ev.arg1 = new_score;
+            tracer_->record(ev);
+        }
     }
     buffer_.insert(std::move(walk));
 }
@@ -172,7 +233,7 @@ Iommu::dispatchIfPossible()
         const std::size_t idx = scheduler_->selectNext(buffer_);
         core::PendingWalk walk = buffer_.extract(idx);
         scheduler_->onDispatch(buffer_, walk);
-        dispatchTo(*w, std::move(walk));
+        dispatchTo(*w, std::move(walk), scheduler_->lastPickReason());
 
         // A buffer slot freed: admit the oldest overflowed request.
         if (!overflow_.empty() && !buffer_.full()) {
@@ -183,13 +244,30 @@ Iommu::dispatchIfPossible()
 }
 
 void
-Iommu::dispatchTo(PageTableWalker &walker, core::PendingWalk walk)
+Iommu::dispatchTo(PageTableWalker &walker, core::PendingWalk walk,
+                  core::PickReason reason)
 {
     sim::debug::log("sched", eq_.now(), "dispatch va=", std::hex,
                     walk.request.vaPage, std::dec, " instr=",
                     walk.request.instruction, " score=", walk.score,
                     " buffered=", buffer_.size());
     metrics_.onDispatch(walk.request.instruction);
+
+    const sim::Tick wait = eq_.now() - walk.arrival;
+    queueWaitHist_.sample(wait);
+    queueWaitAvg_.sample(static_cast<double>(wait));
+    if (tracer_) {
+        trace::Event ev;
+        ev.tick = eq_.now();
+        ev.kind = trace::EventKind::Scheduled;
+        ev.walker = walker.id();
+        ev.wavefront = walk.request.wavefront;
+        ev.instruction = walk.request.instruction;
+        ev.vaPage = walk.request.vaPage;
+        ev.arg0 = static_cast<std::uint64_t>(reason);
+        ev.arg1 = wait;
+        tracer_->record(ev);
+    }
     walker.start(std::move(walk),
                  [this](WalkResult result) { onWalkDone(std::move(result)); });
 }
@@ -207,6 +285,17 @@ Iommu::onWalkDone(WalkResult result)
         metrics_.onComplete(result.walk.request.instruction,
                             result.walk.arrival, result.finished,
                             result.memAccesses);
+
+        const sim::Tick service = result.finished - result.started;
+        walkerServiceHist_.sample(service);
+        walkerServiceAvg_.sample(static_cast<double>(service));
+        for (unsigned l = 0; l < vm::numPtLevels; ++l) {
+            if (result.levelTicks[l] > 0) {
+                levelMemHist_[l].sample(result.levelTicks[l]);
+                levelMemAvg_[l].sample(
+                    static_cast<double>(result.levelTicks[l]));
+            }
+        }
     }
 
     // Fill the IOMMU's TLBs; the GPU-side fills happen in the request's

@@ -20,6 +20,7 @@
 #ifndef GPUWALK_IOMMU_IOMMU_HH
 #define GPUWALK_IOMMU_IOMMU_HH
 
+#include <array>
 #include <deque>
 #include <memory>
 #include <vector>
@@ -103,6 +104,12 @@ class Iommu : public tlb::TranslationService
     /** Entry point for GPU L2 TLB misses. */
     void translate(tlb::TranslationRequest req) override;
 
+    /**
+     * Attaches a lifecycle tracer to the walk path (this component and
+     * every walker). nullptr detaches.
+     */
+    void setTracer(trace::Tracer *tracer);
+
     const IommuConfig &config() const { return cfg_; }
     core::WalkScheduler &scheduler() { return *scheduler_; }
     PageWalkCache &pwc() { return pwc_; }
@@ -126,6 +133,12 @@ class Iommu : public tlb::TranslationService
     /** Speculative next-page walks issued. */
     std::uint64_t prefetches() const { return prefetches_.value(); }
 
+    /** Requests that waited in the overflow FIFO. */
+    std::uint64_t overflowed() const { return overflowed_.value(); }
+
+    /** Bucketed queue-wait / walker-service / per-level breakdown. */
+    LatencyBreakdownSummary latencySummary() const;
+
     /** Walks currently buffered, overflowed, or in a walker. */
     std::uint64_t
     inflightWalks() const
@@ -144,7 +157,8 @@ class Iommu : public tlb::TranslationService
     void maybePrefetch(mem::Addr completed_va_page);
     void admitToBuffer(core::PendingWalk walk);
     void dispatchIfPossible();
-    void dispatchTo(PageTableWalker &walker, core::PendingWalk walk);
+    void dispatchTo(PageTableWalker &walker, core::PendingWalk walk,
+                    core::PickReason reason);
     void onWalkDone(WalkResult result);
     PageTableWalker *idleWalker();
 
@@ -164,6 +178,7 @@ class Iommu : public tlb::TranslationService
     std::vector<std::unique_ptr<PageTableWalker>> walkers_;
     WalkMetrics metrics_;
     std::uint64_t nextSeq_ = 0;
+    trace::Tracer *tracer_ = nullptr;
 
     sim::StatGroup statGroup_;
     sim::Counter requests_{"requests", "translation requests received"};
@@ -182,6 +197,36 @@ class Iommu : public tlb::TranslationService
                               "walk-path latency, arrival->done (ticks)"};
     sim::Average walkAccessesAvg_{"walk_accesses",
                                   "memory accesses per walk"};
+
+    // Latency breakdown: the two scheduler-controlled hand-off points
+    // plus the per-level memory time inside walker service.
+    sim::StatGroup latencyGroup_{"latency"};
+    sim::Histogram queueWaitHist_{
+        "queue_wait", "buffer wait, arrival->dispatch (ticks)",
+        latencyBucketBounds()};
+    sim::Histogram walkerServiceHist_{
+        "walker_service", "walker service, dispatch->done (ticks)",
+        latencyBucketBounds()};
+    std::array<sim::Histogram, vm::numPtLevels> levelMemHist_{{
+        {"mem_l1", "level-1 (PT) PTE fetch latency (ticks)",
+         latencyBucketBounds()},
+        {"mem_l2", "level-2 (PD) PTE fetch latency (ticks)",
+         latencyBucketBounds()},
+        {"mem_l3", "level-3 (PDPT) PTE fetch latency (ticks)",
+         latencyBucketBounds()},
+        {"mem_l4", "level-4 (PML4) PTE fetch latency (ticks)",
+         latencyBucketBounds()},
+    }};
+    sim::Average queueWaitAvg_{"queue_wait_avg",
+                               "mean buffer wait (ticks)"};
+    sim::Average walkerServiceAvg_{"walker_service_avg",
+                                   "mean walker service (ticks)"};
+    std::array<sim::Average, vm::numPtLevels> levelMemAvg_{{
+        {"mem_l1_avg", "mean level-1 fetch latency (ticks)"},
+        {"mem_l2_avg", "mean level-2 fetch latency (ticks)"},
+        {"mem_l3_avg", "mean level-3 fetch latency (ticks)"},
+        {"mem_l4_avg", "mean level-4 fetch latency (ticks)"},
+    }};
 };
 
 } // namespace gpuwalk::iommu

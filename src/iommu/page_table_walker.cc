@@ -14,6 +14,7 @@ PageTableWalker::start(core::PendingWalk walk, DoneCallback on_done)
     onDone_ = std::move(on_done);
     accesses_ = 0;
     started_ = eq_.now();
+    levelTicks_.fill(0);
 
     const WalkStart ws = pwc_.lookup(current_.request.vaPage);
     level_ = ws.level;
@@ -29,13 +30,44 @@ PageTableWalker::step()
     const mem::Addr slot =
         table_ + std::uint64_t(vm::PageTable::indexAt(va, level)) * 8;
 
+    // Prefetch walks bypass the scheduler and are invisible to the
+    // trace, keeping "every enqueued walk completes once" exact.
+    if (tracer_ && !current_.isPrefetch) {
+        trace::Event ev;
+        ev.tick = eq_.now();
+        ev.kind = trace::EventKind::MemIssued;
+        ev.level = static_cast<std::uint8_t>(level_);
+        ev.walker = id_;
+        ev.wavefront = current_.request.wavefront;
+        ev.instruction = current_.request.instruction;
+        ev.vaPage = va;
+        ev.arg0 = slot;
+        tracer_->record(ev);
+    }
+
+    const sim::Tick issued = eq_.now();
+    const unsigned issued_level = level_;
     mem::MemoryRequest req;
     req.addr = slot;
     req.size = 8;
     req.write = false;
     req.requester = mem::Requester::PageWalk;
-    req.onComplete = [this, slot, va] {
+    req.onComplete = [this, slot, va, issued, issued_level] {
         ++accesses_;
+        const sim::Tick latency = eq_.now() - issued;
+        levelTicks_[issued_level - 1] = latency;
+        if (tracer_ && !current_.isPrefetch) {
+            trace::Event ev;
+            ev.tick = eq_.now();
+            ev.kind = trace::EventKind::MemCompleted;
+            ev.level = static_cast<std::uint8_t>(issued_level);
+            ev.walker = id_;
+            ev.wavefront = current_.request.wavefront;
+            ev.instruction = current_.request.instruction;
+            ev.vaPage = va;
+            ev.arg0 = latency;
+            tracer_->record(ev);
+        }
         const std::uint64_t entry = store_.read64(slot);
         GPUWALK_ASSERT(entry & vm::pte::present,
                        "page walk hit a non-present entry at level ",
@@ -71,6 +103,19 @@ PageTableWalker::finish(mem::Addr pa_page, bool large_page)
     sim::debug::log("walks", eq_.now(), "walk done va=", std::hex,
                     current_.request.vaPage, " pa=", pa_page, std::dec,
                     " accesses=", accesses_, large_page ? " (2MB)" : "");
+    if (tracer_ && !current_.isPrefetch) {
+        trace::Event ev;
+        ev.tick = eq_.now();
+        ev.kind = trace::EventKind::WalkDone;
+        ev.walker = id_;
+        ev.wavefront = current_.request.wavefront;
+        ev.instruction = current_.request.instruction;
+        ev.vaPage = current_.request.vaPage;
+        ev.arg0 = accesses_;
+        ev.arg1 = eq_.now() - started_;
+        tracer_->record(ev);
+    }
+
     WalkResult result;
     result.walk = std::move(current_);
     result.paPage = pa_page;
@@ -78,6 +123,7 @@ PageTableWalker::finish(mem::Addr pa_page, bool large_page)
     result.memAccesses = accesses_;
     result.started = started_;
     result.finished = eq_.now();
+    result.levelTicks = levelTicks_;
 
     busy_ = false;
     // Move the callback out before invoking: the IOMMU may immediately

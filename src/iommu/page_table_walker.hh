@@ -13,6 +13,7 @@
 #ifndef GPUWALK_IOMMU_PAGE_TABLE_WALKER_HH
 #define GPUWALK_IOMMU_PAGE_TABLE_WALKER_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
 
@@ -21,6 +22,7 @@
 #include "mem/backing_store.hh"
 #include "mem/request.hh"
 #include "sim/event_queue.hh"
+#include "trace/trace.hh"
 
 namespace gpuwalk::iommu {
 
@@ -33,6 +35,10 @@ struct WalkResult
     unsigned memAccesses = 0;   ///< actual accesses performed (1-4)
     sim::Tick started = 0;      ///< dispatch time
     sim::Tick finished = 0;     ///< completion time
+
+    /** Memory latency of each level's PTE read; index = level - 1,
+     *  0 for levels the walk skipped (PWC hit / 2 MB leaf). */
+    std::array<sim::Tick, vm::numPtLevels> levelTicks{};
 };
 
 /** One independent walker; busy while a walk is in flight. */
@@ -46,13 +52,21 @@ class PageTableWalker
      * @param memory Where PTE reads are issued (the DRAM controller).
      * @param store Functional memory holding real PTE bytes.
      * @param pwc Shared page walk caches.
+     * @param id This walker's index in the IOMMU pool (for tracing).
      */
     PageTableWalker(sim::EventQueue &eq, mem::MemoryDevice &memory,
-                    mem::BackingStore &store, PageWalkCache &pwc)
-        : eq_(eq), memory_(memory), store_(store), pwc_(pwc)
+                    mem::BackingStore &store, PageWalkCache &pwc,
+                    unsigned id = 0)
+        : eq_(eq), memory_(memory), store_(store), pwc_(pwc), id_(id)
     {}
 
     bool busy() const { return busy_; }
+
+    /** Pool index of this walker. */
+    unsigned id() const { return id_; }
+
+    /** Attaches a lifecycle tracer (nullptr = tracing off). */
+    void setTracer(trace::Tracer *tracer) { tracer_ = tracer; }
 
     /** Total walks completed by this walker. */
     std::uint64_t walksDone() const { return walksDone_; }
@@ -73,6 +87,8 @@ class PageTableWalker
     mem::MemoryDevice &memory_;
     mem::BackingStore &store_;
     PageWalkCache &pwc_;
+    unsigned id_ = 0;
+    trace::Tracer *tracer_ = nullptr;
 
     bool busy_ = false;
     core::PendingWalk current_{};
@@ -81,6 +97,7 @@ class PageTableWalker
     mem::Addr table_ = 0;       ///< physical base of that level's table
     unsigned accesses_ = 0;
     sim::Tick started_ = 0;
+    std::array<sim::Tick, vm::numPtLevels> levelTicks_{};
     std::uint64_t walksDone_ = 0;
 };
 

@@ -151,6 +151,19 @@ PageWalkCache::fill(mem::Addr va_page, vm::PtLevel level,
     victim->counter = 0;
 }
 
+std::optional<std::uint8_t>
+PageWalkCache::peekCounter(mem::Addr va_page, vm::PtLevel level) const
+{
+    GPUWALK_ASSERT(level == vm::PtLevel::Pml4 || level == vm::PtLevel::Pdpt
+                       || level == vm::PtLevel::Pd,
+                   "PWC only caches the three upper levels");
+    const Entry *e = cacheFor(level).find(vm::PageTable::regionBase(
+        va_page, level));
+    if (!e)
+        return std::nullopt;
+    return e->counter;
+}
+
 void
 PageWalkCache::invalidateAll()
 {

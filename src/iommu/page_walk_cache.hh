@@ -95,6 +95,15 @@ class PageWalkCache
     /** Drops all entries (counters included). */
     void invalidateAll();
 
+    /**
+     * Test accessor: current pin-counter value of the entry covering
+     * @p va_page at @p level, or nullopt if no valid entry covers it.
+     * No LRU/counter side effects.
+     * @pre level is Pml4, Pdpt, or Pd.
+     */
+    std::optional<std::uint8_t>
+    peekCounter(mem::Addr va_page, vm::PtLevel level) const;
+
     std::uint64_t hits() const { return hits_.value(); }
     std::uint64_t misses() const { return misses_.value(); }
     std::uint64_t pinnedSkips() const { return pinnedSkips_.value(); }

@@ -5,6 +5,18 @@
 namespace gpuwalk::iommu {
 
 const std::vector<std::uint64_t> &
+latencyBucketBounds()
+{
+    // Quasi-logarithmic, in ticks (500 = one 2 GHz GPU cycle): resolves
+    // both near-hit walks and heavily queued tails in one histogram.
+    static const std::vector<std::uint64_t> bounds{
+        500,     1'000,     2'000,     5'000,     10'000,    20'000,
+        50'000,  100'000,   200'000,   500'000,   1'000'000, 2'000'000,
+        5'000'000};
+    return bounds;
+}
+
+const std::vector<std::uint64_t> &
 WalkMetricsSummary::workBucketBounds()
 {
     static const std::vector<std::uint64_t> bounds{16, 32, 48, 64, 80,

@@ -12,6 +12,7 @@
 #ifndef GPUWALK_IOMMU_WALK_METRICS_HH
 #define GPUWALK_IOMMU_WALK_METRICS_HH
 
+#include <array>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -19,8 +20,42 @@
 #include "sim/stats.hh"
 #include "sim/ticks.hh"
 #include "tlb/translation.hh"
+#include "vm/page_table.hh"
 
 namespace gpuwalk::iommu {
+
+/**
+ * Shared bucket upper bounds (ticks) for the walk-latency breakdown
+ * histograms; a final overflow bucket catches everything above. Spans
+ * one GPU cycle (500 ticks) up to multi-millisecond stalls.
+ */
+const std::vector<std::uint64_t> &latencyBucketBounds();
+
+/**
+ * Where a walk's time went, split at the two hand-off points the
+ * scheduler controls: waiting in the IOMMU buffer, being serviced by a
+ * walker, and the per-level memory accesses inside that service time.
+ */
+struct LatencyBreakdownSummary
+{
+    /** One bucketed distribution (bounds from latencyBucketBounds()). */
+    struct Dist
+    {
+        /** Per-bucket sample counts; last element is the overflow. */
+        std::vector<std::uint64_t> bucketCounts;
+        std::uint64_t samples = 0;
+        double avg = 0.0; ///< mean latency in ticks (0 if no samples)
+    };
+
+    /** Dispatch tick minus arrival tick, per scheduled walk. */
+    Dist queueWait;
+
+    /** Walker service time (finished minus started), per walk. */
+    Dist walkerService;
+
+    /** Memory latency of each page-table access; index = level - 1. */
+    std::array<Dist, vm::numPtLevels> levelMem;
+};
 
 /** Aggregated results of one run, computed by WalkMetrics::summarize. */
 struct WalkMetricsSummary

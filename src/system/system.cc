@@ -1,5 +1,6 @@
 #include "system/system.hh"
 
+#include "trace/digest.hh"
 #include "workload/registry.hh"
 
 namespace gpuwalk::system {
@@ -26,6 +27,12 @@ System::System(const SystemConfig &cfg)
 
     tlbs_ = std::make_unique<tlb::TlbHierarchy>(eq_, cfg_.gpuTlb,
                                                 *iommu_);
+
+    if (cfg_.trace.enabled) {
+        tracer_ = std::make_unique<trace::Tracer>(cfg_.trace);
+        iommu_->setTracer(tracer_.get());
+        tlbs_->setTracer(tracer_.get());
+    }
 
     l1ds_.reserve(cfg_.gpu.numCus);
     std::vector<mem::MemoryDevice *> l1_ptrs;
@@ -90,6 +97,13 @@ System::run(std::uint64_t max_events)
     stats.walksCompleted = iommu_->walksCompleted();
     stats.avgWavefrontsPerEpoch = tlbs_->avgWavefrontsPerEpoch();
     stats.walks = iommu_->metrics().summarize();
+    stats.latency = iommu_->latencySummary();
+    if (tracer_) {
+        stats.traced = true;
+        stats.traceDigest = trace::digest(*tracer_);
+        stats.traceEvents = tracer_->recorded();
+        stats.traceDropped = tracer_->dropped();
+    }
     return stats;
 }
 

@@ -23,6 +23,7 @@
 #include "system/system_config.hh"
 #include "tlb/tlb_hierarchy.hh"
 #include "tlb/translating_port.hh"
+#include "trace/trace.hh"
 #include "vm/address_space.hh"
 #include "vm/frame_allocator.hh"
 #include "workload/workload.hh"
@@ -42,6 +43,19 @@ struct RunStats
     std::uint64_t walksCompleted = 0;
     double avgWavefrontsPerEpoch = 0;      ///< Fig. 12 metric
     iommu::WalkMetricsSummary walks;       ///< Figs. 3/5/6/10
+
+    /** Queue-wait / walker-service / per-level latency breakdown. */
+    iommu::LatencyBreakdownSummary latency;
+
+    /** True when walk-lifecycle tracing was enabled for the run. */
+    bool traced = false;
+
+    /** FNV-1a digest of the retained trace (0 when not traced). */
+    std::uint64_t traceDigest = 0;
+
+    /** Trace events recorded / dropped by the bounded ring. */
+    std::uint64_t traceEvents = 0;
+    std::uint64_t traceDropped = 0;
 };
 
 /** Owns and wires every component; one System per simulation run. */
@@ -81,9 +95,14 @@ class System
     mem::DramController &dram() { return *dram_; }
     mem::BackingStore &backingStore() { return store_; }
 
+    /** The walk-lifecycle tracer, or nullptr when tracing is off. */
+    trace::Tracer *tracer() { return tracer_.get(); }
+    const trace::Tracer *tracer() const { return tracer_.get(); }
+
   private:
     SystemConfig cfg_;
     sim::EventQueue eq_;
+    std::unique_ptr<trace::Tracer> tracer_;
     mem::BackingStore store_;
     vm::FrameAllocator frames_;
     std::unique_ptr<vm::AddressSpace> addressSpace_;

@@ -17,6 +17,7 @@
 #include "mem/cache.hh"
 #include "mem/dram.hh"
 #include "tlb/tlb_hierarchy.hh"
+#include "trace/trace.hh"
 
 namespace gpuwalk::system {
 
@@ -54,6 +55,13 @@ struct SystemConfig
 
     /** Scatter VA-contiguous pages over physical frames (OS-like). */
     bool scrambleFrames = true;
+
+    /**
+     * Walk-lifecycle tracing (off by default). Observation-only: it
+     * never perturbs simulated behaviour, so it is excluded from
+     * print() and hence from config fingerprints.
+     */
+    trace::TraceConfig trace;
 
     /** The paper's baseline configuration (Table I verbatim). */
     static SystemConfig

@@ -32,6 +32,16 @@ TlbHierarchy::translate(TranslationRequest req)
     GPUWALK_ASSERT(req.cu < cfg_.numCus, "bad CU id ", req.cu);
     ++requests_;
 
+    if (tracer_) {
+        trace::Event ev;
+        ev.tick = eq_.now();
+        ev.kind = trace::EventKind::Coalesced;
+        ev.wavefront = req.wavefront;
+        ev.instruction = req.instruction;
+        ev.vaPage = req.vaPage;
+        tracer_->record(ev);
+    }
+
     // Claim the CU's single L1 TLB lookup port, then pay the lookup
     // latency. Bursts from one SIMD instruction serialize here.
     l1Ports_[req.cu]->submit([this, r = std::move(req)]() mutable {

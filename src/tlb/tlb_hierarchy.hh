@@ -23,6 +23,7 @@
 #include "sim/stats.hh"
 #include "tlb/set_assoc_tlb.hh"
 #include "tlb/translation.hh"
+#include "trace/trace.hh"
 
 namespace gpuwalk::tlb {
 
@@ -62,6 +63,9 @@ class TlbHierarchy
     /** Entry point from a CU's coalescer. @pre req.cu < numCus. */
     void translate(TranslationRequest req);
 
+    /** Attaches a lifecycle tracer (nullptr = tracing off). */
+    void setTracer(trace::Tracer *tracer) { tracer_ = tracer; }
+
     SetAssocTlb &l1(unsigned cu) { return *l1s_.at(cu); }
     SetAssocTlb &l2() { return l2_; }
 
@@ -87,6 +91,7 @@ class TlbHierarchy
     sim::EventQueue &eq_;
     TlbHierarchyConfig cfg_;
     TranslationService &iommu_;
+    trace::Tracer *tracer_ = nullptr;
 
     std::vector<std::unique_ptr<SetAssocTlb>> l1s_;
     SetAssocTlb l2_;

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Chrome trace_event JSON export.
+ *
+ * Renders a Tracer's retained events in the Trace Event Format that
+ * chrome://tracing and Perfetto load directly: queue waits as async
+ * ("b"/"e") spans, walker service and per-level PTE fetches as
+ * complete ("X") spans on one timeline row per walker, and the
+ * TLB/scoring events as instants. Timestamps are raw simulator ticks
+ * (500 ticks = 1 GPU cycle at 2 GHz).
+ */
+
+#ifndef GPUWALK_TRACE_CHROME_EXPORT_HH
+#define GPUWALK_TRACE_CHROME_EXPORT_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace gpuwalk::trace {
+
+/** Writes @p tracer's retained events as Chrome trace JSON. */
+void writeChromeTrace(std::ostream &os, const Tracer &tracer);
+
+/** writeChromeTrace to @p path; fatal() if it cannot be opened. */
+void writeChromeTraceFile(const std::string &path,
+                          const Tracer &tracer);
+
+} // namespace gpuwalk::trace
+
+#endif // GPUWALK_TRACE_CHROME_EXPORT_HH

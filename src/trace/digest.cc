@@ -1,0 +1,43 @@
+#include "trace/digest.hh"
+
+#include <iomanip>
+#include <sstream>
+
+namespace gpuwalk::trace {
+
+void
+digestEvent(Fnv1a &h, const Event &ev)
+{
+    // Field-by-field (not memcpy of the struct): padding bytes must
+    // never leak into the hash, and the encoding stays stable across
+    // compilers and struct layout changes.
+    h.u64(ev.tick);
+    h.u64(static_cast<std::uint64_t>(ev.kind));
+    h.u64(ev.level);
+    h.u64(ev.walker);
+    h.u64(ev.wavefront);
+    h.u64(ev.instruction);
+    h.u64(ev.vaPage);
+    h.u64(ev.arg0);
+    h.u64(ev.arg1);
+}
+
+std::uint64_t
+digest(const Tracer &tracer)
+{
+    Fnv1a h;
+    tracer.forEach([&h](const Event &ev) { digestEvent(h, ev); });
+    h.u64(tracer.recorded());
+    h.u64(tracer.dropped());
+    return h.value();
+}
+
+std::string
+digestHex(std::uint64_t value)
+{
+    std::ostringstream os;
+    os << std::hex << std::setw(16) << std::setfill('0') << value;
+    return os.str();
+}
+
+} // namespace gpuwalk::trace

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Deterministic trace digests for golden-trace testing.
+ *
+ * A digest is an FNV-1a hash over the canonical field encoding of
+ * every retained event (plus the recorded/dropped totals, so a ring
+ * overflow cannot silently alias two different runs). Two runs of the
+ * same configuration and seed produce the same event stream, hence the
+ * same digest — at any --jobs count, since every run owns its System.
+ */
+
+#ifndef GPUWALK_TRACE_DIGEST_HH
+#define GPUWALK_TRACE_DIGEST_HH
+
+#include <cstdint>
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace gpuwalk::trace {
+
+/** Incremental FNV-1a (64-bit) hasher. */
+class Fnv1a
+{
+  public:
+    /** Folds @p v in as 8 little-endian bytes. */
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            hash_ ^= (v >> (8 * i)) & 0xff;
+            hash_ *= 0x100000001b3ull;
+        }
+    }
+
+    std::uint64_t value() const { return hash_; }
+
+  private:
+    std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+/** Digest of one event, folded into @p h. */
+void digestEvent(Fnv1a &h, const Event &ev);
+
+/** Digest of @p tracer's retained events and totals. */
+std::uint64_t digest(const Tracer &tracer);
+
+/** @p value as a 16-digit lowercase hex string. */
+std::string digestHex(std::uint64_t value);
+
+} // namespace gpuwalk::trace
+
+#endif // GPUWALK_TRACE_DIGEST_HH

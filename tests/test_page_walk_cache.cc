@@ -174,6 +174,77 @@ TEST(PageWalkCache, CountersSaturateAtThree)
     EXPECT_EQ(pwc.peekEstimate(0), 4u);
 }
 
+TEST(PageWalkCache, PeekCounterObservesProbeSaturation)
+{
+    PageWalkCache pwc({}, root);
+    const Addr va = 0x40000000;
+
+    // No entry yet: nothing to observe.
+    EXPECT_FALSE(pwc.peekCounter(va, PtLevel::Pd).has_value());
+
+    pwc.fill(va, PtLevel::Pd, 0x4000);
+    EXPECT_EQ(pwc.peekCounter(va, PtLevel::Pd), 0);
+    // Upper levels were never filled.
+    EXPECT_FALSE(pwc.peekCounter(va, PtLevel::Pml4).has_value());
+
+    // Each probe increments the 2-bit counter...
+    for (std::uint8_t expected = 1; expected <= 3; ++expected) {
+        pwc.probeEstimate(va);
+        EXPECT_EQ(pwc.peekCounter(va, PtLevel::Pd), expected);
+    }
+    // ...and it saturates at 3, however many more probes arrive.
+    for (int i = 0; i < 10; ++i)
+        pwc.probeEstimate(va);
+    EXPECT_EQ(pwc.peekCounter(va, PtLevel::Pd), 3);
+}
+
+TEST(PageWalkCache, WalkLookupsDecrementCounterToZero)
+{
+    PageWalkCache pwc({}, root);
+    const Addr va = 0x40000000;
+    pwc.fill(va, PtLevel::Pd, 0x4000);
+    pwc.probeEstimate(va);
+    pwc.probeEstimate(va);
+    EXPECT_EQ(pwc.peekCounter(va, PtLevel::Pd), 2);
+
+    // Each walk lookup consumes one pin count.
+    pwc.lookup(va);
+    EXPECT_EQ(pwc.peekCounter(va, PtLevel::Pd), 1);
+    pwc.lookup(va);
+    EXPECT_EQ(pwc.peekCounter(va, PtLevel::Pd), 0);
+    // Further lookups must not wrap below zero.
+    pwc.lookup(va);
+    EXPECT_EQ(pwc.peekCounter(va, PtLevel::Pd), 0);
+}
+
+TEST(PageWalkCache, PinnedSkipsCountsExactlyOncePerShieldedFill)
+{
+    PwcConfig cfg;
+    cfg.entriesPerLevel = 4;
+    cfg.associativity = 4; // one set
+    PageWalkCache pwc(cfg, root);
+
+    for (Addr r = 0; r < 4; ++r)
+        pwc.fill(r << 21, PtLevel::Pd, 0x4000 + (r << 12));
+    pwc.probeEstimate(0); // pin region 0
+    EXPECT_EQ(pwc.pinnedSkips(), 0u);
+
+    // Every fill that routes around the pinned entry counts once,
+    // regardless of how many unpinned candidates it considered.
+    pwc.fill(Addr(9) << 21, PtLevel::Pd, 0x9000);
+    EXPECT_EQ(pwc.pinnedSkips(), 1u);
+    pwc.fill(Addr(10) << 21, PtLevel::Pd, 0xa000);
+    EXPECT_EQ(pwc.pinnedSkips(), 2u);
+    // The pinned entry itself survived both fills.
+    EXPECT_EQ(pwc.peekCounter(0, PtLevel::Pd), 1);
+
+    // Consuming the pin stops the counting.
+    pwc.lookup(0);
+    EXPECT_EQ(pwc.peekCounter(0, PtLevel::Pd), 0);
+    pwc.fill(Addr(11) << 21, PtLevel::Pd, 0xb000);
+    EXPECT_EQ(pwc.pinnedSkips(), 2u);
+}
+
 TEST(PageWalkCache, InvalidateAllClears)
 {
     PageWalkCache pwc({}, root);

@@ -2,12 +2,16 @@
  * @file
  * Randomized invariant checks on the scheduling policies: drive each
  * scheduler through thousands of random insert/dispatch cycles and
- * assert its defining property at every selection.
+ * assert its defining property at every selection — plus traced-stream
+ * well-formedness checks on full-system runs of every policy.
  */
 
 #include <gtest/gtest.h>
 
 #include <map>
+#include <optional>
+#include <set>
+#include <utility>
 
 #include "core/fcfs_scheduler.hh"
 #include "core/oldest_job_scheduler.hh"
@@ -15,6 +19,7 @@
 #include "core/srpt_scheduler.hh"
 #include "core/walk_scheduler.hh"
 #include "sim/rng.hh"
+#include "system/system.hh"
 
 namespace {
 
@@ -162,6 +167,156 @@ TEST(SchedulerFuzz, SrptMatchesBruteForceRemaining)
                   ASSERT_GE(rem, picked);
           },
           19);
+}
+
+// --- Traced-stream well-formedness ---------------------------------
+
+/**
+ * Validates one traced run's event stream: every enqueued walk is
+ * scheduled and completes exactly once, lifecycle spans nest in order,
+ * and each walker's timeline is monotone and non-interleaved.
+ */
+void
+validateTracedStream(const std::vector<trace::Event> &events,
+                     unsigned num_walkers,
+                     const gpuwalk::system::RunStats &stats)
+{
+    using trace::EventKind;
+    using WalkKey = std::pair<std::uint64_t, mem::Addr>;
+
+    /** One walker's in-flight walk. */
+    struct Active
+    {
+        WalkKey key;
+        std::optional<unsigned> fetchLevel; ///< issued, not completed
+        std::optional<unsigned> lastLevel;  ///< last completed level
+        sim::Tick issuedAt = 0;
+        std::uint64_t completions = 0;
+    };
+
+    std::map<WalkKey, sim::Tick> pending;           // enqueued
+    std::map<WalkKey, std::uint32_t> inflight;      // on a walker
+    std::set<WalkKey> done;
+    std::map<std::uint32_t, Active> active;         // per walker
+    std::map<std::uint32_t, sim::Tick> walkerTick;
+    sim::Tick lastTick = 0;
+
+    for (const auto &ev : events) {
+        // The stream is recorded in simulation order.
+        ASSERT_GE(ev.tick, lastTick);
+        lastTick = ev.tick;
+        const WalkKey key{ev.instruction, ev.vaPage};
+
+        switch (ev.kind) {
+        case EventKind::Coalesced:
+            break; // TLB-level; most never reach the walk path
+        case EventKind::Enqueued:
+            // (instruction, page) identifies a walk: MSHR merging
+            // guarantees it enters the walk path at most once.
+            ASSERT_FALSE(pending.count(key));
+            ASSERT_FALSE(inflight.count(key));
+            ASSERT_FALSE(done.count(key)) << "walk re-enqueued";
+            pending[key] = ev.tick;
+            break;
+        case EventKind::Scored:
+            ASSERT_TRUE(pending.count(key))
+                << "scored a walk that is not buffered";
+            break;
+        case EventKind::Scheduled: {
+            ASSERT_TRUE(pending.count(key));
+            ASSERT_GE(ev.tick, pending.at(key));
+            ASSERT_LT(ev.walker, num_walkers);
+            ASSERT_FALSE(active.count(ev.walker))
+                << "walker " << ev.walker << " double-booked";
+            pending.erase(key);
+            inflight[key] = ev.walker;
+            active[ev.walker] = Active{key, {}, {}, 0, 0};
+            walkerTick[ev.walker] = ev.tick;
+            break;
+        }
+        case EventKind::MemIssued: {
+            ASSERT_TRUE(inflight.count(key));
+            ASSERT_EQ(inflight.at(key), ev.walker);
+            auto &a = active.at(ev.walker);
+            ASSERT_EQ(a.key, key) << "walker events interleaved";
+            ASSERT_FALSE(a.fetchLevel) << "two fetches outstanding";
+            ASSERT_GE(ev.tick, walkerTick.at(ev.walker));
+            ASSERT_GE(unsigned(ev.level), 1u);
+            ASSERT_LE(unsigned(ev.level), vm::numPtLevels);
+            if (a.lastLevel) {
+                // The walk descends one level per fetch.
+                ASSERT_EQ(unsigned(ev.level), *a.lastLevel - 1);
+            }
+            a.fetchLevel = ev.level;
+            a.issuedAt = ev.tick;
+            walkerTick[ev.walker] = ev.tick;
+            break;
+        }
+        case EventKind::MemCompleted: {
+            ASSERT_TRUE(inflight.count(key));
+            auto &a = active.at(ev.walker);
+            ASSERT_EQ(a.key, key);
+            ASSERT_TRUE(a.fetchLevel);
+            ASSERT_EQ(unsigned(ev.level), *a.fetchLevel);
+            ASSERT_GE(ev.tick, a.issuedAt);
+            ASSERT_EQ(ev.arg0, ev.tick - a.issuedAt); // latency
+            a.lastLevel = a.fetchLevel;
+            a.fetchLevel.reset();
+            ++a.completions;
+            walkerTick[ev.walker] = ev.tick;
+            break;
+        }
+        case EventKind::WalkDone: {
+            ASSERT_TRUE(inflight.count(key));
+            ASSERT_EQ(inflight.at(key), ev.walker);
+            auto &a = active.at(ev.walker);
+            ASSERT_EQ(a.key, key);
+            ASSERT_FALSE(a.fetchLevel) << "done with a fetch in flight";
+            ASSERT_GE(ev.tick, walkerTick.at(ev.walker));
+            ASSERT_EQ(ev.arg0, a.completions);
+            inflight.erase(key);
+            active.erase(ev.walker);
+            walkerTick[ev.walker] = ev.tick;
+            ASSERT_TRUE(done.insert(key).second)
+                << "walk completed twice";
+            break;
+        }
+        }
+    }
+
+    // Everything enqueued drained: no pending walks, no busy walkers.
+    EXPECT_TRUE(pending.empty());
+    EXPECT_TRUE(inflight.empty());
+    EXPECT_TRUE(active.empty());
+    EXPECT_EQ(done.size(), stats.walksCompleted);
+}
+
+TEST(SchedulerFuzz, TracedStreamsAreWellFormedForEveryScheduler)
+{
+    // All five paper policies over the same irregular workload.
+    for (const auto kind :
+         {SchedulerKind::Fcfs, SchedulerKind::Random,
+          SchedulerKind::SjfOnly, SchedulerKind::BatchOnly,
+          SchedulerKind::SimtAware}) {
+        SCOPED_TRACE(toString(kind));
+        auto cfg = gpuwalk::system::SystemConfig::baseline();
+        cfg.scheduler = kind;
+        cfg.trace.enabled = true;
+
+        workload::WorkloadParams params;
+        params.wavefronts = 16;
+        params.instructionsPerWavefront = 6;
+        params.footprintScale = 0.05;
+        params.seed = 11;
+
+        gpuwalk::system::System sys(cfg);
+        sys.loadBenchmark("GEV", params);
+        const auto stats = sys.run();
+
+        ASSERT_EQ(sys.tracer()->dropped(), 0u);
+        validateTracedStream(sys.tracer()->snapshot(),
+                             cfg.iommu.numWalkers, stats);
+    }
 }
 
 TEST(SchedulerFuzz, AgingGuaranteesEventualService)

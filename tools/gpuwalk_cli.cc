@@ -26,6 +26,8 @@
 #include "exp/table.hh"
 #include "sim/logging.hh"
 #include "system/system.hh"
+#include "trace/chrome_export.hh"
+#include "trace/digest.hh"
 #include "workload/registry.hh"
 #include "workload/trace_io.hh"
 
@@ -154,6 +156,12 @@ Output:
   --stats                 dump all component statistics (text)
   --json=FILE             write component statistics as JSON
   --save-trace=FILE       write the generated workload trace
+  --trace-out=FILE        record the walk lifecycle and write a Chrome
+                          trace_event JSON (chrome://tracing /
+                          ui.perfetto.dev); --compare writes one file
+                          per scheduler
+  --trace-ring=N          trace ring-buffer capacity in events
+                          (default 1Mi; oldest events drop first)
   --quiet                 suppress the run summary
 )";
 }
@@ -209,7 +217,33 @@ configFromFlags(Flags &flags)
     else if (wf_sched != "rr")
         sim::fatal("unknown --wavefront-sched '", wf_sched,
                    "' (rr|gto)");
+    if (flags.has("trace-out")) {
+        cfg.trace.outPath = flags.get("trace-out", "");
+        if (cfg.trace.outPath.empty())
+            sim::fatal("--trace-out needs a file path");
+        cfg.trace.enabled = true;
+    }
+    if (flags.has("trace-ring")) {
+        const std::uint64_t n = flags.getUint("trace-ring", 0);
+        if (n == 0)
+            sim::fatal("--trace-ring needs a positive integer");
+        cfg.trace.ringCapacity = static_cast<std::size_t>(n);
+        cfg.trace.enabled = true;
+    }
     return cfg;
+}
+
+/** "out.json" + "-fcfs" -> "out-fcfs.json" (for --compare traces). */
+std::string
+insertPathSuffix(const std::string &path, const std::string &suffix)
+{
+    const auto slash = path.find_last_of('/');
+    auto dot = path.find_last_of('.');
+    if (dot == std::string::npos
+        || (slash != std::string::npos && dot < slash)) {
+        dot = path.size();
+    }
+    return path.substr(0, dot) + suffix + path.substr(dot);
 }
 
 workload::WorkloadParams
@@ -293,6 +327,9 @@ simulate(const system::SystemConfig &cfg, const CliOptions &opt,
     CliRun run;
     run.stats = sys.run();
 
+    if (sys.tracer() && !cfg.trace.outPath.empty())
+        trace::writeChromeTraceFile(cfg.trace.outPath, *sys.tracer());
+
     if (opt.dumpStats) {
         std::ostringstream os;
         sys.dumpStats(os);
@@ -333,6 +370,12 @@ reportRun(const system::SystemConfig &cfg, const CliOptions &opt,
                   << exp::TablePrinter::fmt(
                          stats.walks.interleavedFraction * 100, 1)
                   << "% of multi-walk instructions\n";
+        if (stats.traced) {
+            std::cout << "trace digest       "
+                      << trace::digestHex(stats.traceDigest) << " ("
+                      << stats.traceEvents << " events, "
+                      << stats.traceDropped << " dropped)\n";
+        }
     }
     if (opt.dumpStats)
         std::cout << run.statsDump;
@@ -383,11 +426,18 @@ main(int argc, char **argv)
             job.workload =
                 opt.traceFile.empty() ? opt.workload : opt.traceFile;
             job.scheduler = core::toString(kinds[i]);
-            job.body = [&runs, i, &kinds, cfg, &opt] {
+            auto run_cfg = exp::withScheduler(cfg, kinds[i]);
+            // One trace file per scheduler: both runs would otherwise
+            // race on (and overwrite) the same --trace-out path.
+            if (!run_cfg.trace.outPath.empty()) {
+                run_cfg.trace.outPath = insertPathSuffix(
+                    run_cfg.trace.outPath,
+                    "-" + core::toString(kinds[i]));
+            }
+            job.body = [&runs, i, run_cfg, &opt] {
                 // Only the first job writes --save-trace (both would
                 // produce identical bytes; avoid the file race).
-                runs[i] = simulate(
-                    exp::withScheduler(cfg, kinds[i]), opt, i == 0);
+                runs[i] = simulate(run_cfg, opt, i == 0);
                 exp::RunResult res;
                 res.stats = runs[i].stats;
                 return res;
