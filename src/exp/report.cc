@@ -268,6 +268,7 @@ statsJson(std::ostream &os, const system::RunStats &stats)
     os << "{\"runtime_ticks\": " << stats.runtimeTicks
        << ", \"stall_ticks\": " << stats.stallTicks
        << ", \"instructions\": " << stats.instructions
+       << ", \"events_executed\": " << stats.eventsExecuted
        << ", \"app_finish_ticks\": ";
     jsonUintArray(os, stats.appFinishTicks);
     os << ", \"translation_requests\": " << stats.translationRequests

@@ -28,6 +28,16 @@ ComputeUnit::addWavefront(std::uint32_t wavefront_global_id,
     wf.appId = app_id;
     wf.trace = std::move(trace);
     wavefronts_.push_back(std::move(wf));
+
+    IssueEvent &ev = issueEvents_.emplace_back();
+    ev.cu = this;
+    ev.wfIndex = wavefronts_.size() - 1;
+}
+
+void
+ComputeUnit::IssueEvent::process()
+{
+    cu->requestIssue(wfIndex);
 }
 
 void
@@ -40,8 +50,7 @@ ComputeUnit::start()
         const sim::Cycles offset =
             1 + (wavefronts_[i].globalId * 2654435761ull)
                     % std::max<sim::Cycles>(1, cfg_.startStaggerCycles);
-        eq_.scheduleIn(cfg_.clockPeriod * offset,
-                       [this, i] { requestIssue(i); });
+        eq_.scheduleIn(cfg_.clockPeriod * offset, issueEvents_[i]);
     }
 }
 
@@ -96,7 +105,7 @@ ComputeUnit::issueNext(std::size_t wf_index)
             --wavefrontsDone_;
             updateStallState();
             eq_.scheduleIn(cfg_.clockPeriod * cfg_.issueCycles,
-                           [this, wf_index] { requestIssue(wf_index); });
+                           issueEvents_[wf_index]);
         }
         return;
     }
@@ -225,7 +234,7 @@ ComputeUnit::instructionDone(std::uint64_t instr_key)
     setBlocked(wf_index, false);
 
     eq_.scheduleIn(cfg_.clockPeriod * (compute + cfg_.issueCycles),
-                   [this, wf_index] { requestIssue(wf_index); });
+                   issueEvents_[wf_index]);
 }
 
 void

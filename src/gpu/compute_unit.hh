@@ -111,6 +111,20 @@ class ComputeUnit
         std::unordered_map<mem::Addr, mem::Addr> pageMap;
     };
 
+    /**
+     * Intrusive issue wake-up, one per wavefront slot. A slot has at
+     * most one issue request in flight at a time (it waits in the
+     * ready queue, then blocks on its instruction), so a single
+     * embedded node per slot replaces the per-issue capturing lambda.
+     */
+    struct IssueEvent final : sim::Event
+    {
+        void process() override;
+
+        ComputeUnit *cu = nullptr;
+        std::size_t wfIndex = 0;
+    };
+
     void requestIssue(std::size_t wf_index);
     void arbitrateIssue();
     void issueNext(std::size_t wf_index);
@@ -130,6 +144,8 @@ class ComputeUnit
     sim::RateLimiter issuePort_;
 
     std::vector<Wavefront> wavefronts_;
+    /** deque: intrusive events need stable addresses while scheduled. */
+    std::deque<IssueEvent> issueEvents_;
     std::deque<std::size_t> readyQueue_;
     std::unordered_map<std::uint64_t, InflightInstruction> inflight_;
     unsigned wavefrontsDone_ = 0;

@@ -15,7 +15,6 @@
 
 #include <array>
 #include <cstdint>
-#include <functional>
 
 #include "core/pending_walk.hh"
 #include "iommu/page_walk_cache.hh"
@@ -45,7 +44,8 @@ struct WalkResult
 class PageTableWalker
 {
   public:
-    using DoneCallback = std::function<void(WalkResult)>;
+    /** Inline-stored completion callback (the IOMMU passes [this]). */
+    using DoneCallback = sim::InlineFunction<void(WalkResult), 16>;
 
     /**
      * @param eq Event queue.

@@ -83,24 +83,25 @@ Cache::access(MemoryRequest req)
     auto it = mshrs_.find(line_addr);
     if (it != mshrs_.end()) {
         ++mshrMerges_;
-        it->second.anyWrite = it->second.anyWrite || req.write;
-        it->second.waiters.push_back(std::move(req));
+        it->second->anyWrite = it->second->anyWrite || req.write;
+        it->second->waiters.push_back(std::move(req));
         return;
     }
 
     ++misses_;
-    Mshr &mshr = mshrs_[line_addr];
-    mshr.anyWrite = req.write;
-    mshr.waiters.push_back(std::move(req));
+    Mshr *mshr = mshrPool_.acquire();
+    mshr->anyWrite = req.write;
+    mshr->waiters.push_back(std::move(req));
+    mshrs_.emplace(line_addr, mshr);
 
     MemoryRequest fill;
     fill.addr = line_addr;
     fill.size = static_cast<unsigned>(cfg_.lineBytes);
     fill.write = false;
-    fill.requester = mshr.waiters.front().requester;
-    fill.instruction = mshr.waiters.front().instruction;
-    fill.wavefront = mshr.waiters.front().wavefront;
-    fill.cu = mshr.waiters.front().cu;
+    fill.requester = mshr->waiters.front().requester;
+    fill.instruction = mshr->waiters.front().instruction;
+    fill.wavefront = mshr->waiters.front().wavefront;
+    fill.cu = mshr->waiters.front().cu;
     fill.onComplete = [this, line_addr] { handleFill(line_addr); };
     // Tag lookup happens before the fill is sent downstream.
     eq_.scheduleIn(cfg_.tagLatency,
@@ -115,15 +116,17 @@ Cache::handleFill(Addr line_addr)
     auto it = mshrs_.find(line_addr);
     GPUWALK_ASSERT(it != mshrs_.end(), "fill without MSHR for ",
                    line_addr);
-    Mshr mshr = std::move(it->second);
+    Mshr *mshr = it->second;
     mshrs_.erase(it);
 
-    installLine(line_addr, mshr.anyWrite);
+    installLine(line_addr, mshr->anyWrite);
 
-    for (auto &w : mshr.waiters) {
+    for (auto &w : mshr->waiters) {
         eq_.scheduleIn(cfg_.hitLatency,
                        [r = std::move(w)]() mutable { r.complete(); });
     }
+    mshr->waiters.clear();
+    mshrPool_.release(mshr);
 }
 
 void

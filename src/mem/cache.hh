@@ -19,6 +19,7 @@
 
 #include "mem/request.hh"
 #include "sim/event_queue.hh"
+#include "sim/object_pool.hh"
 #include "sim/stats.hh"
 
 namespace gpuwalk::mem {
@@ -81,6 +82,8 @@ class Cache : public MemoryDevice
         std::uint64_t lastUse = 0;
     };
 
+    /** Pooled and recycled with its waiter-vector capacity intact, so
+     *  the steady-state miss path does not allocate. */
     struct Mshr
     {
         std::vector<MemoryRequest> waiters;
@@ -105,7 +108,8 @@ class Cache : public MemoryDevice
     MemoryDevice &below_;
     Addr numSets_ = 0;
     std::vector<std::vector<Line>> sets_;
-    std::unordered_map<Addr, Mshr> mshrs_; ///< keyed by line base addr
+    std::unordered_map<Addr, Mshr *> mshrs_; ///< keyed by line base addr
+    sim::ObjectPool<Mshr> mshrPool_{64};
     std::uint64_t useClock_ = 0;
 
     sim::StatGroup statGroup_;

@@ -10,9 +10,12 @@ DramController::DramController(sim::EventQueue &eq, const DramConfig &cfg)
     : eq_(eq), cfg_(cfg), mapper_(cfg), statGroup_("dram")
 {
     cfg_.validate();
-    channels_.resize(cfg_.channels);
-    for (auto &ch : channels_)
+    for (unsigned c = 0; c < cfg_.channels; ++c) {
+        Channel &ch = channels_.emplace_back();
         ch.banks.resize(mapper_.banksPerChannel());
+        ch.drain.ctrl = this;
+        ch.drain.chan = c;
+    }
 
     statGroup_.add(reads_);
     statGroup_.add(writes_);
@@ -87,13 +90,14 @@ DramController::trySchedule(unsigned chan)
     }
 
     // Nothing issuable now: wake up when the earliest constraint clears.
-    if (!ch.drainScheduled && soonest != sim::maxTick && soonest > now) {
-        ch.drainScheduled = true;
-        eq_.schedule(soonest, [this, chan] {
-            channels_[chan].drainScheduled = false;
-            trySchedule(chan);
-        });
-    }
+    if (!ch.drain.scheduled() && soonest != sim::maxTick && soonest > now)
+        eq_.schedule(soonest, ch.drain);
+}
+
+void
+DramController::DrainEvent::process()
+{
+    ctrl->trySchedule(chan);
 }
 
 void

@@ -70,12 +70,26 @@ class DramController : public MemoryDevice
     sim::Tick applyRefresh(BankState &bank, unsigned rank,
                            sim::Tick when);
 
+    /**
+     * Intrusive drain wake-up, one per channel: re-runs the FR-FCFS
+     * scan when the earliest bank constraint clears. At most one is in
+     * flight per channel (guarded by scheduled()), replacing the old
+     * drainScheduled flag + capturing lambda.
+     */
+    struct DrainEvent final : sim::Event
+    {
+        void process() override;
+
+        DramController *ctrl = nullptr;
+        unsigned chan = 0;
+    };
+
     struct Channel
     {
         std::deque<Pending> queue;
         std::vector<BankState> banks;
         sim::Tick busFreeAt = 0;
-        bool drainScheduled = false;
+        DrainEvent drain;
     };
 
     void trySchedule(unsigned chan);
@@ -84,7 +98,9 @@ class DramController : public MemoryDevice
     sim::EventQueue &eq_;
     DramConfig cfg_;
     DramAddressMapper mapper_;
-    std::vector<Channel> channels_;
+    /** deque: Channel holds an intrusive event, so elements must stay
+     *  put (no vector relocation). */
+    std::deque<Channel> channels_;
     std::uint64_t nextSeq_ = 0;
 
     sim::StatGroup statGroup_;

@@ -7,10 +7,10 @@
 #define GPUWALK_MEM_REQUEST_HH
 
 #include <cstdint>
-#include <functional>
 #include <utility>
 
 #include "mem/types.hh"
+#include "sim/inline_function.hh"
 #include "sim/ticks.hh"
 
 namespace gpuwalk::mem {
@@ -47,8 +47,12 @@ struct MemoryRequest
     std::uint32_t wavefront = 0;
     std::uint32_t cu = 0;
 
-    /** Invoked exactly once when the access completes. May be empty. */
-    std::function<void()> onComplete;
+    /**
+     * Invoked exactly once when the access completes. May be empty.
+     * Inline-stored (no allocation) for the hot captures; move-only
+     * callables — e.g. owning a moved-in request — are fine.
+     */
+    sim::InlineFunction<void()> onComplete;
 
     void
     complete()

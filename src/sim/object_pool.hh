@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Slab-backed free-list pools for hot simulation objects.
+ *
+ * A pool owns its objects in contiguous slabs and recycles them
+ * through a LIFO free list, so the steady-state cost of acquiring a
+ * record on the simulator's hot paths (event nodes, MSHR/merge
+ * entries) is a pointer pop instead of a malloc. Objects are
+ * constructed once per slot and *reused as-is* across acquire/release
+ * cycles: state they carry (including any container capacity they
+ * grew) survives recycling, which is exactly what makes repeated use
+ * allocation-free. Callers reset whatever state matters to them.
+ *
+ * Release is validated unconditionally (not just in debug builds):
+ * releasing an object twice, or a pointer the pool never issued,
+ * panics immediately instead of corrupting the free list.
+ */
+
+#ifndef GPUWALK_SIM_OBJECT_POOL_HH
+#define GPUWALK_SIM_OBJECT_POOL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace gpuwalk::sim {
+
+/** Growable slab pool of default-constructed, recycled @p T objects. */
+template <typename T>
+class ObjectPool
+{
+  public:
+    /** @param slab_objects Objects added per exhaustion-triggered
+     *  growth step. */
+    explicit ObjectPool(std::size_t slab_objects = 256)
+        : slabObjects_(slab_objects)
+    {
+        GPUWALK_ASSERT(slabObjects_ > 0, "pool needs a slab size");
+    }
+
+    ObjectPool(const ObjectPool &) = delete;
+    ObjectPool &operator=(const ObjectPool &) = delete;
+
+    /**
+     * Returns a free object, growing the pool by one slab when the
+     * free list is exhausted. The object retains whatever state its
+     * previous user left; the caller resets what it needs.
+     */
+    T *
+    acquire()
+    {
+        if (free_.empty())
+            grow();
+        T *obj = free_.back();
+        free_.pop_back();
+        *liveFlag(obj) = 1;
+        ++inUse_;
+        if (inUse_ > peakInUse_)
+            peakInUse_ = inUse_;
+        return obj;
+    }
+
+    /** Returns @p obj to the free list. Panics on double release or
+     *  on a pointer this pool never issued. */
+    void
+    release(T *obj)
+    {
+        std::uint8_t *live = liveFlag(obj);
+        GPUWALK_ASSERT(*live == 1, "double release of pooled object ",
+                       static_cast<const void *>(obj));
+        *live = 0;
+        GPUWALK_ASSERT(inUse_ > 0, "pool release underflow");
+        --inUse_;
+        free_.push_back(obj);
+    }
+
+    /** Total objects owned (free + in use). */
+    std::size_t capacity() const { return slabs_.size() * slabObjects_; }
+
+    /** Objects currently acquired. */
+    std::size_t inUse() const { return inUse_; }
+
+    /** High-water mark of simultaneously acquired objects. */
+    std::size_t peakInUse() const { return peakInUse_; }
+
+    /** Growth steps taken so far. */
+    std::size_t slabCount() const { return slabs_.size(); }
+
+  private:
+    struct Slab
+    {
+        std::unique_ptr<T[]> objects;
+        std::unique_ptr<std::uint8_t[]> live;
+    };
+
+    void
+    grow()
+    {
+        Slab slab;
+        slab.objects = std::make_unique<T[]>(slabObjects_);
+        slab.live = std::make_unique<std::uint8_t[]>(slabObjects_);
+        free_.reserve(capacity() + slabObjects_);
+        // LIFO free list: push in reverse so the first acquires come
+        // out in slab order (warm, sequential first touch).
+        for (std::size_t i = slabObjects_; i-- > 0;)
+            free_.push_back(&slab.objects[i]);
+        slabs_.push_back(std::move(slab));
+    }
+
+    /** Maps @p obj back to its slab's live flag; panics on pointers
+     *  outside every slab (foreign or misaligned releases). */
+    std::uint8_t *
+    liveFlag(T *obj)
+    {
+        for (auto &slab : slabs_) {
+            T *base = slab.objects.get();
+            if (obj >= base && obj < base + slabObjects_)
+                return &slab.live[static_cast<std::size_t>(obj - base)];
+        }
+        panic("release of non-pooled object ",
+              static_cast<const void *>(obj));
+    }
+
+    std::size_t slabObjects_;
+    std::vector<Slab> slabs_;
+    std::vector<T *> free_;
+    std::size_t inUse_ = 0;
+    std::size_t peakInUse_ = 0;
+};
+
+} // namespace gpuwalk::sim
+
+#endif // GPUWALK_SIM_OBJECT_POOL_HH

@@ -13,7 +13,7 @@
 #ifndef GPUWALK_SIM_RATE_LIMITER_HH
 #define GPUWALK_SIM_RATE_LIMITER_HH
 
-#include <functional>
+#include <utility>
 
 #include "sim/event_queue.hh"
 #include "sim/ticks.hh"
@@ -32,14 +32,16 @@ class RateLimiter
 
     /**
      * Runs @p action at the port's next free slot (>= now), in
-     * submission order.
+     * submission order. Forwarded straight into a pooled event node —
+     * no intermediate std::function.
      */
+    template <typename F>
     void
-    submit(std::function<void()> action)
+    submit(F &&action)
     {
         const Tick slot = std::max(eq_.now(), nextFree_);
         nextFree_ = slot + period_;
-        eq_.schedule(slot, std::move(action));
+        eq_.schedule(slot, std::forward<F>(action));
     }
 
     /** Earliest tick a new submission would execute at. */

@@ -92,6 +92,7 @@ System::run(std::uint64_t max_events)
             gpu_->appFinishTick(static_cast<unsigned>(app)));
     stats.stallTicks = gpu_->totalStallTicks();
     stats.instructions = gpu_->totalInstructions();
+    stats.eventsExecuted = eq_.executed();
     stats.translationRequests = tlbs_->iommuRequests();
     stats.walkRequests = iommu_->walkRequests();
     stats.walksCompleted = iommu_->walksCompleted();

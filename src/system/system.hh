@@ -38,6 +38,10 @@ struct RunStats
     std::uint64_t instructions = 0;
     /** Per-app completion ticks for multi-program runs. */
     std::vector<sim::Tick> appFinishTicks;
+    /** Simulation events executed by the run's event queue — with a
+     *  wall-clock measurement this yields events/sec, the headline
+     *  metric of the calendar-queue core (BENCH_eventcore.json). */
+    std::uint64_t eventsExecuted = 0;
     std::uint64_t translationRequests = 0; ///< reaching the IOMMU
     std::uint64_t walkRequests = 0;        ///< page walks (Fig. 11)
     std::uint64_t walksCompleted = 0;

@@ -62,15 +62,17 @@ TlbHierarchy::lookupL1(TranslationRequest r)
     }
 
     // Merge with an in-flight miss from this CU to the same page.
-    const auto key = std::make_pair(r.cu, r.vaPage);
+    const std::uint64_t key = l1Key(r.cu, r.vaPage);
     auto it = l1Inflight_.find(key);
     if (it != l1Inflight_.end()) {
         ++l1Merged_;
-        it->second.push_back(std::move(r));
+        it->second->waiters.push_back(std::move(r));
         return;
     }
-    l1Inflight_[key].push_back(std::move(r));
-    const auto &leader = l1Inflight_[key].front();
+    MergeEntry *entry = mergePool_.acquire();
+    entry->waiters.push_back(std::move(r));
+    l1Inflight_.emplace(key, entry);
+    const TranslationRequest &leader = entry->waiters.front();
 
     TranslationRequest down;
     down.vaPage = leader.vaPage;
@@ -78,12 +80,17 @@ TlbHierarchy::lookupL1(TranslationRequest r)
     down.wavefront = leader.wavefront;
     down.cu = leader.cu;
     down.app = leader.app;
-    down.onComplete = [this, key](mem::Addr pa_page, bool large) {
-        auto node = l1Inflight_.extract(key);
-        GPUWALK_ASSERT(!node.empty(), "orphan L1 fill");
-        l1s_[key.first]->insert(key.second, pa_page, large);
-        for (auto &w : node.mapped())
+    down.onComplete = [this, cu = leader.cu,
+                       va = leader.vaPage](mem::Addr pa_page, bool large) {
+        auto node = l1Inflight_.find(l1Key(cu, va));
+        GPUWALK_ASSERT(node != l1Inflight_.end(), "orphan L1 fill");
+        MergeEntry *filled = node->second;
+        l1Inflight_.erase(node);
+        l1s_[cu]->insert(va, pa_page, large);
+        for (auto &w : filled->waiters)
             w.complete(pa_page, large);
+        filled->waiters.clear();
+        mergePool_.release(filled);
     };
 
     // The shared L2 TLB is also single-ported: the eight CUs' miss
@@ -110,13 +117,15 @@ TlbHierarchy::accessL2(TranslationRequest req)
     auto it = l2Inflight_.find(req.vaPage);
     if (it != l2Inflight_.end()) {
         ++l2Merged_;
-        it->second.push_back(std::move(req));
+        it->second->waiters.push_back(std::move(req));
         return;
     }
 
     const mem::Addr va_page = req.vaPage;
-    l2Inflight_[va_page].push_back(std::move(req));
-    const auto &leader = l2Inflight_[va_page].front();
+    MergeEntry *entry = mergePool_.acquire();
+    entry->waiters.push_back(std::move(req));
+    l2Inflight_.emplace(va_page, entry);
+    const TranslationRequest &leader = entry->waiters.front();
 
     ++iommuRequests_;
     TranslationRequest down;
@@ -126,11 +135,15 @@ TlbHierarchy::accessL2(TranslationRequest req)
     down.cu = leader.cu;
     down.app = leader.app;
     down.onComplete = [this, va_page](mem::Addr pa_page, bool large) {
-        auto node = l2Inflight_.extract(va_page);
-        GPUWALK_ASSERT(!node.empty(), "orphan L2 fill");
+        auto node = l2Inflight_.find(va_page);
+        GPUWALK_ASSERT(node != l2Inflight_.end(), "orphan L2 fill");
+        MergeEntry *filled = node->second;
+        l2Inflight_.erase(node);
         l2_.insert(va_page, pa_page, large);
-        for (auto &w : node.mapped())
+        for (auto &w : filled->waiters)
             w.complete(pa_page, large);
+        filled->waiters.clear();
+        mergePool_.release(filled);
     };
     iommu_.translate(std::move(down));
 }

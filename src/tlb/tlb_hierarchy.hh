@@ -13,12 +13,13 @@
 #define GPUWALK_TLB_TLB_HIERARCHY_HH
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/event_queue.hh"
+#include "sim/object_pool.hh"
 #include "sim/rate_limiter.hh"
 #include "sim/stats.hh"
 #include "tlb/set_assoc_tlb.hh"
@@ -84,6 +85,25 @@ class TlbHierarchy
     sim::StatGroup &stats() { return statGroup_; }
 
   private:
+    /** Pooled miss-merge record (cache-MSHR analogue). Recycled with
+     *  its vector capacity intact, so steady-state merging does not
+     *  allocate. */
+    struct MergeEntry
+    {
+        std::vector<TranslationRequest> waiters;
+    };
+
+    /** Packs (cu, vaPage) into one hash key: vaPage is page-aligned,
+     *  so the CU id fits in the low bits. */
+    static std::uint64_t
+    l1Key(std::uint32_t cu, mem::Addr va_page)
+    {
+        GPUWALK_ASSERT((va_page & (mem::pageSize - 1)) == 0
+                           && cu < mem::pageSize,
+                       "cannot pack (cu, vaPage) key");
+        return va_page | cu;
+    }
+
     void lookupL1(TranslationRequest req);
     void accessL2(TranslationRequest req);
     void noteL2Access(std::uint32_t wavefront);
@@ -98,13 +118,17 @@ class TlbHierarchy
     std::vector<std::unique_ptr<sim::RateLimiter>> l1Ports_;
     sim::RateLimiter l2Port_;
 
-    /** In-flight L1 misses: (cu, vaPage) -> waiting requests. */
-    std::map<std::pair<std::uint32_t, mem::Addr>,
-             std::vector<TranslationRequest>>
-        l1Inflight_;
+    // In-flight miss tables are looked up and erased, never iterated,
+    // so hashing them is determinism-safe.
 
-    /** In-flight L2 misses: vaPage -> waiting requests. */
-    std::map<mem::Addr, std::vector<TranslationRequest>> l2Inflight_;
+    /** In-flight L1 misses: l1Key(cu, vaPage) -> merge record. */
+    std::unordered_map<std::uint64_t, MergeEntry *> l1Inflight_;
+
+    /** In-flight L2 misses: vaPage -> merge record. */
+    std::unordered_map<mem::Addr, MergeEntry *> l2Inflight_;
+
+    /** Shared pool behind both miss tables. */
+    sim::ObjectPool<MergeEntry> mergePool_{64};
 
     // Fig. 12 epoch tracking.
     std::set<std::uint32_t> epochSet_;

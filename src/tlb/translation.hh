@@ -8,9 +8,9 @@
 #define GPUWALK_TLB_TRANSLATION_HH
 
 #include <cstdint>
-#include <functional>
 
 #include "mem/types.hh"
+#include "sim/inline_function.hh"
 #include "sim/ticks.hh"
 
 namespace gpuwalk::tlb {
@@ -45,9 +45,11 @@ struct TranslationRequest
     /**
      * Completion callback delivering the page-aligned (4 KB-granular)
      * physical address and whether the backing mapping is a 2 MB
-     * large page. Invoked exactly once.
+     * large page. Invoked exactly once. Inline-stored for the hot
+     * captures; oversized ones (the virtual-cache bridge) heap-box.
      */
-    std::function<void(mem::Addr pa_page, bool large_page)> onComplete;
+    sim::InlineFunction<void(mem::Addr pa_page, bool large_page)>
+        onComplete;
 
     void
     complete(mem::Addr pa_page, bool large_page = false)

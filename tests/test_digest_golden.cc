@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Differential golden-digest tests: the bit-exact behavioural oracle
+ * for hot-path refactors of the simulation core.
+ *
+ * Each of the five paper schedulers runs three workloads (two
+ * irregular, one regular) at a small fixed configuration with
+ * walk-lifecycle tracing enabled. The FNV-1a trace digest and the
+ * headline RunStats of every run are compared against committed
+ * golden values in tests/golden/digests.json. Any change that
+ * perturbs simulated behaviour — event ordering, walk scheduling,
+ * latencies — fails loudly here; changes that only make the
+ * simulator faster leave every value untouched.
+ *
+ * Regenerating goldens (only after an *intentional* behaviour
+ * change, with the diff reviewed):
+ *
+ *     GPUWALK_UPDATE_GOLDEN=1 build/tests/gpuwalk_tests \
+ *         --gtest_filter='DigestGolden.*'
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/run.hh"
+#include "trace/digest.hh"
+
+namespace {
+
+using namespace gpuwalk;
+
+/** Grid: the five paper policies x (two irregular + one regular). */
+const std::vector<core::SchedulerKind> goldenSchedulers{
+    core::SchedulerKind::Fcfs,      core::SchedulerKind::Random,
+    core::SchedulerKind::SjfOnly,   core::SchedulerKind::BatchOnly,
+    core::SchedulerKind::SimtAware};
+
+const std::vector<std::string> goldenWorkloads{"MVT", "BIC", "KMN"};
+
+/** Small but contended: enough walks to exercise every scheduler
+ *  decision path while keeping the full 15-run grid under a few
+ *  seconds. Changing any of these invalidates the goldens. */
+workload::WorkloadParams
+goldenParams()
+{
+    workload::WorkloadParams params;
+    params.wavefronts = 32;
+    params.instructionsPerWavefront = 8;
+    params.seed = 7;
+    params.footprintScale = 0.05;
+    params.computeCycles = 20;
+    return params;
+}
+
+/** The values a golden entry pins down. */
+struct GoldenEntry
+{
+    std::string digest; ///< 16-digit hex FNV-1a trace digest
+    std::uint64_t runtimeTicks = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t translationRequests = 0;
+    std::uint64_t walkRequests = 0;
+    std::uint64_t walksCompleted = 0;
+    std::uint64_t traceEvents = 0;
+};
+
+std::string
+goldenPath()
+{
+    return std::string(GPUWALK_TESTS_SOURCE_DIR) + "/golden/digests.json";
+}
+
+std::string
+entryKey(const std::string &workload, core::SchedulerKind sched)
+{
+    return workload + "/" + core::toString(sched);
+}
+
+GoldenEntry
+runPoint(const std::string &workload, core::SchedulerKind sched)
+{
+    system::SystemConfig cfg = system::SystemConfig::baseline();
+    cfg.scheduler = sched;
+    cfg.trace.enabled = true;
+    const exp::RunResult result =
+        exp::runOne(cfg, workload, goldenParams());
+
+    GoldenEntry e;
+    e.digest = trace::digestHex(result.stats.traceDigest);
+    e.runtimeTicks = result.stats.runtimeTicks;
+    e.instructions = result.stats.instructions;
+    e.translationRequests = result.stats.translationRequests;
+    e.walkRequests = result.stats.walkRequests;
+    e.walksCompleted = result.stats.walksCompleted;
+    e.traceEvents = result.stats.traceEvents;
+    EXPECT_EQ(result.stats.traceDropped, 0u)
+        << "ring too small for golden runs; digests would depend on "
+           "drop behaviour";
+    return e;
+}
+
+/**
+ * Parses the committed golden file. The format is the machine-written
+ * one-entry-per-line JSON produced by writeGoldens(); parsing scans
+ * for the known quoted keys rather than pulling in a JSON library.
+ */
+std::map<std::string, GoldenEntry>
+readGoldens()
+{
+    std::ifstream in(goldenPath());
+    if (!in)
+        return {};
+
+    auto field = [](const std::string &line, const std::string &key)
+        -> std::string {
+        const std::string marker = "\"" + key + "\":";
+        const auto pos = line.find(marker);
+        if (pos == std::string::npos)
+            return "";
+        std::size_t begin = pos + marker.size();
+        while (begin < line.size()
+               && (line[begin] == ' ' || line[begin] == '"')) {
+            ++begin;
+        }
+        std::size_t end = begin;
+        while (end < line.size() && line[end] != ','
+               && line[end] != '"' && line[end] != '}') {
+            ++end;
+        }
+        return line.substr(begin, end - begin);
+    };
+
+    std::map<std::string, GoldenEntry> out;
+    std::string line;
+    while (std::getline(in, line)) {
+        const std::string key = field(line, "key");
+        if (key.empty())
+            continue;
+        GoldenEntry e;
+        e.digest = field(line, "digest");
+        e.runtimeTicks = std::stoull(field(line, "runtime_ticks"));
+        e.instructions = std::stoull(field(line, "instructions"));
+        e.translationRequests =
+            std::stoull(field(line, "translation_requests"));
+        e.walkRequests = std::stoull(field(line, "walk_requests"));
+        e.walksCompleted = std::stoull(field(line, "walks_completed"));
+        e.traceEvents = std::stoull(field(line, "trace_events"));
+        out[key] = e;
+    }
+    return out;
+}
+
+void
+writeGoldens(const std::map<std::string, GoldenEntry> &entries)
+{
+    std::ofstream out(goldenPath());
+    ASSERT_TRUE(out) << "cannot write " << goldenPath();
+    const auto params = goldenParams();
+    out << "{\n";
+    out << "  \"comment\": \"machine-written by test_digest_golden.cc"
+           " (GPUWALK_UPDATE_GOLDEN=1); do not edit by hand\",\n";
+    out << "  \"params\": {\"wavefronts\": " << params.wavefronts
+        << ", \"instructions_per_wavefront\": "
+        << params.instructionsPerWavefront << ", \"seed\": "
+        << params.seed << ", \"footprint_scale\": "
+        << params.footprintScale << ", \"compute_cycles\": "
+        << params.computeCycles << "},\n";
+    out << "  \"entries\": [\n";
+    bool first = true;
+    for (const auto &[key, e] : entries) {
+        if (!first)
+            out << ",\n";
+        first = false;
+        out << "    {\"key\": \"" << key << "\", \"digest\": \""
+            << e.digest << "\", \"runtime_ticks\": " << e.runtimeTicks
+            << ", \"instructions\": " << e.instructions
+            << ", \"translation_requests\": " << e.translationRequests
+            << ", \"walk_requests\": " << e.walkRequests
+            << ", \"walks_completed\": " << e.walksCompleted
+            << ", \"trace_events\": " << e.traceEvents << "}";
+    }
+    out << "\n  ]\n}\n";
+}
+
+bool
+updateRequested()
+{
+    const char *env = std::getenv("GPUWALK_UPDATE_GOLDEN");
+    return env != nullptr && std::string(env) != "0";
+}
+
+TEST(DigestGolden, AllSchedulersMatchCommittedDigests)
+{
+    std::map<std::string, GoldenEntry> computed;
+    for (const auto &workload : goldenWorkloads) {
+        for (const auto sched : goldenSchedulers)
+            computed[entryKey(workload, sched)] =
+                runPoint(workload, sched);
+    }
+
+    if (updateRequested()) {
+        writeGoldens(computed);
+        GTEST_SKIP() << "goldens rewritten at " << goldenPath();
+    }
+
+    const auto goldens = readGoldens();
+    ASSERT_FALSE(goldens.empty())
+        << "no goldens at " << goldenPath()
+        << "; run with GPUWALK_UPDATE_GOLDEN=1 to mint them";
+    ASSERT_EQ(goldens.size(), computed.size());
+
+    for (const auto &[key, want] : goldens) {
+        const auto it = computed.find(key);
+        ASSERT_NE(it, computed.end()) << "missing run for " << key;
+        const GoldenEntry &got = it->second;
+        EXPECT_EQ(got.digest, want.digest)
+            << key << ": trace digest diverged — simulated behaviour "
+                      "changed";
+        EXPECT_EQ(got.runtimeTicks, want.runtimeTicks) << key;
+        EXPECT_EQ(got.instructions, want.instructions) << key;
+        EXPECT_EQ(got.translationRequests, want.translationRequests)
+            << key;
+        EXPECT_EQ(got.walkRequests, want.walkRequests) << key;
+        EXPECT_EQ(got.walksCompleted, want.walksCompleted) << key;
+        EXPECT_EQ(got.traceEvents, want.traceEvents) << key;
+    }
+}
+
+/** The digest must be a pure function of simulated behaviour: two
+ *  identical runs in one process (warm allocator, different object
+ *  addresses) digest identically. */
+TEST(DigestGolden, DigestIsRunToRunDeterministic)
+{
+    const auto a = runPoint("MVT", core::SchedulerKind::SimtAware);
+    const auto b = runPoint("MVT", core::SchedulerKind::SimtAware);
+    EXPECT_EQ(a.digest, b.digest);
+    EXPECT_EQ(a.runtimeTicks, b.runtimeTicks);
+    EXPECT_EQ(a.traceEvents, b.traceEvents);
+}
+
+} // namespace

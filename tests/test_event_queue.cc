@@ -15,6 +15,29 @@ using gpuwalk::sim::EventPriority;
 using gpuwalk::sim::EventQueue;
 using gpuwalk::sim::Tick;
 
+/** Intrusive test event that bumps a counter (if any) when fired. */
+struct CountingEvent final : gpuwalk::sim::Event
+{
+    int *fired = nullptr;
+    void
+    process() override
+    {
+        if (fired)
+            ++*fired;
+    }
+};
+
+/** Intrusive test event appending a tag to a shared history. */
+struct RecordingEvent final : gpuwalk::sim::Event
+{
+    RecordingEvent(std::vector<int> *order_out, int tag_value)
+        : order(order_out), tag(tag_value)
+    {}
+    std::vector<int> *order;
+    int tag;
+    void process() override { order->push_back(tag); }
+};
+
 TEST(EventQueue, StartsEmptyAtTickZero)
 {
     EventQueue eq;
@@ -142,12 +165,127 @@ TEST(EventQueue, ExecutedCountsAllEvents)
     EXPECT_EQ(eq.executed(), 5u);
 }
 
+// Regression battery for the documented `when >= now()` precondition:
+// both the pooled-callable and the intrusive schedule paths must refuse
+// to enqueue into the past, at any displacement — a pooled node placed
+// behind now() would otherwise sit in a bucket the dispatch scan never
+// revisits and leak silently.
+
 TEST(EventQueueDeathTest, SchedulingInThePastPanics)
 {
     EventQueue eq;
     eq.schedule(100, [] {});
     eq.run();
     EXPECT_DEATH(eq.schedule(50, [] {}), "past");
+}
+
+TEST(EventQueueDeathTest, SchedulingIntrusiveEventInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.run();
+    CountingEvent ev;
+    EXPECT_DEATH(eq.schedule(99, ev), "past");
+}
+
+TEST(EventQueueDeathTest, SchedulingInThePastPanicsBeyondTheWindow)
+{
+    // A displacement larger than the bucket window must not wrap into
+    // a plausible-looking future bucket.
+    EventQueue eq;
+    eq.schedule(EventQueue::windowTicks * 3, [] {});
+    eq.run();
+    EXPECT_DEATH(eq.schedule(EventQueue::windowTicks, [] {}), "past");
+}
+
+TEST(EventQueueDeathTest, DoubleSchedulingAnEventPanics)
+{
+    EventQueue eq;
+    CountingEvent ev;
+    eq.schedule(10, ev);
+    EXPECT_DEATH(eq.schedule(20, ev), "already scheduled");
+}
+
+// --- Intrusive event API -------------------------------------------------
+
+TEST(EventQueue, IntrusiveEventsInterleaveWithCallbacks)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    RecordingEvent a{&order, 1};
+    RecordingEvent b{&order, 3};
+    eq.schedule(5, a);
+    eq.schedule(5, [&] { order.push_back(2); });
+    eq.schedule(5, b);
+    EXPECT_TRUE(a.scheduled());
+    eq.run();
+    EXPECT_FALSE(a.scheduled());
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, IntrusiveEventCanRescheduleItself)
+{
+    EventQueue eq;
+    struct Ticker final : gpuwalk::sim::Event
+    {
+        EventQueue *eq = nullptr;
+        int fires = 0;
+        void
+        process() override
+        {
+            if (++fires < 4)
+                eq->scheduleIn(10, *this);
+        }
+    } ticker;
+    ticker.eq = &eq;
+    eq.schedule(1, ticker);
+    eq.run();
+    EXPECT_EQ(ticker.fires, 4);
+    EXPECT_EQ(eq.now(), 31u);
+}
+
+TEST(EventQueue, DescheduleRemovesPendingEvent)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    RecordingEvent a{&order, 1};
+    RecordingEvent b{&order, 2};
+    eq.schedule(10, a);
+    eq.schedule(10, b);
+    eq.deschedule(a);
+    EXPECT_FALSE(a.scheduled());
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{2}));
+}
+
+TEST(EventQueue, DestroyedEventLeavesTheQueue)
+{
+    EventQueue eq;
+    int fired = 0;
+    {
+        CountingEvent ev;
+        ev.fired = &fired;
+        eq.schedule(10, ev);
+        EXPECT_EQ(eq.pending(), 1u);
+    } // ev destructs while scheduled: must self-deschedule
+    EXPECT_EQ(eq.pending(), 0u);
+    eq.run();
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueue, FarFutureEventsTierThroughOverflow)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    const Tick far = EventQueue::windowTicks * 5 + 3;
+    eq.schedule(far, [&] { order.push_back(2); });
+    EXPECT_EQ(eq.overflowPending(), 1u);
+    eq.schedule(7, [&] { order.push_back(1); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(eq.now(), far);
+    EXPECT_EQ(eq.overflowPending(), 0u);
 }
 
 TEST(EventQueue, CascadedEventsKeepDeterministicOrder)

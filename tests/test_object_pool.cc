@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Unit tests for the slab-backed object pool.
+ *
+ * Covers growth on exhaustion, LIFO recycle identity, capacity
+ * retention across acquire/release cycles (the property the simulator's
+ * hot paths rely on to stay allocation-free), the in-use accounting,
+ * and the always-on release validation: double release and foreign
+ * pointers must panic, not corrupt the free list.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "sim/object_pool.hh"
+
+namespace {
+
+using gpuwalk::sim::ObjectPool;
+
+struct Payload
+{
+    int value = 0;
+    std::vector<int> scratch;
+};
+
+TEST(ObjectPool, StartsEmptyAndGrowsOnFirstAcquire)
+{
+    ObjectPool<Payload> pool(4);
+    EXPECT_EQ(pool.capacity(), 0u);
+    EXPECT_EQ(pool.slabCount(), 0u);
+
+    Payload *p = pool.acquire();
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(pool.capacity(), 4u);
+    EXPECT_EQ(pool.slabCount(), 1u);
+    EXPECT_EQ(pool.inUse(), 1u);
+    pool.release(p);
+}
+
+TEST(ObjectPool, ExhaustionAddsSlabsAndPointersStayDistinct)
+{
+    ObjectPool<Payload> pool(4);
+    std::set<Payload *> seen;
+    std::vector<Payload *> held;
+    for (int i = 0; i < 11; ++i) {
+        Payload *p = pool.acquire();
+        EXPECT_TRUE(seen.insert(p).second) << "duplicate live pointer";
+        held.push_back(p);
+    }
+    EXPECT_EQ(pool.slabCount(), 3u); // ceil(11 / 4)
+    EXPECT_EQ(pool.capacity(), 12u);
+    EXPECT_EQ(pool.inUse(), 11u);
+    EXPECT_EQ(pool.peakInUse(), 11u);
+
+    for (Payload *p : held)
+        pool.release(p);
+    EXPECT_EQ(pool.inUse(), 0u);
+    EXPECT_EQ(pool.peakInUse(), 11u); // high-water mark sticks
+    EXPECT_EQ(pool.capacity(), 12u);  // slabs are never returned
+}
+
+TEST(ObjectPool, RecycleIsLifo)
+{
+    ObjectPool<Payload> pool(8);
+    Payload *a = pool.acquire();
+    Payload *b = pool.acquire();
+    pool.release(b);
+    pool.release(a);
+    // Most recently released comes back first.
+    EXPECT_EQ(pool.acquire(), a);
+    EXPECT_EQ(pool.acquire(), b);
+    pool.release(a);
+    pool.release(b);
+}
+
+TEST(ObjectPool, RecycledObjectsKeepStateAndCapacity)
+{
+    // The pool's contract: objects are constructed once and reused
+    // as-is, so container capacity grown by one user is still there
+    // for the next — that is what makes steady state allocation-free.
+    ObjectPool<Payload> pool(2);
+    Payload *p = pool.acquire();
+    p->value = 42;
+    p->scratch.reserve(1024);
+    const std::size_t cap = p->scratch.capacity();
+    pool.release(p);
+
+    Payload *q = pool.acquire();
+    ASSERT_EQ(q, p);
+    EXPECT_EQ(q->value, 42);
+    EXPECT_GE(q->scratch.capacity(), cap);
+    pool.release(q);
+}
+
+TEST(ObjectPool, InUseTracksAcquireReleaseCycles)
+{
+    ObjectPool<Payload> pool(4);
+    std::vector<Payload *> held;
+    for (int cycle = 0; cycle < 3; ++cycle) {
+        for (int i = 0; i < 3; ++i)
+            held.push_back(pool.acquire());
+        EXPECT_EQ(pool.inUse(), 3u);
+        for (Payload *p : held)
+            pool.release(p);
+        held.clear();
+        EXPECT_EQ(pool.inUse(), 0u);
+    }
+    EXPECT_EQ(pool.peakInUse(), 3u);
+    EXPECT_EQ(pool.slabCount(), 1u); // recycling never grew the pool
+}
+
+TEST(ObjectPoolDeathTest, DoubleReleasePanics)
+{
+    ObjectPool<Payload> pool(4);
+    Payload *p = pool.acquire();
+    pool.release(p);
+    EXPECT_DEATH(pool.release(p), "double release");
+}
+
+TEST(ObjectPoolDeathTest, ReleaseAfterRecycleByAnotherOwnerPanics)
+{
+    // The stale-owner variant of double release: the slot has been
+    // re-acquired, so the stale release would free it out from under
+    // the live owner. Re-acquiring sets the live flag again, so this
+    // must trip the same validation only when genuinely stale.
+    ObjectPool<Payload> pool(4);
+    Payload *p = pool.acquire();
+    pool.release(p);
+    Payload *q = pool.acquire();
+    ASSERT_EQ(q, p); // LIFO: same slot, new owner
+    pool.release(q);
+    EXPECT_DEATH(pool.release(p), "double release");
+}
+
+TEST(ObjectPoolDeathTest, ReleasingForeignPointerPanics)
+{
+    ObjectPool<Payload> pool(4);
+    Payload *p = pool.acquire();
+    Payload stack_object;
+    EXPECT_DEATH(pool.release(&stack_object), "non-pooled");
+    pool.release(p);
+}
+
+TEST(ObjectPoolDeathTest, ReleasingAnotherPoolsObjectPanics)
+{
+    ObjectPool<Payload> pool_a(4);
+    ObjectPool<Payload> pool_b(4);
+    Payload *p = pool_a.acquire();
+    EXPECT_DEATH(pool_b.release(p), "non-pooled");
+    pool_a.release(p);
+}
+
+} // namespace
