@@ -24,6 +24,9 @@ class FcfsScheduler : public WalkScheduler
 
     /** FCFS never bypasses anything; skip aging bookkeeping. */
     void onDispatch(WalkBuffer &, const PendingWalk &) override {}
+
+    /** Tells the auditor all buffered entries must show bypassed == 0. */
+    bool tracksAging() const override { return false; }
 };
 
 } // namespace gpuwalk::core

@@ -42,6 +42,11 @@ SimtAwareScheduler::selectNext(const WalkBuffer &buffer)
             lastPick_ = PickReason::Batch;
             return best;
         }
+        // The buffer holds no entry for that instruction: its walks
+        // have drained, so the ID is stale. Clear it rather than let
+        // it linger and claim future Batch labels for an instruction
+        // that stopped being "the one being serviced" long ago.
+        lastInstruction_.reset();
     }
 
     // 2. Shortest job first by score; FCFS without scoring enabled.

@@ -92,16 +92,27 @@ class WalkScheduler
     }
 
     /**
+     * True if this policy maintains the per-entry bypass counters via
+     * onDispatch(). Policies that dispatch strictly in arrival order
+     * (FCFS) skip the bookkeeping and return false, which lets the
+     * conservation auditor demand their buffered entries all show
+     * bypassed == 0 — a stale counter there would mean two schedulers
+     * disagreed about a shared buffer.
+     */
+    virtual bool tracksAging() const { return true; }
+
+    /**
      * Observes that @p walk was dispatched to a walker, after it was
      * extracted from @p buffer. Default updates the aging counters:
      * every remaining entry older than the dispatched one was just
-     * bypassed.
+     * bypassed. The increment saturates — a wrapped counter would
+     * reset a starving request's aging priority back to zero.
      */
     virtual void
     onDispatch(WalkBuffer &buffer, const PendingWalk &walk)
     {
         for (auto &e : buffer.entries()) {
-            if (e.seq < walk.seq)
+            if (e.seq < walk.seq && e.bypassed != ~std::uint64_t{0})
                 ++e.bypassed;
         }
     }

@@ -29,6 +29,13 @@ printHelp(const std::string &id, const std::string &description)
                  "ui.perfetto.dev)\n"
               << "  --trace-ring N  trace ring-buffer capacity in "
                  "events (default 1Mi)\n"
+              << "  --audit      enable conservation auditing: every "
+                 "run's invariants are\n"
+              << "               checked at teardown and violations "
+                 "land in the JSON output\n"
+              << "  --audit-interval N  additionally check every N "
+                 "ticks during the run\n"
+              << "               (implies --audit)\n"
               << "  --help       this text\n";
     std::exit(0);
 }
@@ -94,6 +101,22 @@ parseBenchArgs(int argc, char **argv, const std::string &id,
             opts.runner.trace.ringCapacity =
                 static_cast<std::size_t>(n);
             opts.runner.trace.enabled = true;
+        } else if (arg == "audit") {
+            // Valueless flag; "--audit=..." is a spelling error.
+            if (have_value)
+                sim::fatal("--audit takes no value (use "
+                           "--audit-interval N for periodic checks)");
+            opts.runner.audit.enabled = true;
+        } else if (arg == "audit-interval") {
+            const std::string v = next_value();
+            char *end = nullptr;
+            const unsigned long long n =
+                std::strtoull(v.c_str(), &end, 0);
+            if (v.empty() || end == nullptr || *end != '\0' || n == 0)
+                sim::fatal("--audit-interval needs a positive tick "
+                           "count, got '", v, "'");
+            opts.runner.audit.interval = static_cast<sim::Tick>(n);
+            opts.runner.audit.enabled = true;
         } else {
             sim::fatal("unknown flag --", arg, " (see --help)");
         }

@@ -23,10 +23,11 @@ struct BenchOptions
 };
 
 /**
- * Parses --jobs[=]N, --json[=]PATH, --help. Both "--flag=value" and
- * "--flag value" spellings are accepted. --help prints @p id /
- * @p description plus the flag reference and exits; unknown flags are
- * fatal.
+ * Parses --jobs[=]N, --json[=]PATH, --trace-out[=]PATH,
+ * --trace-ring[=]N, --audit, --audit-interval[=]N, --help. Both
+ * "--flag=value" and "--flag value" spellings are accepted. --help
+ * prints @p id / @p description plus the flag reference and exits;
+ * unknown flags are fatal.
  */
 BenchOptions parseBenchArgs(int argc, char **argv,
                             const std::string &id,

@@ -1,15 +1,33 @@
 #include "exp/metrics.hh"
 
 #include <cmath>
+#include <limits>
 
 #include "sim/logging.hh"
 
 namespace gpuwalk::exp {
 
+namespace {
+
+double
+degenerate()
+{
+    return std::numeric_limits<double>::quiet_NaN();
+}
+
+} // namespace
+
 double
 speedup(const system::RunStats &test, const system::RunStats &base)
 {
-    GPUWALK_ASSERT(test.runtimeTicks > 0, "zero test runtime");
+    // A degenerate point (a run that executed nothing) must not kill a
+    // sweep that took hours: report NaN, which the tables print as-is
+    // and the JSON writer emits as null, and let the reader decide.
+    if (test.runtimeTicks == 0 || base.runtimeTicks == 0) {
+        sim::warn("speedup: degenerate runtime (test=", test.runtimeTicks,
+                  " base=", base.runtimeTicks, " ticks); reporting NaN");
+        return degenerate();
+    }
     return static_cast<double>(base.runtimeTicks)
            / static_cast<double>(test.runtimeTicks);
 }
@@ -17,10 +35,18 @@ speedup(const system::RunStats &test, const system::RunStats &base)
 double
 geomean(const std::vector<double> &values)
 {
-    GPUWALK_ASSERT(!values.empty(), "geomean of nothing");
+    if (values.empty()) {
+        sim::warn("geomean: no values; reporting NaN");
+        return degenerate();
+    }
     double log_sum = 0.0;
     for (double v : values) {
-        GPUWALK_ASSERT(v > 0.0, "geomean needs positive values");
+        // !(v > 0) rather than v <= 0 so NaN inputs land here too
+        // instead of silently poisoning log_sum.
+        if (!(v > 0.0)) {
+            sim::warn("geomean: non-positive value ", v, "; reporting NaN");
+            return degenerate();
+        }
         log_sum += std::log(v);
     }
     return std::exp(log_sum / static_cast<double>(values.size()));

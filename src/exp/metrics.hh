@@ -14,11 +14,18 @@
 
 namespace gpuwalk::exp {
 
-/** base runtime / test runtime: > 1 means @p test is faster. */
+/**
+ * base runtime / test runtime: > 1 means @p test is faster. A zero
+ * runtime on either side is a degenerate point: warns and returns NaN
+ * (printed as-is in tables, null in JSON) instead of aborting a sweep.
+ */
 double speedup(const system::RunStats &test,
                const system::RunStats &base);
 
-/** Geometric mean. @pre values positive, non-empty. */
+/**
+ * Geometric mean. Empty input or any non-positive/NaN value is
+ * degenerate: warns and returns NaN instead of aborting a sweep.
+ */
 double geomean(const std::vector<double> &values);
 
 /** "MEAN" row helper: geometric mean over collected per-app values. */

@@ -1,10 +1,12 @@
 #include "exp/report.hh"
 
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
 
+#include "sim/audit.hh"
 #include "sim/logging.hh"
 #include "trace/digest.hh"
 
@@ -43,6 +45,13 @@ jsonEscape(std::ostream &os, const std::string &s)
 void
 jsonNumber(std::ostream &os, double v)
 {
+    // JSON has no NaN/Inf literal; degenerate metrics (empty geomean,
+    // zero-runtime speedup) serialize as null rather than producing
+    // unparseable output.
+    if (!std::isfinite(v)) {
+        os << "null";
+        return;
+    }
     // Round-trippable doubles; identical values print identically, so
     // byte-comparing JSON is a valid determinism check.
     os << std::setprecision(17) << v << std::setprecision(6);
@@ -328,6 +337,26 @@ statsJson(std::ostream &os, const system::RunStats &stats)
         jsonEscape(os, trace::digestHex(stats.traceDigest));
         os << ", \"trace_events\": " << stats.traceEvents
            << ", \"trace_dropped\": " << stats.traceDropped;
+    }
+
+    os << ", \"audited\": " << (stats.audited ? "true" : "false");
+    if (stats.audited) {
+        os << ", \"audit\": {\"checks\": " << stats.auditChecks
+           << ", \"violations\": " << stats.auditViolations
+           << ", \"findings\": [";
+        bool first = true;
+        for (const auto &finding : stats.auditFindings) {
+            os << (first ? "" : ", ");
+            first = false;
+            os << "{\"invariant\": ";
+            jsonEscape(os, finding.invariant);
+            os << ", \"phase\": ";
+            jsonEscape(os, sim::toString(finding.phase));
+            os << ", \"tick\": " << finding.tick << ", \"message\": ";
+            jsonEscape(os, finding.message);
+            os << "}";
+        }
+        os << "]}";
     }
     os << "}";
 }

@@ -129,11 +129,14 @@ runJobs(const std::vector<Job> &jobs, const RunnerOptions &opts)
 SweepResult
 runSweep(const SweepSpec &spec, const RunnerOptions &opts)
 {
-    if (!opts.trace.enabled)
+    if (!opts.trace.enabled && !opts.audit.enabled)
         return runJobs(spec.expand(), opts);
-    SweepSpec traced = spec;
-    traced.base.trace = opts.trace;
-    return runJobs(traced.expand(), opts);
+    SweepSpec instrumented = spec;
+    if (opts.trace.enabled)
+        instrumented.base.trace = opts.trace;
+    if (opts.audit.enabled)
+        instrumented.base.audit = opts.audit;
+    return runJobs(instrumented.expand(), opts);
 }
 
 } // namespace gpuwalk::exp

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "exp/sweep.hh"
+#include "sim/audit.hh"
 #include "trace/trace.hh"
 
 namespace gpuwalk::exp {
@@ -32,6 +33,13 @@ struct RunnerOptions
      * expansion). Observation-only: simulated results are unchanged.
      */
     trace::TraceConfig trace;
+
+    /**
+     * Conservation auditing applied to every run of the sweep (same
+     * copy-into-base mechanism as tracing). Observation-only; each
+     * run's violations land in its RunStats audit fields.
+     */
+    sim::AuditConfig audit;
 };
 
 /**

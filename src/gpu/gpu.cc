@@ -1,5 +1,7 @@
 #include "gpu/gpu.hh"
 
+#include "sim/audit.hh"
+
 namespace gpuwalk::gpu {
 
 Gpu::Gpu(sim::EventQueue &eq, const GpuConfig &cfg,
@@ -72,6 +74,33 @@ Gpu::onWavefrontDone(unsigned app_id)
         app.finishTick = eq_.now();
     if (done())
         finishTick_ = eq_.now();
+}
+
+void
+Gpu::registerInvariants(sim::Auditor &auditor)
+{
+    auditor.registerInvariant(
+        "gpu.wavefront_completion", [this](sim::AuditContext &ctx) {
+            ctx.require(wavefrontsDone_ <= totalWavefronts_,
+                        wavefrontsDone_, " wavefronts retired but only ",
+                        totalWavefronts_, " loaded");
+            for (std::size_t app = 0; app < apps_.size(); ++app) {
+                ctx.require(apps_[app].done <= apps_[app].total, "app ",
+                            app, ": ", apps_[app].done,
+                            " wavefronts retired but only ",
+                            apps_[app].total, " loaded");
+            }
+            if (!ctx.final())
+                return;
+            ctx.require(wavefrontsDone_ == totalWavefronts_,
+                        wavefrontsDone_, " of ", totalWavefronts_,
+                        " wavefronts retired");
+            for (std::size_t app = 0; app < apps_.size(); ++app) {
+                ctx.require(apps_[app].done == apps_[app].total, "app ",
+                            app, ": ", apps_[app].done, " of ",
+                            apps_[app].total, " wavefronts retired");
+            }
+        });
 }
 
 sim::Tick

@@ -18,6 +18,10 @@
 #include "gpu/gpu_config.hh"
 #include "gpu/instruction.hh"
 
+namespace gpuwalk::sim {
+class Auditor;
+} // namespace gpuwalk::sim
+
 namespace gpuwalk::gpu {
 
 /** The GPU device model (compute side). */
@@ -75,6 +79,16 @@ class Gpu
     {
         return apps_.at(app_id).done;
     }
+
+    /** Wavefronts @p app_id loaded in total. */
+    unsigned
+    appWavefrontsTotal(unsigned app_id) const
+    {
+        return apps_.at(app_id).total;
+    }
+
+    /** Registers wavefront-completion invariants (total and per app). */
+    void registerInvariants(sim::Auditor &auditor);
 
     ComputeUnit &cu(std::size_t i) { return *cus_.at(i); }
     std::size_t numCus() const { return cus_.size(); }

@@ -1,6 +1,7 @@
 #include "iommu/iommu.hh"
 
 #include "core/srpt_scheduler.hh"
+#include "sim/audit.hh"
 #include "sim/debug.hh"
 #include "vm/page_table.hh"
 
@@ -95,6 +96,89 @@ Iommu::latencySummary() const
     for (unsigned l = 0; l < vm::numPtLevels; ++l)
         s.levelMem[l] = dist(levelMemHist_[l], levelMemAvg_[l]);
     return s;
+}
+
+void
+Iommu::registerInvariants(sim::Auditor &auditor)
+{
+    auditor.registerInvariant(
+        "iommu.walk_conservation", [this](sim::AuditContext &ctx) {
+            // There is no fault path in this model, so every started
+            // walk (demand or prefetch) must complete.
+            const std::uint64_t started =
+                walkRequests_.value() + prefetches_.value();
+            const std::uint64_t done = walksCompleted_.value();
+            const bool ok = ctx.final() ? done == started : done <= started;
+            ctx.require(ok, started, " walks started vs ", done,
+                        " completed");
+        });
+
+    auditor.registerInvariant(
+        "iommu.request_conservation", [this](sim::AuditContext &ctx) {
+            // Every received request is eventually classified as an
+            // IOMMU TLB hit or a walk; mid-run some are still in the
+            // hop/front-port pipeline.
+            const std::uint64_t classified =
+                tlbHits_.value() + walkRequests_.value();
+            const std::uint64_t received = requests_.value();
+            const bool ok = ctx.final() ? classified == received
+                                        : classified <= received;
+            ctx.require(ok, received, " requests received vs ",
+                        classified, " classified (hits + walks)");
+        });
+
+    auditor.registerInvariant(
+        "iommu.buffer_drained", [this](sim::AuditContext &ctx) {
+            if (!ctx.final()) {
+                // The buffer holds work only while every walker is busy
+                // (the class invariant immediate dispatch relies on).
+                if (!buffer_.empty() || !overflow_.empty()) {
+                    ctx.require(idleWalker() == nullptr,
+                                buffer_.size() + overflow_.size(),
+                                " pending walks while a walker idles");
+                }
+                return;
+            }
+            ctx.require(buffer_.empty(), buffer_.size(),
+                        " walks stuck in the buffer at drain");
+            ctx.require(overflow_.empty(), overflow_.size(),
+                        " walks stuck in the overflow FIFO at drain");
+        });
+
+    auditor.registerInvariant(
+        "iommu.walkers_idle", [this](sim::AuditContext &ctx) {
+            if (!ctx.final())
+                return;
+            for (const auto &w : walkers_) {
+                ctx.require(!w->busy(), "walker ", w->id(),
+                            " still busy at drain");
+            }
+        });
+
+    auditor.registerInvariant(
+        "iommu.buffer_counters", [this](sim::AuditContext &ctx) {
+            const bool tracks = scheduler_->tracksAging();
+            for (const auto &e : buffer_.entries()) {
+                if (!ctx.require(e.seq < nextSeq_, "buffered walk seq ",
+                                 e.seq, " >= next seq ", nextSeq_))
+                    return;
+                // bypassed increments at most once per dispatch, and
+                // every dispatch consumed one sequence number.
+                if (!ctx.require(e.bypassed < nextSeq_, "walk seq ",
+                                 e.seq, " bypassed ", e.bypassed,
+                                 " times with only ", nextSeq_,
+                                 " arrivals"))
+                    return;
+                if (!tracks
+                    && !ctx.require(e.bypassed == 0, "scheduler '",
+                                    scheduler_->name(),
+                                    "' skips aging bookkeeping but walk"
+                                    " seq ",
+                                    e.seq, " shows bypassed=",
+                                    e.bypassed))
+                    return;
+            }
+        });
 }
 
 void

@@ -39,6 +39,10 @@
 #include "tlb/set_assoc_tlb.hh"
 #include "tlb/translation.hh"
 
+namespace gpuwalk::sim {
+class Auditor;
+} // namespace gpuwalk::sim
+
 namespace gpuwalk::iommu {
 
 /** IOMMU structure sizes and latencies (Table I defaults). */
@@ -120,6 +124,20 @@ class Iommu : public tlb::TranslationService
 
     /** The walker-side cache, or nullptr when disabled. */
     mem::Cache *walkCache() { return walkCache_.get(); }
+
+    /**
+     * Registers this IOMMU's conservation invariants: walk/request
+     * counter identities, buffer+overflow drain, walker occupancy, and
+     * the buffered seq/bypassed consistency rules. Call before the run
+     * starts.
+     */
+    void registerInvariants(sim::Auditor &auditor);
+
+    /** Translation requests received from the GPU TLB hierarchy. */
+    std::uint64_t requests() const { return requests_.value(); }
+
+    /** Requests that hit in the IOMMU's own TLBs. */
+    std::uint64_t tlbHits() const { return tlbHits_.value(); }
 
     /** Requests that entered the walk path (missed both IOMMU TLBs). */
     std::uint64_t walkRequests() const { return walkRequests_.value(); }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/audit.hh"
+
 namespace gpuwalk::mem {
 
 Cache::Cache(sim::EventQueue &eq, const CacheConfig &cfg,
@@ -127,6 +129,23 @@ Cache::handleFill(Addr line_addr)
     }
     mshr->waiters.clear();
     mshrPool_.release(mshr);
+}
+
+void
+Cache::registerInvariants(sim::Auditor &auditor)
+{
+    auditor.registerInvariant(
+        cfg_.name + ".mshrs", [this](sim::AuditContext &ctx) {
+            ctx.require(mshrPool_.inUse() == mshrs_.size(),
+                        "MSHR pool live count ", mshrPool_.inUse(),
+                        " != tracked in-flight lines ", mshrs_.size());
+            if (!ctx.final())
+                return;
+            ctx.require(mshrs_.empty(), mshrs_.size(),
+                        " in-flight misses never filled");
+            ctx.require(mshrPool_.inUse() == 0, "MSHR pool leaks ",
+                        mshrPool_.inUse(), " entries at drain");
+        });
 }
 
 void

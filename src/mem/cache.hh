@@ -22,6 +22,10 @@
 #include "sim/object_pool.hh"
 #include "sim/stats.hh"
 
+namespace gpuwalk::sim {
+class Auditor;
+} // namespace gpuwalk::sim
+
 namespace gpuwalk::mem {
 
 /** Geometry and timing of one cache. */
@@ -72,6 +76,13 @@ class Cache : public MemoryDevice
 
     /** Invalidates all lines (e.g., between experiment phases). */
     void flushAll();
+
+    /**
+     * Registers this cache's conservation invariants (MSHR table vs.
+     * pool accounting), named after the cache so one auditor can hold
+     * every cache in the system apart.
+     */
+    void registerInvariants(sim::Auditor &auditor);
 
   private:
     struct Line

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/audit.hh"
 #include "sim/debug.hh"
 
 namespace gpuwalk::mem {
@@ -26,6 +27,21 @@ DramController::DramController(sim::EventQueue &eq, const DramConfig &cfg)
     statGroup_.add(refreshDelays_);
     statGroup_.add(latency_);
     statGroup_.add(queueDepth_);
+}
+
+void
+DramController::registerInvariants(sim::Auditor &auditor)
+{
+    auditor.registerInvariant(
+        "dram.queues_drained", [this](sim::AuditContext &ctx) {
+            if (!ctx.final())
+                return;
+            for (std::size_t c = 0; c < channels_.size(); ++c) {
+                ctx.require(channels_[c].queue.empty(), "channel ", c,
+                            " holds ", channels_[c].queue.size(),
+                            " requests at drain");
+            }
+        });
 }
 
 void

@@ -21,6 +21,10 @@
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
 
+namespace gpuwalk::sim {
+class Auditor;
+} // namespace gpuwalk::sim
+
 namespace gpuwalk::mem {
 
 /** Timing-accurate (at the FR-FCFS level) DRAM controller. */
@@ -34,6 +38,9 @@ class DramController : public MemoryDevice
 
     /** Statistics group for this controller. */
     sim::StatGroup &stats() { return statGroup_; }
+
+    /** Registers the channel-queue drain invariant. */
+    void registerInvariants(sim::Auditor &auditor);
 
     // Exposed counters for tests and reporting.
     std::uint64_t reads() const { return reads_.value(); }

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Fault-injecting interposer for the IOMMU↔memory port boundary.
+ *
+ * Wraps any MemoryDevice (the walk cache or the DRAM controller) and
+ * misbehaves on the crossings a FaultInjector selects. Test-only; see
+ * sim/fault_injector.hh and tlb/fault_injection.hh for the matching
+ * TLB-side adapter.
+ */
+
+#ifndef GPUWALK_MEM_FAULT_INJECTION_HH
+#define GPUWALK_MEM_FAULT_INJECTION_HH
+
+#include <utility>
+
+#include "mem/request.hh"
+#include "sim/event_queue.hh"
+#include "sim/fault_injector.hh"
+
+namespace gpuwalk::mem {
+
+/**
+ * MemoryDevice decorator applying drop/delay/duplicate faults.
+ *
+ * - Drop: the request is forwarded with its completion callback
+ *   swallowed — memory finishes the access, the requester (a walker's
+ *   PTE fetch, a cache fill) waits forever.
+ * - Delay: the completion is re-delivered delayTicks later.
+ * - Duplicate: a phantom copy of the request (no callback) is
+ *   forwarded after the real one.
+ */
+class FaultyMemoryDevice : public MemoryDevice
+{
+  public:
+    FaultyMemoryDevice(sim::EventQueue &eq, MemoryDevice &below,
+                       sim::FaultInjector::Spec spec)
+        : eq_(eq), below_(below), injector_(spec)
+    {}
+
+    void
+    access(MemoryRequest req) override
+    {
+        switch (injector_.decide()) {
+          case sim::FaultKind::Drop:
+            req.onComplete = {};
+            break;
+          case sim::FaultKind::Delay: {
+            auto inner = std::move(req.onComplete);
+            req.onComplete = [this, cb = std::move(inner)]() mutable {
+                eq_.scheduleIn(injector_.spec().delayTicks,
+                               [cb = std::move(cb)]() mutable { cb(); });
+            };
+            break;
+          }
+          case sim::FaultKind::Duplicate: {
+            MemoryRequest phantom;
+            phantom.addr = req.addr;
+            phantom.size = req.size;
+            phantom.write = req.write;
+            phantom.requester = req.requester;
+            phantom.instruction = req.instruction;
+            phantom.wavefront = req.wavefront;
+            phantom.cu = req.cu;
+            below_.access(std::move(req));
+            below_.access(std::move(phantom));
+            return;
+          }
+          case sim::FaultKind::None:
+            break;
+        }
+        below_.access(std::move(req));
+    }
+
+    const sim::FaultInjector &injector() const { return injector_; }
+
+  private:
+    sim::EventQueue &eq_;
+    MemoryDevice &below_;
+    sim::FaultInjector injector_;
+};
+
+} // namespace gpuwalk::mem
+
+#endif // GPUWALK_MEM_FAULT_INJECTION_HH

@@ -1,0 +1,44 @@
+#include "sim/audit.hh"
+
+namespace gpuwalk::sim {
+
+const char *
+toString(AuditPhase phase)
+{
+    return phase == AuditPhase::Final ? "final" : "periodic";
+}
+
+void
+AuditContext::record(std::string message)
+{
+    auditor_.record(invariant_ ? *invariant_ : std::string("<unnamed>"),
+                    std::move(message), phase_, now_);
+}
+
+std::size_t
+Auditor::check(AuditPhase phase, Tick now)
+{
+    const std::uint64_t before = violationCount();
+    AuditContext ctx(*this, phase, now);
+    for (const auto &inv : invariants_) {
+        ctx.invariant_ = &inv.name;
+        inv.check(ctx);
+        ++checksRun_;
+    }
+    ctx.invariant_ = nullptr;
+    return static_cast<std::size_t>(violationCount() - before);
+}
+
+void
+Auditor::record(const std::string &name, std::string message,
+                AuditPhase phase, Tick now)
+{
+    warn("audit [", toString(phase), " @", now, "] ", name, ": ", message);
+    if (violations_.size() >= maxStoredViolations) {
+        ++dropped_;
+        return;
+    }
+    violations_.push_back({name, std::move(message), now, phase});
+}
+
+} // namespace gpuwalk::sim

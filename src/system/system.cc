@@ -25,8 +25,14 @@ System::System(const SystemConfig &cfg)
         eq_, cfg_.iommu, std::move(scheduler), *dram_, store_,
         addressSpace_->pageTable().root());
 
+    tlb::TranslationService *translation = iommu_.get();
+    if (cfg_.translationInterposer) {
+        translation = cfg_.translationInterposer(eq_, *iommu_);
+        GPUWALK_ASSERT(translation != nullptr,
+                       "translation interposer returned nullptr");
+    }
     tlbs_ = std::make_unique<tlb::TlbHierarchy>(eq_, cfg_.gpuTlb,
-                                                *iommu_);
+                                                *translation);
 
     if (cfg_.trace.enabled) {
         tracer_ = std::make_unique<trace::Tracer>(cfg_.trace);
@@ -52,6 +58,59 @@ System::System(const SystemConfig &cfg)
 
     gpu_ = std::make_unique<gpu::Gpu>(eq_, cfg_.gpu, *tlbs_,
                                       std::move(l1_ptrs));
+
+    if (cfg_.audit.enabled) {
+        auditor_ = std::make_unique<sim::Auditor>();
+        tlbs_->registerInvariants(*auditor_);
+        iommu_->registerInvariants(*auditor_);
+        if (iommu_->walkCache())
+            iommu_->walkCache()->registerInvariants(*auditor_);
+        l2d_->registerInvariants(*auditor_);
+        for (auto &l1 : l1ds_)
+            l1->registerInvariants(*auditor_);
+        dram_->registerInvariants(*auditor_);
+        gpu_->registerInvariants(*auditor_);
+        registerSystemInvariants();
+        auditEvent_.sys = this;
+    }
+}
+
+void
+System::registerSystemInvariants()
+{
+    // Cross-component identity: the TLB hierarchy's forward counter
+    // and the IOMMU's receive counter move in the same synchronous
+    // call, so they must agree at any instant — unless something sits
+    // between the two and injects or swallows requests.
+    auditor_->registerInvariant(
+        "system.translation_conservation",
+        [this](sim::AuditContext &ctx) {
+            ctx.require(tlbs_->iommuRequests() == iommu_->requests(),
+                        "TLB hierarchy forwarded ",
+                        tlbs_->iommuRequests(),
+                        " requests but the IOMMU received ",
+                        iommu_->requests());
+        });
+
+    auditor_->registerInvariant(
+        "system.events_monotone",
+        [this, last = std::uint64_t{0}](sim::AuditContext &ctx) mutable {
+            const std::uint64_t executed = eq_.executed();
+            ctx.require(executed >= last,
+                        "events executed went backwards: ", last,
+                        " -> ", executed);
+            last = executed;
+        });
+}
+
+void
+System::PeriodicAuditEvent::process()
+{
+    sys->auditor_->check(sim::AuditPhase::Periodic, sys->eq_.now());
+    if (!sys->gpu_->done()) {
+        sys->eq_.schedule(sys->eq_.now() + sys->cfg_.audit.interval,
+                          *this);
+    }
 }
 
 void
@@ -75,6 +134,9 @@ System::run(std::uint64_t max_events)
 {
     gpu_->start();
 
+    if (auditor_ && cfg_.audit.interval > 0)
+        eq_.schedule(eq_.now() + cfg_.audit.interval, auditEvent_);
+
     std::uint64_t events = 0;
     while (!gpu_->done()) {
         if (!eq_.runOne())
@@ -83,6 +145,18 @@ System::run(std::uint64_t max_events)
         if (++events > max_events)
             sim::panic("simulation exceeded ", max_events,
                        " events without completing");
+    }
+
+    if (auditor_) {
+        // Let the tail work that outlives the kernel (writebacks,
+        // prefetch walks) finish, so the final checks see a drained
+        // system rather than legitimately in-flight state.
+        while (eq_.runOne()) {
+            if (++events > max_events)
+                sim::panic("simulation exceeded ", max_events,
+                           " events while draining for the audit");
+        }
+        auditor_->check(sim::AuditPhase::Final, eq_.now());
     }
 
     RunStats stats;
@@ -104,6 +178,12 @@ System::run(std::uint64_t max_events)
         stats.traceDigest = trace::digest(*tracer_);
         stats.traceEvents = tracer_->recorded();
         stats.traceDropped = tracer_->dropped();
+    }
+    if (auditor_) {
+        stats.audited = true;
+        stats.auditChecks = auditor_->checksRun();
+        stats.auditViolations = auditor_->violationCount();
+        stats.auditFindings = auditor_->violations();
     }
     return stats;
 }

@@ -19,6 +19,7 @@
 #include "mem/backing_store.hh"
 #include "mem/cache.hh"
 #include "mem/dram_controller.hh"
+#include "sim/audit.hh"
 #include "sim/event_queue.hh"
 #include "system/system_config.hh"
 #include "tlb/tlb_hierarchy.hh"
@@ -60,6 +61,18 @@ struct RunStats
     /** Trace events recorded / dropped by the bounded ring. */
     std::uint64_t traceEvents = 0;
     std::uint64_t traceDropped = 0;
+
+    /** True when conservation auditing was enabled for the run. */
+    bool audited = false;
+
+    /** Invariant evaluations performed (periodic + final). */
+    std::uint64_t auditChecks = 0;
+
+    /** Total invariant violations recorded (0 for a clean run). */
+    std::uint64_t auditViolations = 0;
+
+    /** The recorded violations (bounded; see sim::Auditor). */
+    std::vector<sim::AuditViolation> auditFindings;
 };
 
 /** Owns and wires every component; one System per simulation run. */
@@ -103,10 +116,25 @@ class System
     trace::Tracer *tracer() { return tracer_.get(); }
     const trace::Tracer *tracer() const { return tracer_.get(); }
 
+    /** The conservation auditor, or nullptr when auditing is off. */
+    sim::Auditor *auditor() { return auditor_.get(); }
+    const sim::Auditor *auditor() const { return auditor_.get(); }
+
   private:
+    /** Intrusive wake-up driving the in-run (periodic) audit checks. */
+    struct PeriodicAuditEvent final : sim::Event
+    {
+        void process() override;
+        System *sys = nullptr;
+    };
+
+    void registerSystemInvariants();
+
     SystemConfig cfg_;
     sim::EventQueue eq_;
     std::unique_ptr<trace::Tracer> tracer_;
+    std::unique_ptr<sim::Auditor> auditor_;
+    PeriodicAuditEvent auditEvent_;
     mem::BackingStore store_;
     vm::FrameAllocator frames_;
     std::unique_ptr<vm::AddressSpace> addressSpace_;

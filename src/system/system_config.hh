@@ -16,6 +16,7 @@
 #include "iommu/iommu.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"
+#include "sim/audit.hh"
 #include "tlb/tlb_hierarchy.hh"
 #include "trace/trace.hh"
 
@@ -62,6 +63,27 @@ struct SystemConfig
      * print() and hence from config fingerprints.
      */
     trace::TraceConfig trace;
+
+    /**
+     * End-of-run conservation auditing (off by default). Like tracing,
+     * observation-only and excluded from print() and hence from config
+     * fingerprints.
+     */
+    sim::AuditConfig audit;
+
+    /**
+     * Test-only extension point: when set, the System routes the TLB
+     * hierarchy's miss path through the TranslationService this
+     * returns instead of the IOMMU directly (which is passed in,
+     * along with the system event queue). The fault-injection tests
+     * use it to misbehave at the TLB↔IOMMU boundary inside an
+     * otherwise-real System. The caller keeps ownership of the
+     * returned service, which must outlive the System. Excluded from
+     * print().
+     */
+    std::function<tlb::TranslationService *(sim::EventQueue &,
+                                            tlb::TranslationService &)>
+        translationInterposer;
 
     /** The paper's baseline configuration (Table I verbatim). */
     static SystemConfig

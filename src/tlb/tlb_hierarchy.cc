@@ -1,5 +1,7 @@
 #include "tlb/tlb_hierarchy.hh"
 
+#include "sim/audit.hh"
+
 namespace gpuwalk::tlb {
 
 TlbHierarchy::TlbHierarchy(sim::EventQueue &eq,
@@ -31,6 +33,20 @@ TlbHierarchy::translate(TranslationRequest req)
 {
     GPUWALK_ASSERT(req.cu < cfg_.numCus, "bad CU id ", req.cu);
     ++requests_;
+
+    if (auditTracking_) {
+        if (wavefrontIo_.size() <= req.wavefront)
+            wavefrontIo_.resize(req.wavefront + 1);
+        ++wavefrontIo_[req.wavefront].in;
+        auto inner = std::move(req.onComplete);
+        req.onComplete = [this, wf = req.wavefront,
+                          cb = std::move(inner)](mem::Addr pa_page,
+                                                 bool large) mutable {
+            ++wavefrontIo_[wf].out;
+            if (cb)
+                cb(pa_page, large);
+        };
+    }
 
     if (tracer_) {
         trace::Event ev;
@@ -157,6 +173,44 @@ TlbHierarchy::noteL2Access(std::uint32_t wavefront)
         epochSet_.clear();
         epochAccesses_ = 0;
     }
+}
+
+void
+TlbHierarchy::registerInvariants(sim::Auditor &auditor)
+{
+    auditTracking_ = true;
+
+    auditor.registerInvariant(
+        "tlb.merge_pool", [this](sim::AuditContext &ctx) {
+            const std::size_t tables =
+                l1Inflight_.size() + l2Inflight_.size();
+            ctx.require(mergePool_.inUse() == tables,
+                        "merge-pool live count ", mergePool_.inUse(),
+                        " != in-flight table entries ", tables);
+            if (!ctx.final())
+                return;
+            ctx.require(l1Inflight_.empty(), l1Inflight_.size(),
+                        " L1 miss merges never filled");
+            ctx.require(l2Inflight_.empty(), l2Inflight_.size(),
+                        " L2 miss merges never filled");
+            ctx.require(mergePool_.inUse() == 0, "merge pool leaks ",
+                        mergePool_.inUse(), " entries at drain");
+        });
+
+    auditor.registerInvariant(
+        "tlb.wavefront_conservation", [this](sim::AuditContext &ctx) {
+            for (std::size_t wf = 0; wf < wavefrontIo_.size(); ++wf) {
+                const WavefrontIo &io = wavefrontIo_[wf];
+                const bool ok =
+                    ctx.final() ? io.out == io.in : io.out <= io.in;
+                // One message is enough; thousands of wavefronts leak
+                // together when a response goes missing.
+                if (!ctx.require(ok, "wavefront ", wf, ": ", io.in,
+                                 " requests coalesced in vs ", io.out,
+                                 " responses out"))
+                    return;
+            }
+        });
 }
 
 void

@@ -26,6 +26,10 @@
 #include "tlb/translation.hh"
 #include "trace/trace.hh"
 
+namespace gpuwalk::sim {
+class Auditor;
+} // namespace gpuwalk::sim
+
 namespace gpuwalk::tlb {
 
 /** Configuration of the GPU-side TLBs (Table I defaults). */
@@ -66,6 +70,14 @@ class TlbHierarchy
 
     /** Attaches a lifecycle tracer (nullptr = tracing off). */
     void setTracer(trace::Tracer *tracer) { tracer_ = tracer; }
+
+    /**
+     * Registers this hierarchy's conservation invariants (merge-table
+     * vs. pool accounting; per-wavefront coalesced-in == responses-out)
+     * and enables the request/response accounting they check. Call
+     * before the run starts.
+     */
+    void registerInvariants(sim::Auditor &auditor);
 
     SetAssocTlb &l1(unsigned cu) { return *l1s_.at(cu); }
     SetAssocTlb &l2() { return l2_; }
@@ -133,6 +145,18 @@ class TlbHierarchy
     // Fig. 12 epoch tracking.
     std::set<std::uint32_t> epochSet_;
     unsigned epochAccesses_ = 0;
+
+    /** Per-wavefront request/response tally for the conservation
+     *  auditor. Only maintained (and the completion callbacks only
+     *  wrapped) once registerInvariants() has been called, so plain
+     *  runs pay nothing. */
+    struct WavefrontIo
+    {
+        std::uint64_t in = 0;  ///< requests coalesced in
+        std::uint64_t out = 0; ///< responses delivered back
+    };
+    bool auditTracking_ = false;
+    std::vector<WavefrontIo> wavefrontIo_;
 
     sim::StatGroup statGroup_;
     sim::Counter requests_{"requests", "translation requests received"};

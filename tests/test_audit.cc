@@ -1,0 +1,648 @@
+/**
+ * @file
+ * Tests for the conservation auditor and the deterministic fault
+ * injectors that prove it works.
+ *
+ * The auditor is only trustworthy if every invariant it registers has
+ * been seen to fire. Each *AuditFault* suite below injects one precise
+ * misbehaviour at a port boundary (sim/fault_injector.hh adapters) or
+ * truncates a run mid-flight, then asserts the specific invariant
+ * reports a violation — and that clean runs stay clean. CI runs the
+ * *AuditFault* filter as its fault-injection smoke.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/walk_scheduler.hh"
+#include "iommu/iommu.hh"
+#include "mem/backing_store.hh"
+#include "mem/cache.hh"
+#include "mem/dram_controller.hh"
+#include "mem/fault_injection.hh"
+#include "sim/audit.hh"
+#include "sim/event_queue.hh"
+#include "sim/fault_injector.hh"
+#include "system/system.hh"
+#include "tlb/fault_injection.hh"
+#include "tlb/tlb_hierarchy.hh"
+#include "vm/address_space.hh"
+#include "vm/frame_allocator.hh"
+
+namespace {
+
+using namespace gpuwalk;
+using sim::AuditContext;
+using sim::Auditor;
+using sim::AuditPhase;
+using sim::FaultInjector;
+using sim::FaultKind;
+
+bool
+hasViolation(const std::vector<sim::AuditViolation> &violations,
+             const std::string &invariant)
+{
+    return std::any_of(violations.begin(), violations.end(),
+                       [&](const sim::AuditViolation &v) {
+                           return v.invariant == invariant;
+                       });
+}
+
+// --- Auditor unit behaviour ----------------------------------------
+
+TEST(AuditorTest, CleanUntilAFailureIsRecorded)
+{
+    Auditor a;
+    int calls = 0;
+    a.registerInvariant("always_ok", [&](AuditContext &ctx) {
+        ++calls;
+        ctx.require(true, "never shown");
+    });
+    EXPECT_EQ(a.invariantCount(), 1u);
+    EXPECT_EQ(a.check(AuditPhase::Periodic, 100), 0u);
+    EXPECT_TRUE(a.clean());
+    EXPECT_EQ(calls, 1);
+    EXPECT_EQ(a.checksRun(), 1u);
+
+    a.registerInvariant("broken", [](AuditContext &ctx) {
+        ctx.fail("count is ", 3, " not ", 4);
+    });
+    EXPECT_EQ(a.check(AuditPhase::Final, 250), 1u);
+    EXPECT_FALSE(a.clean());
+    ASSERT_EQ(a.violations().size(), 1u);
+    const auto &v = a.violations().front();
+    EXPECT_EQ(v.invariant, "broken");
+    EXPECT_EQ(v.message, "count is 3 not 4");
+    EXPECT_EQ(v.tick, 250u);
+    EXPECT_EQ(v.phase, AuditPhase::Final);
+    EXPECT_EQ(a.checksRun(), 3u); // 1 + 2 invariants on the 2nd check
+}
+
+TEST(AuditorTest, RequireReturnsTheConditionForEarlyExit)
+{
+    Auditor a;
+    a.registerInvariant("chained", [](AuditContext &ctx) {
+        if (!ctx.require(false, "first identity broke"))
+            return; // the pattern component checks use to avoid noise
+        ctx.fail("must not reach the dependent check");
+    });
+    a.check(AuditPhase::Final, 0);
+    ASSERT_EQ(a.violations().size(), 1u);
+    EXPECT_EQ(a.violations().front().message, "first identity broke");
+}
+
+TEST(AuditorTest, ContextExposesPhaseAndTick)
+{
+    Auditor a;
+    a.registerInvariant("probe", [](AuditContext &ctx) {
+        if (ctx.final())
+            ctx.fail("final at ", ctx.now());
+        else
+            EXPECT_EQ(ctx.phase(), AuditPhase::Periodic);
+    });
+    a.check(AuditPhase::Periodic, 10);
+    EXPECT_TRUE(a.clean());
+    a.check(AuditPhase::Final, 20);
+    ASSERT_EQ(a.violations().size(), 1u);
+    EXPECT_EQ(a.violations().front().message, "final at 20");
+}
+
+TEST(AuditorTest, PersistentViolationIsCappedButStillCounted)
+{
+    Auditor a;
+    a.registerInvariant("leaky", [](AuditContext &ctx) {
+        ctx.fail("still leaking");
+        ctx.fail("and again");
+    });
+    for (int i = 0; i < 200; ++i)
+        a.check(AuditPhase::Periodic, i);
+    // 400 recorded, storage capped at 256, remainder only counted.
+    EXPECT_EQ(a.violationCount(), 400u);
+    EXPECT_EQ(a.violations().size(), 256u);
+    EXPECT_EQ(a.violationsDropped(), 144u);
+}
+
+TEST(AuditorTest, EventsMonotoneClosureFiresOnBackwardsCounter)
+{
+    // The System registers exactly this closure shape over
+    // EventQueue::executed(); a real queue cannot go backwards, so
+    // the firing proof drives the closure with an injected counter.
+    std::uint64_t executed = 5;
+    Auditor a;
+    a.registerInvariant(
+        "system.events_monotone",
+        [&executed, last = std::uint64_t{0}](AuditContext &ctx) mutable {
+            ctx.require(executed >= last,
+                        "events executed went backwards: ", last,
+                        " -> ", executed);
+            last = executed;
+        });
+    a.check(AuditPhase::Periodic, 0);
+    EXPECT_TRUE(a.clean());
+    executed = 3; // corrupt the counter
+    a.check(AuditPhase::Periodic, 1);
+    EXPECT_TRUE(hasViolation(a.violations(), "system.events_monotone"));
+}
+
+// --- FaultInjector determinism -------------------------------------
+
+TEST(FaultInjectorTest, TargetModeHitsExactlyTheSelectedCrossing)
+{
+    FaultInjector inj({FaultKind::Drop, /*target=*/3});
+    std::vector<FaultKind> decisions;
+    for (int i = 0; i < 8; ++i)
+        decisions.push_back(inj.decide());
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(decisions[i],
+                  i == 3 ? FaultKind::Drop : FaultKind::None);
+    EXPECT_EQ(inj.crossings(), 8u);
+    EXPECT_EQ(inj.injected(), 1u);
+}
+
+TEST(FaultInjectorTest, ProbabilisticModeIsBitReproduciblePerSeed)
+{
+    FaultInjector::Spec spec;
+    spec.kind = FaultKind::Delay;
+    spec.probability = 0.25;
+    spec.seed = 42;
+    FaultInjector a(spec), b(spec);
+    spec.seed = 43;
+    FaultInjector c(spec);
+
+    std::vector<FaultKind> da, db, dc;
+    for (int i = 0; i < 512; ++i) {
+        da.push_back(a.decide());
+        db.push_back(b.decide());
+        dc.push_back(c.decide());
+    }
+    EXPECT_EQ(da, db);
+    EXPECT_NE(da, dc);
+    // Roughly a quarter of crossings hit; generous determinism bounds.
+    EXPECT_GT(a.injected(), 64u);
+    EXPECT_LT(a.injected(), 192u);
+}
+
+TEST(FaultInjectorTest, NoneKindNeverInjects)
+{
+    FaultInjector inj({});
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(inj.decide(), FaultKind::None);
+    EXPECT_EQ(inj.injected(), 0u);
+}
+
+// --- Shared test fixtures ------------------------------------------
+
+/** Completes every translation one cycle later at pa == va. */
+struct ImmediateTranslation final : tlb::TranslationService
+{
+    explicit ImmediateTranslation(sim::EventQueue &eq) : eq(eq) {}
+
+    void
+    translate(tlb::TranslationRequest req) override
+    {
+        ++received;
+        eq.scheduleIn(500, [r = std::move(req)]() mutable {
+            r.complete(r.vaPage, false);
+        });
+    }
+
+    sim::EventQueue &eq;
+    std::uint64_t received = 0;
+};
+
+/** Completes every memory access one cycle later. */
+struct ImmediateMemory final : mem::MemoryDevice
+{
+    explicit ImmediateMemory(sim::EventQueue &eq) : eq(eq) {}
+
+    void
+    access(mem::MemoryRequest req) override
+    {
+        ++received;
+        eq.scheduleIn(500,
+                      [r = std::move(req)]() mutable { r.complete(); });
+    }
+
+    sim::EventQueue &eq;
+    std::uint64_t received = 0;
+};
+
+void
+drain(sim::EventQueue &eq)
+{
+    while (eq.runOne()) {
+    }
+}
+
+// --- TLB hierarchy invariants --------------------------------------
+
+tlb::TranslationRequest
+tlbRequest(mem::Addr va_page, std::uint32_t wavefront,
+           std::uint64_t *completions)
+{
+    tlb::TranslationRequest req;
+    req.vaPage = va_page;
+    req.instruction = wavefront + 1;
+    req.wavefront = wavefront;
+    req.cu = 0;
+    req.onComplete = [completions](mem::Addr, bool) { ++*completions; };
+    return req;
+}
+
+TEST(TlbAuditFault, DroppedIommuResponseFiresMergeAndWavefrontChecks)
+{
+    sim::EventQueue eq;
+    ImmediateTranslation below(eq);
+    // Drop the first TLB->IOMMU crossing's response.
+    tlb::FaultyTranslationService faulty(eq, below,
+                                         {FaultKind::Drop, 0});
+    tlb::TlbHierarchyConfig cfg;
+    cfg.numCus = 1;
+    tlb::TlbHierarchy tlbs(eq, cfg, faulty);
+
+    Auditor auditor;
+    tlbs.registerInvariants(auditor);
+
+    std::uint64_t completions = 0;
+    tlbs.translate(tlbRequest(0x1000, 0, &completions));
+    tlbs.translate(tlbRequest(0x2000, 1, &completions));
+    drain(eq);
+
+    // The wavefront-0 response was swallowed: its merge entry leaks
+    // and its coalesced-in/responses-out tally cannot balance.
+    EXPECT_EQ(completions, 1u);
+    auditor.check(AuditPhase::Final, eq.now());
+    EXPECT_TRUE(hasViolation(auditor.violations(), "tlb.merge_pool"));
+    EXPECT_TRUE(hasViolation(auditor.violations(),
+                             "tlb.wavefront_conservation"));
+}
+
+TEST(TlbAuditFault, CleanRunPassesAllTlbInvariants)
+{
+    sim::EventQueue eq;
+    ImmediateTranslation below(eq);
+    tlb::TlbHierarchyConfig cfg;
+    cfg.numCus = 1;
+    tlb::TlbHierarchy tlbs(eq, cfg, below);
+
+    Auditor auditor;
+    tlbs.registerInvariants(auditor);
+
+    std::uint64_t completions = 0;
+    for (std::uint32_t i = 0; i < 4; ++i)
+        tlbs.translate(
+            tlbRequest(0x1000 * (i + 1), i, &completions));
+    drain(eq);
+
+    EXPECT_EQ(completions, 4u);
+    auditor.check(AuditPhase::Final, eq.now());
+    EXPECT_TRUE(auditor.clean()) << auditor.violations().front().message;
+}
+
+// --- IOMMU invariants ----------------------------------------------
+
+/**
+ * Stand-alone IOMMU over an injectable memory chain: backing store,
+ * a mapped VA region, and a FaultyMemoryDevice in front of an
+ * immediate-completion memory stub.
+ */
+struct FaultyIommuHarness
+{
+    explicit FaultyIommuHarness(FaultInjector::Spec spec,
+                                std::unique_ptr<core::WalkScheduler>
+                                    sched = core::makeScheduler(
+                                        core::SchedulerKind::Fcfs))
+        : memory(eq), faulty(eq, memory, spec),
+          frames(mem::Addr(1) << 30, false), space(store, frames)
+    {
+        region = space.allocate("buf", 64 * mem::pageSize);
+        iommu::IommuConfig cfg;
+        cfg.numWalkers = 1;
+        cfg.useWalkCache = false;
+        dut = std::make_unique<iommu::Iommu>(
+            eq, cfg, std::move(sched), faulty, store,
+            space.pageTable().root());
+    }
+
+    tlb::TranslationRequest
+    request(unsigned page)
+    {
+        tlb::TranslationRequest req;
+        req.vaPage = region.base + mem::Addr(page) * mem::pageSize;
+        req.instruction = page + 1;
+        req.wavefront = page;
+        req.onComplete = [this](mem::Addr, bool) { ++completions; };
+        return req;
+    }
+
+    sim::EventQueue eq;
+    ImmediateMemory memory;
+    mem::FaultyMemoryDevice faulty;
+    mem::BackingStore store;
+    vm::FrameAllocator frames;
+    vm::AddressSpace space;
+    vm::VaRegion region;
+    std::unique_ptr<iommu::Iommu> dut;
+    std::uint64_t completions = 0;
+};
+
+TEST(IommuAuditFault, DroppedPteFetchFiresDrainAndOccupancyChecks)
+{
+    // Drop the very first PTE fetch at the IOMMU->memory boundary:
+    // the lone walker hangs forever and a second walk stays buffered.
+    FaultyIommuHarness h({FaultKind::Drop, 0});
+    Auditor auditor;
+    h.dut->registerInvariants(auditor);
+
+    h.dut->translate(h.request(0));
+    h.dut->translate(h.request(1));
+    drain(h.eq);
+
+    EXPECT_EQ(h.completions, 0u);
+    EXPECT_EQ(h.dut->walkRequests(), 2u);
+    EXPECT_EQ(h.dut->walksCompleted(), 0u);
+    auditor.check(AuditPhase::Final, h.eq.now());
+    EXPECT_TRUE(
+        hasViolation(auditor.violations(), "iommu.walk_conservation"));
+    EXPECT_TRUE(
+        hasViolation(auditor.violations(), "iommu.buffer_drained"));
+    EXPECT_TRUE(
+        hasViolation(auditor.violations(), "iommu.walkers_idle"));
+}
+
+TEST(IommuAuditFault, TruncatedRunFiresRequestConservation)
+{
+    // A request caught mid-hop has been counted as received but not
+    // yet classified as hit or walk; a final check at that instant
+    // must flag the imbalance (this is what catches runs that end
+    // with work still in flight).
+    FaultyIommuHarness h({}); // no faults
+    Auditor auditor;
+    h.dut->registerInvariants(auditor);
+
+    h.dut->translate(h.request(0));
+    // Deliberately run nothing: the request is inside the hop latency.
+    auditor.check(AuditPhase::Final, h.eq.now());
+    EXPECT_TRUE(hasViolation(auditor.violations(),
+                             "iommu.request_conservation"));
+}
+
+TEST(IommuAuditFault, CleanRunPassesAllIommuInvariants)
+{
+    FaultyIommuHarness h({}); // injector present but inert
+    Auditor auditor;
+    h.dut->registerInvariants(auditor);
+
+    for (unsigned i = 0; i < 6; ++i)
+        h.dut->translate(h.request(i));
+    // Periodic checks during the run must tolerate in-flight work.
+    while (h.eq.runOne())
+        auditor.check(AuditPhase::Periodic, h.eq.now());
+    auditor.check(AuditPhase::Final, h.eq.now());
+
+    EXPECT_EQ(h.completions, 6u);
+    EXPECT_TRUE(auditor.clean())
+        << auditor.violations().front().invariant << ": "
+        << auditor.violations().front().message;
+}
+
+/**
+ * A scheduler that lies to the auditor: it claims it does not track
+ * aging (so buffered entries must show bypassed == 0) while its
+ * newest-first selection still runs the base-class bypass bookkeeping.
+ * This is the "two schedulers disagree about a shared buffer"
+ * corruption iommu.buffer_counters exists to catch.
+ */
+struct LyingScheduler final : core::WalkScheduler
+{
+    std::string name() const override { return "lying"; }
+    bool tracksAging() const override { return false; }
+
+    std::size_t
+    selectNext(const core::WalkBuffer &buffer) override
+    {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < buffer.size(); ++i) {
+            if (buffer.at(i).seq > buffer.at(best).seq)
+                best = i;
+        }
+        return best;
+    }
+};
+
+TEST(IommuAuditFault, InconsistentBypassCountersFireBufferCounters)
+{
+    FaultyIommuHarness h({}, std::make_unique<LyingScheduler>());
+    Auditor auditor;
+    h.dut->registerInvariants(auditor);
+
+    for (unsigned i = 0; i < 4; ++i)
+        h.dut->translate(h.request(i));
+    bool fired = false;
+    while (h.eq.runOne()) {
+        auditor.check(AuditPhase::Periodic, h.eq.now());
+        fired = fired || hasViolation(auditor.violations(),
+                                      "iommu.buffer_counters");
+    }
+    EXPECT_TRUE(fired)
+        << "newest-first dispatch never left a bypassed entry "
+           "buffered under a tracksAging()==false scheduler";
+}
+
+// --- Cache MSHR invariants -----------------------------------------
+
+TEST(CacheAuditFault, DroppedFillLeaksAnMshr)
+{
+    sim::EventQueue eq;
+    ImmediateMemory memory(eq);
+    mem::FaultyMemoryDevice faulty(eq, memory, {FaultKind::Drop, 0});
+    mem::CacheConfig cfg;
+    cfg.name = "testcache";
+    mem::Cache cache(eq, cfg, faulty);
+
+    Auditor auditor;
+    cache.registerInvariants(auditor);
+
+    mem::MemoryRequest req;
+    req.addr = 0x4000;
+    bool completed = false;
+    req.onComplete = [&completed] { completed = true; };
+    cache.access(std::move(req));
+    drain(eq);
+
+    EXPECT_FALSE(completed);
+    auditor.check(AuditPhase::Final, eq.now());
+    EXPECT_TRUE(hasViolation(auditor.violations(), "testcache.mshrs"));
+}
+
+TEST(CacheAuditFault, CleanRunPassesMshrAccounting)
+{
+    sim::EventQueue eq;
+    ImmediateMemory memory(eq);
+    mem::CacheConfig cfg;
+    cfg.name = "testcache";
+    mem::Cache cache(eq, cfg, memory);
+
+    Auditor auditor;
+    cache.registerInvariants(auditor);
+
+    unsigned completed = 0;
+    for (int i = 0; i < 8; ++i) {
+        mem::MemoryRequest req;
+        req.addr = mem::Addr(i) * 0x4000; // distinct lines
+        req.onComplete = [&completed] { ++completed; };
+        cache.access(std::move(req));
+    }
+    while (eq.runOne())
+        auditor.check(AuditPhase::Periodic, eq.now());
+    auditor.check(AuditPhase::Final, eq.now());
+
+    EXPECT_EQ(completed, 8u);
+    EXPECT_TRUE(auditor.clean())
+        << auditor.violations().front().message;
+}
+
+// --- DRAM queue invariants -----------------------------------------
+
+TEST(DramAuditFault, TruncatedRunFiresQueueDrainCheck)
+{
+    sim::EventQueue eq;
+    mem::DramController dram(eq, mem::DramConfig{});
+    Auditor auditor;
+    dram.registerInvariants(auditor);
+
+    // Same-address requests map to one bank: the first goes straight
+    // into service, the rest must wait in the channel queue.
+    for (int i = 0; i < 4; ++i) {
+        mem::MemoryRequest req;
+        req.addr = 0x10000;
+        dram.access(std::move(req));
+    }
+    // Deliberately run nothing: requests are sitting in the queue.
+    auditor.check(AuditPhase::Final, eq.now());
+    EXPECT_TRUE(
+        hasViolation(auditor.violations(), "dram.queues_drained"));
+
+    // Draining the queue clears the violation source.
+    drain(eq);
+    Auditor fresh;
+    dram.registerInvariants(fresh);
+    fresh.check(AuditPhase::Final, eq.now());
+    EXPECT_TRUE(fresh.clean());
+}
+
+// --- Full-system invariants ----------------------------------------
+
+workload::WorkloadParams
+tinySystemParams()
+{
+    workload::WorkloadParams params;
+    params.wavefronts = 16;
+    params.instructionsPerWavefront = 6;
+    params.footprintScale = 0.02;
+    return params;
+}
+
+TEST(GpuAuditFault, TruncatedRunFiresWavefrontCompletion)
+{
+    auto cfg = system::SystemConfig::baseline();
+    cfg.audit.enabled = true;
+    system::System sys(cfg);
+    sys.loadBenchmark("KMN", tinySystemParams());
+
+    // Drive the run by hand and stop long before the GPU is done —
+    // the final audit must notice the unfinished wavefronts.
+    sys.gpu().start();
+    for (int i = 0; i < 200; ++i)
+        sys.eventQueue().runOne();
+    ASSERT_FALSE(sys.gpu().done());
+    ASSERT_NE(sys.auditor(), nullptr);
+    sys.auditor()->check(AuditPhase::Final, sys.eventQueue().now());
+    EXPECT_TRUE(hasViolation(sys.auditor()->violations(),
+                             "gpu.wavefront_completion"));
+}
+
+TEST(SystemAuditFault, DuplicatedRequestFiresTranslationConservation)
+{
+    // A phantom request injected between the TLB hierarchy and the
+    // IOMMU desynchronises the forwarded/received counters — the
+    // cross-component identity only the System-level invariant sees.
+    auto cfg = system::SystemConfig::baseline();
+    cfg.audit.enabled = true;
+    std::unique_ptr<tlb::FaultyTranslationService> faulty;
+    cfg.translationInterposer =
+        [&faulty](sim::EventQueue &eq, tlb::TranslationService &below)
+        -> tlb::TranslationService * {
+        faulty = std::make_unique<tlb::FaultyTranslationService>(
+            eq, below, FaultInjector::Spec{FaultKind::Duplicate, 0});
+        return faulty.get();
+    };
+    system::System sys(cfg);
+    sys.loadBenchmark("KMN", tinySystemParams());
+    const auto stats = sys.run();
+
+    ASSERT_NE(faulty, nullptr);
+    EXPECT_EQ(faulty->injector().injected(), 1u);
+    EXPECT_TRUE(stats.audited);
+    EXPECT_GT(stats.auditViolations, 0u);
+    EXPECT_TRUE(hasViolation(stats.auditFindings,
+                             "system.translation_conservation"));
+}
+
+TEST(SystemAuditFault, DelayedResponseIsTheNegativeControl)
+{
+    // Conservation is timing-independent: delivering one response two
+    // hundred cycles late perturbs the timing but must audit clean
+    // once the run drains.
+    auto cfg = system::SystemConfig::baseline();
+    cfg.audit.enabled = true;
+    cfg.audit.interval = 250'000;
+    std::unique_ptr<tlb::FaultyTranslationService> faulty;
+    cfg.translationInterposer =
+        [&faulty](sim::EventQueue &eq, tlb::TranslationService &below)
+        -> tlb::TranslationService * {
+        FaultInjector::Spec spec;
+        spec.kind = FaultKind::Delay;
+        spec.target = 0;
+        spec.delayTicks = 200 * 500;
+        faulty = std::make_unique<tlb::FaultyTranslationService>(
+            eq, below, spec);
+        return faulty.get();
+    };
+    system::System sys(cfg);
+    sys.loadBenchmark("KMN", tinySystemParams());
+    const auto stats = sys.run();
+
+    ASSERT_NE(faulty, nullptr);
+    EXPECT_EQ(faulty->injector().injected(), 1u);
+    EXPECT_TRUE(stats.audited);
+    EXPECT_GT(stats.auditChecks, 0u);
+    EXPECT_EQ(stats.auditViolations, 0u)
+        << stats.auditFindings.front().invariant << ": "
+        << stats.auditFindings.front().message;
+}
+
+TEST(SystemAuditFault, FullRunWithPeriodicChecksAuditsClean)
+{
+    auto cfg = system::SystemConfig::baseline();
+    cfg.scheduler = core::SchedulerKind::SimtAware;
+    cfg.audit.enabled = true;
+    cfg.audit.interval = 100'000;
+    system::System sys(cfg);
+    sys.loadBenchmark("MVT", tinySystemParams());
+    const auto stats = sys.run();
+
+    EXPECT_TRUE(stats.audited);
+    EXPECT_GT(stats.auditChecks,
+              sys.auditor()->invariantCount()); // periodic checks ran
+    EXPECT_EQ(stats.auditViolations, 0u)
+        << stats.auditFindings.front().invariant << ": "
+        << stats.auditFindings.front().message;
+}
+
+} // namespace

@@ -113,6 +113,47 @@ TEST(ObjectPool, InUseTracksAcquireReleaseCycles)
     EXPECT_EQ(pool.slabCount(), 1u); // recycling never grew the pool
 }
 
+TEST(ObjectPool, LiveCountStaysExactUnderRecycleWhileIterating)
+{
+    // The merge-pool usage pattern the auditor's live-count invariant
+    // depends on: while walking a set of live objects, each step may
+    // release the current one and acquire a replacement (a completing
+    // merge entry spawning a follow-up). The count must track every
+    // interleaved acquire/release exactly — no drift, no double count
+    // when LIFO hands the just-released slot straight back.
+    ObjectPool<Payload> pool(4);
+    std::vector<Payload *> held;
+    for (int i = 0; i < 8; ++i) {
+        held.push_back(pool.acquire());
+        held.back()->value = i;
+    }
+    ASSERT_EQ(pool.inUse(), 8u);
+
+    for (std::size_t i = 0; i < held.size(); ++i) {
+        pool.release(held[i]);
+        EXPECT_EQ(pool.inUse(), 7u);
+        Payload *fresh = pool.acquire();
+        EXPECT_EQ(fresh, held[i]); // LIFO returns the same slot
+        EXPECT_EQ(pool.inUse(), 8u);
+        held[i] = fresh;
+    }
+    EXPECT_EQ(pool.peakInUse(), 8u); // churn never inflated the peak
+    EXPECT_EQ(pool.slabCount(), 2u); // ...nor grew the pool
+
+    // Tear down half from the middle (arbitrary order): the count
+    // must step down one per release, ending exactly at zero.
+    std::size_t expect = 8;
+    for (std::size_t i = 1; i < held.size(); i += 2) {
+        pool.release(held[i]);
+        EXPECT_EQ(pool.inUse(), --expect);
+    }
+    for (std::size_t i = 0; i < held.size(); i += 2) {
+        pool.release(held[i]);
+        EXPECT_EQ(pool.inUse(), --expect);
+    }
+    EXPECT_EQ(pool.inUse(), 0u);
+}
+
 TEST(ObjectPoolDeathTest, DoubleReleasePanics)
 {
     ObjectPool<Payload> pool(4);

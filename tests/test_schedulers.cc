@@ -202,6 +202,98 @@ TEST(SimtAware, DispatchUpdatesBypassOnlyForOlder)
     }
 }
 
+TEST(WalkSchedulerBase, BypassCounterSaturatesInsteadOfWrapping)
+{
+    // A wrapped bypass counter would reset a starving request's aging
+    // priority to zero — the exact starvation the counter exists to
+    // prevent.
+    SimtAwareScheduler sched;
+    WalkBuffer buf(8);
+    auto starving = walk(0, 1, 100);
+    starving.bypassed = ~std::uint64_t{0}; // already saturated
+    buf.insert(std::move(starving));
+    buf.insert(walk(1, 2, 1));
+
+    auto w = buf.extract(1); // dispatch the younger request
+    sched.onDispatch(buf, w);
+    EXPECT_EQ(buf.at(0).bypassed, ~std::uint64_t{0})
+        << "saturated counter wrapped to zero";
+}
+
+TEST(SimtAware, SaturatedBypassStillTriggersAging)
+{
+    SimtSchedulerConfig cfg;
+    cfg.agingThreshold = 3;
+    SimtAwareScheduler sched(cfg);
+    WalkBuffer buf(8);
+    auto starving = walk(0, 1, 100);
+    starving.bypassed = ~std::uint64_t{0};
+    buf.insert(std::move(starving));
+    buf.insert(walk(1, 2, 1)); // cheap, would win on SJF
+
+    EXPECT_EQ(buf.at(sched.selectNext(buf)).seq, 0u);
+    EXPECT_EQ(sched.agingOverrides(), 1u);
+}
+
+TEST(SchedulerAging, TracksAgingMatrix)
+{
+    // FCFS dispatches in arrival order, so it skips the bypass
+    // bookkeeping entirely and advertises that to the auditor; every
+    // other policy maintains the counters.
+    EXPECT_FALSE(FcfsScheduler{}.tracksAging());
+    EXPECT_TRUE(RandomScheduler{1}.tracksAging());
+    EXPECT_TRUE(SimtAwareScheduler{}.tracksAging());
+}
+
+TEST(FcfsScheduler, DispatchLeavesBypassCountersAtZero)
+{
+    FcfsScheduler sched;
+    WalkBuffer buf(8);
+    buf.insert(walk(0, 1, 0));
+    buf.insert(walk(1, 2, 0));
+    buf.insert(walk(2, 3, 0));
+    // FCFS always extracts the oldest, so nothing is ever bypassed —
+    // and its onDispatch must not touch the counters either way.
+    auto w = buf.extract(sched.selectNext(buf));
+    sched.onDispatch(buf, w);
+    for (const auto &e : buf.entries())
+        EXPECT_EQ(e.bypassed, 0u);
+}
+
+TEST(SimtAware, FailedBatchProbeClearsStaleLastInstruction)
+{
+    SimtAwareScheduler sched;
+    WalkBuffer buf(8);
+    buf.insert(walk(0, 1, 5));
+    auto w = buf.extract(sched.selectNext(buf));
+    sched.onDispatch(buf, w);
+    ASSERT_TRUE(sched.lastInstruction().has_value());
+    EXPECT_EQ(*sched.lastInstruction(), 1u);
+
+    // Instruction 1's walks have drained; the next probe finds no
+    // sibling and must drop the stale ID instead of letting it claim
+    // future batch picks.
+    buf.insert(walk(1, 2, 5));
+    (void)sched.selectNext(buf);
+    EXPECT_FALSE(sched.lastInstruction().has_value());
+}
+
+TEST(SimtAware, SuccessfulBatchProbeKeepsLastInstruction)
+{
+    SimtAwareScheduler sched;
+    WalkBuffer buf(8);
+    buf.insert(walk(0, 1, 5));
+    buf.insert(walk(1, 1, 5)); // sibling stays buffered
+    auto w = buf.extract(sched.selectNext(buf));
+    sched.onDispatch(buf, w);
+
+    const auto idx = sched.selectNext(buf);
+    EXPECT_EQ(buf.at(idx).request.instruction, 1u);
+    ASSERT_TRUE(sched.lastInstruction().has_value());
+    EXPECT_EQ(*sched.lastInstruction(), 1u);
+    EXPECT_EQ(sched.lastPickReason(), PickReason::Batch);
+}
+
 TEST(SchedulerFactory, CreatesAllKinds)
 {
     for (auto kind :

@@ -224,6 +224,40 @@ TEST(TraceInvariants, BatchOnlySticksToLastInstructionWhilePending)
     EXPECT_GT(batchPicks, 0u) << "workload never exercised batching";
 }
 
+TEST(TraceInvariants, BatchReasonOnlyWhenSiblingOfLastDispatchPending)
+{
+    // The stale-lastInstruction fix asserted per decision: with the
+    // full scheduler, a pick may be labelled Batch exactly when the
+    // most recently dispatched instruction still has a pending walk.
+    // A scheduler that let a drained instruction's ID linger would
+    // claim Batch for picks this replay proves cannot be batched.
+    const auto run = runTraced(core::SchedulerKind::SimtAware);
+    ASSERT_EQ(run.dropped, 0u);
+    ASSERT_EQ(run.overflowed, 0u);
+
+    std::uint64_t batchPicks = 0;
+    replayDecisions(
+        run.events,
+        [&](const Event &ev, const auto &pending,
+            const std::optional<std::uint64_t> &lastInstr) {
+            const bool siblingPending =
+                lastInstr && pending.count(*lastInstr);
+            if (reasonOf(ev) == core::PickReason::Batch) {
+                ASSERT_TRUE(siblingPending)
+                    << "Batch pick for a drained instruction at tick "
+                    << ev.tick;
+                ASSERT_EQ(ev.instruction, *lastInstr);
+                ++batchPicks;
+            }
+            if (siblingPending) {
+                // Default 2M aging threshold never fires here, so the
+                // sibling must win via batching.
+                ASSERT_EQ(reasonOf(ev), core::PickReason::Batch);
+            }
+        });
+    EXPECT_GT(batchPicks, 0u) << "workload never exercised batching";
+}
+
 // --- SJF scoring (paper key idea 1) --------------------------------
 
 TEST(TraceInvariants, SjfOnlyPicksMinimumAccumulatedScore)
@@ -386,6 +420,38 @@ TEST(GoldenTrace, TracingDoesNotPerturbSimulatedResults)
     EXPECT_EQ(off.walksCompleted, on.walksCompleted);
     EXPECT_FALSE(off.traced);
     EXPECT_TRUE(on.traced);
+}
+
+TEST(GoldenTrace, AuditingDoesNotPerturbSimulatedResults)
+{
+    // Auditing must be as invisible as tracing: the same traced run
+    // with and without periodic audit checks produces the identical
+    // event-for-event trace digest. The periodic audit event consumes
+    // event-queue sequence numbers, so this proves those are pure
+    // tie-breakers with no behavioural leak.
+    auto cfg = system::SystemConfig::baseline();
+    cfg.scheduler = core::SchedulerKind::SimtAware;
+    cfg.trace.enabled = true;
+
+    auto run = [&](bool audited) {
+        auto c = cfg;
+        c.audit.enabled = audited;
+        c.audit.interval = 100'000; // many periodic checks
+        system::System sys(c);
+        sys.loadBenchmark("GEV", contendedParams());
+        return sys.run();
+    };
+    const auto off = run(false);
+    const auto on = run(true);
+    ASSERT_NE(off.traceDigest, 0u);
+    EXPECT_EQ(off.traceDigest, on.traceDigest);
+    EXPECT_EQ(off.runtimeTicks, on.runtimeTicks);
+    EXPECT_EQ(off.stallTicks, on.stallTicks);
+    EXPECT_EQ(off.walkRequests, on.walkRequests);
+    EXPECT_EQ(off.walksCompleted, on.walksCompleted);
+    EXPECT_TRUE(on.audited);
+    EXPECT_GT(on.auditChecks, 0u);
+    EXPECT_EQ(on.auditViolations, 0u);
 }
 
 } // namespace

@@ -162,6 +162,11 @@ Output:
                           per scheduler
   --trace-ring=N          trace ring-buffer capacity in events
                           (default 1Mi; oldest events drop first)
+  --audit                 check conservation invariants at teardown;
+                          any violation is reported and makes the
+                          exit status non-zero
+  --audit-interval=N      additionally check every N ticks during the
+                          run (implies --audit)
   --quiet                 suppress the run summary
 )";
 }
@@ -229,6 +234,15 @@ configFromFlags(Flags &flags)
             sim::fatal("--trace-ring needs a positive integer");
         cfg.trace.ringCapacity = static_cast<std::size_t>(n);
         cfg.trace.enabled = true;
+    }
+    if (flags.has("audit"))
+        cfg.audit.enabled = true;
+    if (flags.has("audit-interval")) {
+        const std::uint64_t n = flags.getUint("audit-interval", 0);
+        if (n == 0)
+            sim::fatal("--audit-interval needs a positive tick count");
+        cfg.audit.interval = static_cast<sim::Tick>(n);
+        cfg.audit.enabled = true;
     }
     return cfg;
 }
@@ -376,6 +390,11 @@ reportRun(const system::SystemConfig &cfg, const CliOptions &opt,
                       << stats.traceEvents << " events, "
                       << stats.traceDropped << " dropped)\n";
         }
+        if (stats.audited) {
+            std::cout << "audit              " << stats.auditChecks
+                      << " checks, " << stats.auditViolations
+                      << " violations\n";
+        }
     }
     if (opt.dumpStats)
         std::cout << run.statsDump;
@@ -456,7 +475,12 @@ main(int argc, char **argv)
                   << exp::TablePrinter::fmt(
                          exp::speedup(runs[1].stats, runs[0].stats))
                   << "\n";
-        return 0;
+        // Audit violations (already warn()ed as they were recorded)
+        // make the whole invocation fail, for scripting.
+        return runs[0].stats.auditViolations
+                       || runs[1].stats.auditViolations
+                   ? 1
+                   : 0;
     }
 
     const auto cfg = configFromFlags(flags);
@@ -464,5 +488,5 @@ main(int argc, char **argv)
     flags.rejectUnknown();
     const auto run = simulate(cfg, opt, true);
     reportRun(cfg, opt, run, quiet);
-    return 0;
+    return run.stats.auditViolations ? 1 : 0;
 }
