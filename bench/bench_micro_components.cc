@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/fcfs_scheduler.hh"
@@ -22,6 +23,7 @@
 #include "mem/dram.hh"
 #include "vm/page_table.hh"
 #include "sim/event_queue.hh"
+#include "sim/flat_map.hh"
 #include "tlb/coalescer.hh"
 #include "tlb/set_assoc_tlb.hh"
 
@@ -242,6 +244,77 @@ BM_TlbInsertEvict(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TlbInsertEvict);
+
+/**
+ * The paper-policy pick cost at a given buffer occupancy, for each of
+ * the schedulers whose selection the pick indexes accelerate. The
+ * batching register is primed so the Batch rule (the most common pick
+ * in steady state) is on the measured path; Fcfs measures the
+ * oldest-entry query. BENCH_hotpath.json and the CI perf-smoke gate
+ * read the sched:4 (simt-aware) occ:256 row.
+ */
+void
+BM_SchedulerSelectNext(benchmark::State &state)
+{
+    const auto kind = static_cast<core::SchedulerKind>(state.range(0));
+    auto buf = filledBuffer(static_cast<std::size_t>(state.range(1)));
+    auto sched = core::makeScheduler(kind);
+    core::PendingWalk primer;
+    primer.request.instruction = 1;
+    sched->onDispatch(buf, primer);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sched->selectNext(buf));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SchedulerSelectNext)
+    ->ArgNames({"sched", "occ"})
+    ->ArgsProduct({{static_cast<long>(core::SchedulerKind::Fcfs),
+                    static_cast<long>(core::SchedulerKind::SjfOnly),
+                    static_cast<long>(core::SchedulerKind::BatchOnly),
+                    static_cast<long>(core::SchedulerKind::SimtAware)},
+                   {8, 64, 256}});
+
+/** Shared driver for the hash-map lookup benches: n pseudo-random
+ *  keys inserted once, then round-robin point lookups (all hits). */
+template <typename Map>
+void
+mapLookupBench(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    Map map;
+    std::vector<std::uint64_t> keys;
+    keys.reserve(n);
+    std::uint64_t x = 0x9e3779b97f4a7c15ull;
+    for (std::size_t i = 0; i < n; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        keys.push_back(x);
+        map[x] = i;
+    }
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(map.find(keys[i]));
+        i = (i + 1 == n) ? 0 : i + 1;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_UnorderedMapLookup(benchmark::State &state)
+{
+    mapLookupBench<std::unordered_map<std::uint64_t, std::uint64_t>>(
+        state);
+}
+BENCHMARK(BM_UnorderedMapLookup)->Arg(256)->Arg(4096)->Arg(65536);
+
+void
+BM_FlatMapLookup(benchmark::State &state)
+{
+    mapLookupBench<sim::FlatMap<std::uint64_t, std::uint64_t>>(state);
+}
+BENCHMARK(BM_FlatMapLookup)->Arg(256)->Arg(4096)->Arg(65536);
 
 void
 BM_SrptSelect(benchmark::State &state)

@@ -37,18 +37,12 @@ class FairShareScheduler : public WalkScheduler
 
         // Batch with the in-service instruction (paper rule 1) — this
         // never crosses apps, because instructions belong to one app.
+        // One bucket-index probe yields its oldest pending sibling.
         if (lastInstruction_) {
-            std::size_t best = entries.size();
-            for (std::size_t i = 0; i < entries.size(); ++i) {
-                if (entries[i].request.instruction != *lastInstruction_)
-                    continue;
-                if (best == entries.size()
-                    || entries[i].seq < entries[best].seq) {
-                    best = i;
-                }
-            }
-            if (best != entries.size())
-                return best;
+            const std::size_t sibling =
+                buffer.instructionHead(*lastInstruction_);
+            if (sibling != WalkBuffer::npos)
+                return sibling;
         }
 
         // Round-robin grant: the first app after the last-served one

@@ -15,9 +15,8 @@
 #ifndef GPUWALK_CORE_OLDEST_JOB_SCHEDULER_HH
 #define GPUWALK_CORE_OLDEST_JOB_SCHEDULER_HH
 
-#include <unordered_map>
-
 #include "core/walk_scheduler.hh"
+#include "sim/flat_map.hh"
 
 namespace gpuwalk::core {
 
@@ -68,7 +67,7 @@ class OldestJobScheduler : public WalkScheduler
      * distinct instructions that ever queued — bounded by the run's
      * instruction count, acceptable for an analysis policy.
      */
-    std::unordered_map<tlb::InstructionId, std::uint64_t> firstSeen_;
+    sim::FlatMap<tlb::InstructionId, std::uint64_t> firstSeen_;
 };
 
 } // namespace gpuwalk::core

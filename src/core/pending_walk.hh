@@ -7,6 +7,29 @@
  * selects them (paper §II-B step 6-7). The buffer is the scheduler's
  * lookahead window: its capacity (256 in the baseline, swept in
  * Fig. 14) bounds how far the scheduler can reorder.
+ *
+ * Storage is a dense vector with swap-with-last extraction, as before,
+ * but the buffer now also maintains three incremental pick indexes so
+ * schedulers answer their selection queries without scanning — the
+ * hardware proposal updates priorities at *arrival*, not by a sweep at
+ * *dispatch* (paper §IV):
+ *
+ *  - an arrival list threaded in seq order (oldestIndex() and the
+ *    aging candidate are list-front questions);
+ *  - per-InstructionId intrusive bucket lists, reached through one
+ *    sim::FlatMap probe (the Batch rule is bucket-head);
+ *  - per-score entry lists under a hierarchical occupancy bitmap
+ *    (the SJF rule is first-set-bit, then bucket-head for the
+ *    (score, seq) tie-break).
+ *
+ * All links are dense indices into the entry vector and are rewired in
+ * O(1) when an extraction swaps the last entry into the freed slot, so
+ * the external contract (indices into a dense array, invalidated by
+ * extract) is unchanged. Entry fields that the indexes key on (seq,
+ * instruction, score) must only change through buffer APIs:
+ * forEachOfInstruction() re-indexes a callback's score updates, and
+ * recordBypass() maintains the aging watermark — which is why the
+ * non-const entries()/at() accessors are gone.
  */
 
 #ifndef GPUWALK_CORE_PENDING_WALK_HH
@@ -16,6 +39,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/flat_map.hh"
 #include "sim/logging.hh"
 #include "sim/ticks.hh"
 #include "tlb/translation.hh"
@@ -65,11 +89,13 @@ struct PendingWalk
 class WalkBuffer
 {
   public:
-    explicit WalkBuffer(std::size_t capacity) : capacity_(capacity)
-    {
-        GPUWALK_ASSERT(capacity_ > 0, "walk buffer needs capacity");
-        entries_.reserve(capacity_);
-    }
+    /** "No entry" sentinel for the index queries. */
+    static constexpr std::size_t npos = ~std::size_t{0};
+
+    explicit WalkBuffer(std::size_t capacity);
+
+    WalkBuffer(WalkBuffer &&) = default;
+    WalkBuffer &operator=(WalkBuffer &&) = default;
 
     std::size_t capacity() const { return capacity_; }
     std::size_t size() const { return entries_.size(); }
@@ -77,28 +103,14 @@ class WalkBuffer
     bool full() const { return entries_.size() >= capacity_; }
 
     /** Inserts @p w. @pre !full() @return its current index. */
-    std::size_t
-    insert(PendingWalk w)
-    {
-        GPUWALK_ASSERT(!full(), "walk buffer overflow");
-        entries_.push_back(std::move(w));
-        return entries_.size() - 1;
-    }
+    std::size_t insert(PendingWalk w);
 
     /** Removes and returns entry @p idx (swap-with-last erase). */
-    PendingWalk
-    extract(std::size_t idx)
-    {
-        GPUWALK_ASSERT(idx < entries_.size(), "bad buffer index ", idx);
-        PendingWalk out = std::move(entries_[idx]);
-        entries_[idx] = std::move(entries_.back());
-        entries_.pop_back();
-        return out;
-    }
+    PendingWalk extract(std::size_t idx);
 
-    PendingWalk &at(std::size_t idx) { return entries_.at(idx); }
     const PendingWalk &at(std::size_t idx) const
     {
+        syncBypass();
         return entries_.at(idx);
     }
 
@@ -107,35 +119,204 @@ class WalkBuffer
     oldestIndex() const
     {
         GPUWALK_ASSERT(!empty(), "oldestIndex on empty buffer");
-        std::size_t best = 0;
-        for (std::size_t i = 1; i < entries_.size(); ++i) {
-            if (entries_[i].seq < entries_[best].seq)
-                best = i;
-        }
-        return best;
+        return arrivalHead_;
     }
 
     /**
-     * Applies @p fn to every entry issued by @p instruction.
-     * Used by arrival-time re-scoring (paper action 1-b).
+     * Index of the oldest entry issued by @p instruction, or npos —
+     * the Batch rule in one hash probe.
+     */
+    std::size_t
+    instructionHead(tlb::InstructionId instruction) const
+    {
+        const auto it = instrIndex_.find(instruction);
+        return it == instrIndex_.end() ? npos : buckets_[it->second].head;
+    }
+
+    /**
+     * Index of the entry minimizing (score, seq) — the SJF rule.
+     * @pre !empty()
+     */
+    std::size_t sjfBestIndex() const;
+
+    /**
+     * Index of the oldest entry with bypassed >= @p threshold, or
+     * npos — the Aging rule. O(1) when no entry qualifies (a tracked
+     * watermark bounds the buffer's maximum bypass count) and when
+     * counters are monotone in arrival order, which every dispatch
+     * through recordBypass() preserves.
+     */
+    std::size_t agingCandidate(std::uint64_t threshold) const;
+
+    /**
+     * Records that the walk holding sequence number @p dispatched_seq
+     * was scheduled: every remaining older entry was just bypassed.
+     * The increment saturates — a wrapped counter would reset a
+     * starving request's aging priority back to zero. Replaces the
+     * schedulers' direct sweep over entries() so the buffer can keep
+     * its aging watermark exact.
+     *
+     * Increments are O(1) here and settled in batches: every API that
+     * can observe a counter — at(), entries(), extract(),
+     * forEachOfInstruction(), a plausibly-qualifying agingCandidate()
+     * — settles the pending set first, so observed values are exactly
+     * what a per-dispatch sweep would have produced.
+     */
+    void recordBypass(std::uint64_t dispatched_seq);
+
+    /**
+     * The current SJF score of @p instruction's buffered walks (they
+     * share one), or 0 if none are buffered — the paper's action-1-b
+     * read side.
+     */
+    std::uint64_t
+    instructionScore(tlb::InstructionId instruction) const
+    {
+        const auto it = instrIndex_.find(instruction);
+        return it == instrIndex_.end()
+                   ? 0
+                   : entries_[buckets_[it->second].tail].score;
+    }
+
+    /**
+     * Sets the score of every buffered walk of @p instruction to
+     * @p score, keeping the SJF index exact — the action-1-b write
+     * side. No-op when none are buffered.
+     */
+    void rescoreInstruction(tlb::InstructionId instruction,
+                            std::uint64_t score);
+
+    /**
+     * Applies @p fn to every entry issued by @p instruction, in
+     * arrival order, then re-indexes any score change the callback
+     * made. The callback must not change an entry's seq or
+     * instruction (asserted).
      */
     template <typename Fn>
     void
     forEachOfInstruction(tlb::InstructionId instruction, Fn &&fn)
     {
-        for (auto &e : entries_) {
-            if (e.request.instruction == instruction)
-                fn(e);
+        syncBypass();
+        const auto it = instrIndex_.find(instruction);
+        if (it == instrIndex_.end())
+            return;
+        std::size_t i = buckets_[it->second].head;
+        while (i != npos) {
+            const std::size_t next = links_[i].instrNext;
+            const std::uint64_t seq = entries_[i].seq;
+            fn(entries_[i]);
+            GPUWALK_ASSERT(entries_[i].seq == seq
+                               && entries_[i].request.instruction
+                                      == instruction,
+                           "forEachOfInstruction callback changed an "
+                           "index key");
+            resyncScore(i);
+            if (entries_[i].bypassed > maxBypassed_)
+                maxBypassed_ = entries_[i].bypassed;
+            i = next;
         }
     }
 
-    /** Direct access for schedulers' scan loops. */
-    const std::vector<PendingWalk> &entries() const { return entries_; }
-    std::vector<PendingWalk> &entries() { return entries_; }
+    /** Direct read access for schedulers' scan loops. */
+    const std::vector<PendingWalk> &
+    entries() const
+    {
+        syncBypass();
+        return entries_;
+    }
 
   private:
+    /** Intrusive list links of one entry (dense indices). */
+    struct Links
+    {
+        std::size_t arrivalPrev = npos;
+        std::size_t arrivalNext = npos;
+        std::size_t instrPrev = npos;
+        std::size_t instrNext = npos;
+        std::size_t scorePrev = npos;
+        std::size_t scoreNext = npos;
+        std::size_t bucket = npos;       ///< owning instruction bucket
+        std::uint64_t scoreKey = 0;      ///< score the entry is filed under
+    };
+
+    /** One seq-ordered doubly-linked list (head = lowest seq). */
+    struct ListHead
+    {
+        std::size_t head = npos;
+        std::size_t tail = npos;
+    };
+
+    /** Scores at least this large fall back to an overflow list; the
+     *  direct-indexed buckets cover every score the PWC estimates can
+     *  accumulate in practice. */
+    static constexpr std::uint64_t maxDirectScore = std::uint64_t{1}
+                                                    << 18;
+
+    /** How many recorded dispatches accumulate before recordBypass()
+     *  settles them unprompted. */
+    static constexpr std::size_t bypassBatch = 32;
+
+    /** Applies every deferred bypass increment and clears the batch. */
+    void flushBypass();
+
+    /**
+     * Settles deferred bypass increments before a counter is read.
+     * Const because the observers are const; no WalkBuffer object is
+     * ever const-qualified, so the cast is the usual lazy-evaluation
+     * idiom.
+     */
+    void
+    syncBypass() const
+    {
+        if (!deferredBypass_.empty())
+            const_cast<WalkBuffer *>(this)->flushBypass();
+    }
+
+    void linkArrival(std::size_t idx);
+    void unlinkArrival(std::size_t idx);
+    void linkInstruction(std::size_t idx);
+    void unlinkInstruction(std::size_t idx);
+    void linkScore(std::size_t idx);
+    void unlinkScore(std::size_t idx);
+    void resyncScore(std::size_t idx);
+    void repointNeighbors(std::size_t from, std::size_t to);
+    void growScoreBuckets(std::uint64_t score);
+    void setScoreBit(std::uint64_t score);
+    void clearScoreBit(std::uint64_t score);
+    std::uint64_t minDirectScore() const;
+
     std::size_t capacity_;
     std::vector<PendingWalk> entries_;
+    std::vector<Links> links_;
+
+    // Arrival (seq) order.
+    std::size_t arrivalHead_ = npos;
+    std::size_t arrivalTail_ = npos;
+
+    // Per-instruction buckets.
+    std::vector<ListHead> buckets_;
+    std::vector<std::size_t> freeBuckets_;
+    sim::FlatMap<tlb::InstructionId, std::size_t> instrIndex_;
+
+    // Score index: direct-indexed seq-ordered buckets under a two-level
+    // occupancy bitmap, plus an overflow list for absurd scores.
+    std::vector<ListHead> scoreBuckets_;
+    std::vector<std::uint64_t> scoreBitsL0_; ///< bit per score bucket
+    std::vector<std::uint64_t> scoreBitsL1_; ///< bit per L0 word
+    std::size_t directCount_ = 0;
+    ListHead overflow_;
+    std::size_t overflowCount_ = 0;
+
+    /** Upper bound on bypassed over buffered entries (exact right
+     *  after the responsible insert/recordBypass; extraction can leave
+     *  it stale high). agingCandidate() tightens it on a confirmed
+     *  miss, hence mutable. */
+    mutable std::uint64_t maxBypassed_ = 0;
+
+    /** Dispatch seqs recordBypass() has noted but not yet applied to
+     *  the older entries' counters. */
+    std::vector<std::uint64_t> deferredBypass_;
+    std::uint64_t maxDeferredSeq_ = 0;
 };
 
 } // namespace gpuwalk::core

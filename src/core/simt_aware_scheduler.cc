@@ -5,42 +5,30 @@ namespace gpuwalk::core {
 std::size_t
 SimtAwareScheduler::selectNext(const WalkBuffer &buffer)
 {
-    const auto &entries = buffer.entries();
-    GPUWALK_ASSERT(!entries.empty(), "selectNext on empty buffer");
+    GPUWALK_ASSERT(!buffer.empty(), "selectNext on empty buffer");
 
     // 0. Anti-starvation: oldest request past the aging threshold.
+    // O(1) until the buffer's bypass watermark crosses the threshold,
+    // which the default two-million threshold makes a rare event.
     {
-        std::size_t best = entries.size();
-        for (std::size_t i = 0; i < entries.size(); ++i) {
-            if (entries[i].bypassed < cfg_.agingThreshold)
-                continue;
-            if (best == entries.size()
-                || entries[i].seq < entries[best].seq) {
-                best = i;
-            }
-        }
-        if (best != entries.size()) {
+        const std::size_t aged =
+            buffer.agingCandidate(cfg_.agingThreshold);
+        if (aged != WalkBuffer::npos) {
             ++agingOverrides_;
             lastPick_ = PickReason::Aging;
-            return best;
+            return aged;
         }
     }
 
-    // 1. Batch with the most recently dispatched instruction.
+    // 1. Batch with the most recently dispatched instruction: one
+    // bucket-index probe yields its oldest pending sibling.
     if (cfg_.enableBatching && lastInstruction_) {
-        std::size_t best = entries.size();
-        for (std::size_t i = 0; i < entries.size(); ++i) {
-            if (entries[i].request.instruction != *lastInstruction_)
-                continue;
-            if (best == entries.size()
-                || entries[i].seq < entries[best].seq) {
-                best = i;
-            }
-        }
-        if (best != entries.size()) {
+        const std::size_t sibling =
+            buffer.instructionHead(*lastInstruction_);
+        if (sibling != WalkBuffer::npos) {
             ++batchPicks_;
             lastPick_ = PickReason::Batch;
-            return best;
+            return sibling;
         }
         // The buffer holds no entry for that instruction: its walks
         // have drained, so the ID is stale. Clear it rather than let
@@ -49,21 +37,14 @@ SimtAwareScheduler::selectNext(const WalkBuffer &buffer)
         lastInstruction_.reset();
     }
 
-    // 2. Shortest job first by score; FCFS without scoring enabled.
-    std::size_t best = 0;
-    for (std::size_t i = 1; i < entries.size(); ++i) {
-        if (cfg_.enableSjf) {
-            if (entries[i].score != entries[best].score) {
-                if (entries[i].score < entries[best].score)
-                    best = i;
-                continue;
-            }
-        }
-        if (entries[i].seq < entries[best].seq)
-            best = i;
+    // 2. Shortest job first by score — the buffer's score index hands
+    // over the exact (score, seq) minimum; FCFS without scoring.
+    if (cfg_.enableSjf) {
+        lastPick_ = PickReason::Sjf;
+        return buffer.sjfBestIndex();
     }
-    lastPick_ = cfg_.enableSjf ? PickReason::Sjf : PickReason::Policy;
-    return best;
+    lastPick_ = PickReason::Policy;
+    return buffer.oldestIndex();
 }
 
 void

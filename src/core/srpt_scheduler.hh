@@ -21,9 +21,9 @@
 
 #include <functional>
 #include <optional>
-#include <unordered_map>
 
 #include "core/walk_scheduler.hh"
+#include "sim/flat_map.hh"
 
 namespace gpuwalk::core {
 
@@ -57,19 +57,12 @@ class SrptScheduler : public WalkScheduler
         GPUWALK_ASSERT(estimator_, "SRPT needs an estimator");
 
         // Batch with the in-service instruction first, like the
-        // SIMT-aware scheduler's rule 1.
+        // SIMT-aware scheduler's rule 1 (one bucket-index probe).
         if (batching_ && lastInstruction_) {
-            std::size_t best = entries.size();
-            for (std::size_t i = 0; i < entries.size(); ++i) {
-                if (entries[i].request.instruction != *lastInstruction_)
-                    continue;
-                if (best == entries.size()
-                    || entries[i].seq < entries[best].seq) {
-                    best = i;
-                }
-            }
-            if (best != entries.size())
-                return best;
+            const std::size_t sibling =
+                buffer.instructionHead(*lastInstruction_);
+            if (sibling != WalkBuffer::npos)
+                return sibling;
         }
 
         // Remaining work per instruction, from fresh PWC estimates of
@@ -108,7 +101,7 @@ class SrptScheduler : public WalkScheduler
     Estimator estimator_;
     std::optional<tlb::InstructionId> lastInstruction_;
     /** Scratch map reused across selections to avoid reallocation. */
-    std::unordered_map<tlb::InstructionId, std::uint64_t> remaining_;
+    sim::FlatMap<tlb::InstructionId, std::uint64_t> remaining_;
 };
 
 } // namespace gpuwalk::core

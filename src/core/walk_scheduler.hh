@@ -111,10 +111,7 @@ class WalkScheduler
     virtual void
     onDispatch(WalkBuffer &buffer, const PendingWalk &walk)
     {
-        for (auto &e : buffer.entries()) {
-            if (e.seq < walk.seq && e.bypassed != ~std::uint64_t{0})
-                ++e.bypassed;
-        }
+        buffer.recordBypass(walk.seq);
     }
 };
 

@@ -17,13 +17,13 @@
 
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
 #include <vector>
 
 #include "gpu/gpu_config.hh"
 #include "gpu/instruction.hh"
 #include "mem/request.hh"
 #include "sim/event_queue.hh"
+#include "sim/flat_map.hh"
 #include "sim/rate_limiter.hh"
 #include "sim/stats.hh"
 #include "tlb/coalescer.hh"
@@ -108,7 +108,7 @@ class ComputeUnit
         bool isLoad = true;
         sim::Cycles computeCycles = 0;
         /** vaPage -> paPage for translated pages of this instruction. */
-        std::unordered_map<mem::Addr, mem::Addr> pageMap;
+        sim::FlatMap<mem::Addr, mem::Addr> pageMap;
     };
 
     /**
@@ -147,7 +147,7 @@ class ComputeUnit
     /** deque: intrusive events need stable addresses while scheduled. */
     std::deque<IssueEvent> issueEvents_;
     std::deque<std::size_t> readyQueue_;
-    std::unordered_map<std::uint64_t, InflightInstruction> inflight_;
+    sim::FlatMap<std::uint64_t, InflightInstruction> inflight_;
     unsigned wavefrontsDone_ = 0;
     unsigned blockedCount_ = 0;
 

@@ -272,14 +272,9 @@ Iommu::admitToBuffer(core::PendingWalk walk)
             pwc_.probeEstimate(walk.request.vaPage);
         walk.estimatedAccesses = estimate;
 
-        std::uint64_t prev_score = 0;
-        buffer_.forEachOfInstruction(
-            walk.request.instruction,
-            [&](core::PendingWalk &e) { prev_score = e.score; });
-        const std::uint64_t new_score = prev_score + estimate;
-        buffer_.forEachOfInstruction(
-            walk.request.instruction,
-            [&](core::PendingWalk &e) { e.score = new_score; });
+        const std::uint64_t new_score =
+            buffer_.instructionScore(walk.request.instruction) + estimate;
+        buffer_.rescoreInstruction(walk.request.instruction, new_score);
         walk.score = new_score;
 
         if (tracer_) {

@@ -14,9 +14,9 @@
 
 #include <array>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "sim/flat_map.hh"
 #include "sim/stats.hh"
 #include "sim/ticks.hh"
 #include "tlb/translation.hh"
@@ -173,7 +173,10 @@ class WalkMetrics
         sim::Tick lastCompletionLatency = 0;
     };
 
-    std::unordered_map<tlb::InstructionId, Record> records_;
+    // summarize() iterates this map, but every aggregate it computes is
+    // an order-independent sum/count, so flat-hash iteration order (a
+    // function of the key set only) cannot perturb results.
+    sim::FlatMap<tlb::InstructionId, Record> records_;
     std::uint64_t nextDispatchSeq_ = 0;
 };
 

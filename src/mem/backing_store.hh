@@ -6,7 +6,10 @@
  * functional content — primarily the page tables, which the IOMMU's
  * walkers decode entry by entry. Frames are allocated lazily and
  * zero-filled, matching OS behaviour for freshly allocated page-table
- * pages.
+ * pages. Storage is slabbed: frames live in fixed-size arrays of 64
+ * and a flat index maps frame numbers to slots, so materializing a
+ * frame costs one heap allocation per 64 frames rather than one per
+ * frame, and the per-PTE-read lookup is a single open-addressed probe.
  */
 
 #ifndef GPUWALK_MEM_BACKING_STORE_HH
@@ -16,9 +19,10 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
-#include <unordered_map>
+#include <vector>
 
 #include "mem/types.hh"
+#include "sim/flat_map.hh"
 #include "sim/logging.hh"
 
 namespace gpuwalk::mem {
@@ -65,10 +69,13 @@ class BackingStore
     void write64(Addr addr, std::uint64_t v) { write(addr, v, 8); }
 
     /** Number of frames actually materialized. */
-    std::size_t framesAllocated() const { return frames_.size(); }
+    std::size_t framesAllocated() const { return index_.size(); }
 
   private:
     using Frame = std::array<std::uint8_t, pageSize>;
+
+    /** Frames per slab allocation. */
+    static constexpr std::size_t slabFrames = 64;
 
     static bool
     sameFrame(Addr addr, unsigned size)
@@ -79,22 +86,36 @@ class BackingStore
     const Frame *
     find(Addr frame_number) const
     {
-        auto it = frames_.find(frame_number);
-        return it == frames_.end() ? nullptr : it->second.get();
+        const auto it = index_.find(frame_number);
+        return it == index_.end() ? nullptr : &frameAt(it->second);
     }
 
     Frame &
     findOrCreate(Addr frame_number)
     {
-        auto &slot = frames_[frame_number];
-        if (!slot) {
-            slot = std::make_unique<Frame>();
-            slot->fill(0);
+        const auto [it, inserted] =
+            index_.try_emplace(frame_number, std::uint64_t{0});
+        if (inserted) {
+            const std::size_t slot = nextSlot_++;
+            if (slot / slabFrames == slabs_.size()) {
+                // Value-initialization zero-fills the whole slab.
+                slabs_.push_back(
+                    std::make_unique<Frame[]>(slabFrames));
+            }
+            it->second = slot;
         }
-        return *slot;
+        return const_cast<Frame &>(frameAt(it->second));
     }
 
-    std::unordered_map<Addr, std::unique_ptr<Frame>> frames_;
+    const Frame &
+    frameAt(std::uint64_t slot) const
+    {
+        return slabs_[slot / slabFrames][slot % slabFrames];
+    }
+
+    std::vector<std::unique_ptr<Frame[]>> slabs_;
+    sim::FlatMap<Addr, std::uint64_t> index_; ///< frame number -> slot
+    std::size_t nextSlot_ = 0;
 };
 
 } // namespace gpuwalk::mem

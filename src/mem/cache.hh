@@ -14,11 +14,11 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "mem/request.hh"
 #include "sim/event_queue.hh"
+#include "sim/flat_map.hh"
 #include "sim/object_pool.hh"
 #include "sim/stats.hh"
 
@@ -119,7 +119,7 @@ class Cache : public MemoryDevice
     MemoryDevice &below_;
     Addr numSets_ = 0;
     std::vector<std::vector<Line>> sets_;
-    std::unordered_map<Addr, Mshr *> mshrs_; ///< keyed by line base addr
+    sim::FlatMap<Addr, Mshr *> mshrs_; ///< keyed by line base addr
     sim::ObjectPool<Mshr> mshrPool_{64};
     std::uint64_t useClock_ = 0;
 

@@ -1,0 +1,361 @@
+/**
+ * @file
+ * Open-addressed hash map for the simulator's hot lookup tables.
+ *
+ * The in-flight tracking tables (TLB miss merges, cache MSHRs, CU
+ * instruction book-keeping, backing-store frame index, per-instruction
+ * metrics) all key small trivially-hashable integers and live on the
+ * per-event hot path. std::unordered_map costs one heap node per
+ * element plus a pointer chase per probe; this map keeps every element
+ * in one contiguous slab (a flat slot array that rehashes by doubling),
+ * probes linearly from a strongly mixed home slot, and erases with
+ * backward shifting, so there are no tombstones and no per-node
+ * allocation — the same scan-avoidance discipline the pick indexes
+ * apply to the walk buffer.
+ *
+ * Determinism: iteration order is a function of the key set and the
+ * insertion/erasure history only (fixed hash, no randomized seed), so
+ * runs replay identically across hosts and standard library versions.
+ *
+ * Requirements on Key/T: default-constructible and move-assignable
+ * (backward-shift erase and rehash relocate elements). References and
+ * iterators are invalidated by any insert (rehash) or erase (shift);
+ * callers must re-find by key across mutations, which every migrated
+ * call site already did under std::unordered_map.
+ */
+
+#ifndef GPUWALK_SIM_FLAT_MAP_HH
+#define GPUWALK_SIM_FLAT_MAP_HH
+
+#include <bit>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace gpuwalk::sim {
+
+/**
+ * Default hash: the splitmix64 finalizer. Full-avalanche mixing keeps
+ * linear probing's clusters short even for the arithmetic key
+ * sequences the simulator produces (page-aligned addresses, dense
+ * instruction IDs).
+ */
+struct FlatHash
+{
+    std::uint64_t
+    operator()(std::uint64_t x) const
+    {
+        x ^= x >> 30;
+        x *= 0xbf58476d1ce4e5b9ull;
+        x ^= x >> 27;
+        x *= 0x94d049bb133111ebull;
+        x ^= x >> 31;
+        return x;
+    }
+};
+
+/** Open-addressed hash map: linear probing, backward-shift erase. */
+template <typename Key, typename T, typename Hash = FlatHash>
+class FlatMap
+{
+  public:
+    using value_type = std::pair<Key, T>;
+
+    template <bool Const>
+    class Iter
+    {
+        using MapPtr =
+            std::conditional_t<Const, const FlatMap *, FlatMap *>;
+        using Ref = std::conditional_t<Const, const value_type &,
+                                       value_type &>;
+        using Ptr = std::conditional_t<Const, const value_type *,
+                                       value_type *>;
+
+      public:
+        Iter() = default;
+        Iter(MapPtr map, std::size_t i) : map_(map), i_(i) {}
+
+        /** Non-const -> const conversion. */
+        template <bool C = Const, typename = std::enable_if_t<C>>
+        Iter(const Iter<false> &other)
+            : map_(other.map_), i_(other.i_)
+        {}
+
+        Ref operator*() const { return map_->slots_[i_]; }
+        Ptr operator->() const { return &map_->slots_[i_]; }
+
+        Iter &
+        operator++()
+        {
+            ++i_;
+            skipToOccupied();
+            return *this;
+        }
+
+        friend bool
+        operator==(const Iter &a, const Iter &b)
+        {
+            return a.i_ == b.i_;
+        }
+        friend bool
+        operator!=(const Iter &a, const Iter &b)
+        {
+            return a.i_ != b.i_;
+        }
+
+      private:
+        friend class FlatMap;
+
+        void
+        skipToOccupied()
+        {
+            while (i_ < map_->used_.size() && !map_->used_[i_])
+                ++i_;
+        }
+
+        MapPtr map_ = nullptr;
+        std::size_t i_ = 0;
+    };
+
+    using iterator = Iter<false>;
+    using const_iterator = Iter<true>;
+
+    FlatMap() = default;
+
+    FlatMap(FlatMap &&) = default;
+    FlatMap &operator=(FlatMap &&) = default;
+    FlatMap(const FlatMap &) = default;
+    FlatMap &operator=(const FlatMap &) = default;
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** Pre-sizes so @p n elements fit without rehashing. */
+    void
+    reserve(std::size_t n)
+    {
+        const std::size_t needed = requiredCapacity(n);
+        if (needed > slots_.size())
+            rehash(needed);
+    }
+
+    iterator
+    begin()
+    {
+        iterator it(this, 0);
+        it.skipToOccupied();
+        return it;
+    }
+    const_iterator
+    begin() const
+    {
+        const_iterator it(this, 0);
+        it.skipToOccupied();
+        return it;
+    }
+    iterator end() { return iterator(this, slots_.size()); }
+    const_iterator end() const
+    {
+        return const_iterator(this, slots_.size());
+    }
+
+    iterator
+    find(const Key &key)
+    {
+        const std::size_t i = probeFor(key);
+        return i == npos ? end() : iterator(this, i);
+    }
+    const_iterator
+    find(const Key &key) const
+    {
+        const std::size_t i = probeFor(key);
+        return i == npos ? end() : const_iterator(this, i);
+    }
+
+    bool contains(const Key &key) const { return probeFor(key) != npos; }
+
+    T &
+    at(const Key &key)
+    {
+        const std::size_t i = probeFor(key);
+        GPUWALK_ASSERT(i != npos, "FlatMap::at: missing key");
+        return slots_[i].second;
+    }
+    const T &
+    at(const Key &key) const
+    {
+        const std::size_t i = probeFor(key);
+        GPUWALK_ASSERT(i != npos, "FlatMap::at: missing key");
+        return slots_[i].second;
+    }
+
+    /** Inserts default-constructed value if @p key is absent. */
+    T &operator[](const Key &key) { return try_emplace(key).first->second; }
+
+    /** Inserts (key, T(args...)) if absent; no-op on a present key. */
+    template <typename... Args>
+    std::pair<iterator, bool>
+    try_emplace(const Key &key, Args &&...args)
+    {
+        if (const std::size_t i = probeFor(key); i != npos)
+            return {iterator(this, i), false};
+        growIfNeeded();
+        std::size_t i = homeSlot(key);
+        while (used_[i])
+            i = (i + 1) & mask_;
+        slots_[i].first = key;
+        slots_[i].second = T(std::forward<Args>(args)...);
+        used_[i] = 1;
+        ++size_;
+        return {iterator(this, i), true};
+    }
+
+    /** unordered_map-compatible spelling of try_emplace. */
+    template <typename V>
+    std::pair<iterator, bool>
+    emplace(const Key &key, V &&value)
+    {
+        return try_emplace(key, std::forward<V>(value));
+    }
+
+    /** Erases the element at @p it. Invalidates iterators/references. */
+    void
+    erase(iterator it)
+    {
+        GPUWALK_ASSERT(it.i_ < used_.size() && used_[it.i_],
+                       "FlatMap::erase: bad iterator");
+        eraseSlot(it.i_);
+    }
+
+    /** @return the number of elements removed (0 or 1). */
+    std::size_t
+    erase(const Key &key)
+    {
+        const std::size_t i = probeFor(key);
+        if (i == npos)
+            return 0;
+        eraseSlot(i);
+        return 1;
+    }
+
+    void
+    clear()
+    {
+        if (size_ == 0)
+            return;
+        for (std::size_t i = 0; i < used_.size(); ++i) {
+            if (used_[i]) {
+                slots_[i] = value_type{};
+                used_[i] = 0;
+            }
+        }
+        size_ = 0;
+    }
+
+  private:
+    static constexpr std::size_t npos = ~std::size_t{0};
+    static constexpr std::size_t minCapacity = 16;
+
+    static std::size_t
+    requiredCapacity(std::size_t n)
+    {
+        // Max load factor 3/4 keeps linear-probe clusters short.
+        std::size_t cap = minCapacity;
+        while (n * 4 > cap * 3)
+            cap <<= 1;
+        return cap;
+    }
+
+    std::size_t
+    homeSlot(const Key &key) const
+    {
+        return static_cast<std::size_t>(
+                   Hash{}(static_cast<std::uint64_t>(key)))
+               & mask_;
+    }
+
+    /** Slot holding @p key, or npos. */
+    std::size_t
+    probeFor(const Key &key) const
+    {
+        if (slots_.empty())
+            return npos;
+        std::size_t i = homeSlot(key);
+        while (used_[i]) {
+            if (slots_[i].first == key)
+                return i;
+            i = (i + 1) & mask_;
+        }
+        return npos;
+    }
+
+    void
+    growIfNeeded()
+    {
+        if (slots_.empty() || (size_ + 1) * 4 > slots_.size() * 3)
+            rehash(slots_.empty() ? minCapacity : slots_.size() * 2);
+    }
+
+    void
+    rehash(std::size_t new_cap)
+    {
+        // Checked here, not at class scope: nested mapped types with
+        // default member initializers only become default-constructible
+        // once their enclosing class is complete.
+        static_assert(std::is_default_constructible_v<Key>
+                          && std::is_default_constructible_v<T>,
+                      "FlatMap slots are kept default-constructed");
+        GPUWALK_ASSERT(std::has_single_bit(new_cap),
+                       "FlatMap capacity must be a power of two");
+        std::vector<value_type> old_slots = std::move(slots_);
+        std::vector<std::uint8_t> old_used = std::move(used_);
+        slots_.assign(new_cap, value_type{});
+        used_.assign(new_cap, 0);
+        mask_ = new_cap - 1;
+        for (std::size_t i = 0; i < old_slots.size(); ++i) {
+            if (!old_used[i])
+                continue;
+            std::size_t j = homeSlot(old_slots[i].first);
+            while (used_[j])
+                j = (j + 1) & mask_;
+            slots_[j] = std::move(old_slots[i]);
+            used_[j] = 1;
+        }
+    }
+
+    /** Knuth algorithm R: shift the probe chain back over the hole so
+     *  no tombstones accumulate. */
+    void
+    eraseSlot(std::size_t hole)
+    {
+        std::size_t j = hole;
+        for (;;) {
+            j = (j + 1) & mask_;
+            if (!used_[j])
+                break;
+            const std::size_t home = homeSlot(slots_[j].first);
+            // Move j into the hole unless its home lies cyclically
+            // inside (hole, j] — then it is already as close to home
+            // as the probe chain allows.
+            if (((j - home) & mask_) >= ((j - hole) & mask_)) {
+                slots_[hole] = std::move(slots_[j]);
+                hole = j;
+            }
+        }
+        slots_[hole] = value_type{};
+        used_[hole] = 0;
+        --size_;
+    }
+
+    std::vector<value_type> slots_;
+    std::vector<std::uint8_t> used_;
+    std::size_t mask_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace gpuwalk::sim
+
+#endif // GPUWALK_SIM_FLAT_MAP_HH

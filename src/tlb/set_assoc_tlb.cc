@@ -1,5 +1,8 @@
 #include "tlb/set_assoc_tlb.hh"
 
+#include <algorithm>
+#include <bit>
+
 namespace gpuwalk::tlb {
 
 namespace {
@@ -23,7 +26,15 @@ SetAssocTlb::SetAssocTlb(const TlbConfig &cfg)
                    "entries not divisible by associativity in ",
                    cfg_.name);
     numSets_ = cfg_.sets();
-    sets_.assign(numSets_, std::vector<Entry>(cfg_.associativity));
+    GPUWALK_ASSERT(std::has_single_bit(numSets_),
+                   "TLB set count must be a power of two in ",
+                   cfg_.name);
+    const std::size_t slots = numSets_ * cfg_.associativity;
+    vpn_.assign(slots, 0);
+    ppn_.assign(slots, 0);
+    lastUse_.assign(slots, 0);
+    valid_.assign(slots, 0);
+    large_.assign(slots, 0);
 
     statGroup_.add(hits_);
     statGroup_.add(misses_);
@@ -31,56 +42,60 @@ SetAssocTlb::SetAssocTlb(const TlbConfig &cfg)
     statGroup_.add(evictions_);
 }
 
-SetAssocTlb::Entry *
-SetAssocTlb::find(mem::Addr va_page, bool large)
+std::size_t
+SetAssocTlb::findSlot(mem::Addr va_page, bool large) const
 {
+    if (large && largeResident_ == 0)
+        return npos;
     const mem::Addr vpn =
         large ? largeVpn(va_page) : mem::pageNumber(va_page);
-    for (auto &e : sets_[setIndex(vpn)]) {
-        if (e.valid && e.large == large && e.vpn == vpn)
-            return &e;
+    const std::size_t base = setIndex(vpn) * cfg_.associativity;
+    const std::uint8_t want = large ? 1 : 0;
+    // Tag compare first: it almost always differs, making the common
+    // way one 64-bit compare instead of three dependent byte tests.
+    for (std::size_t i = base; i < base + cfg_.associativity; ++i) {
+        if (vpn_[i] == vpn && valid_[i] && large_[i] == want)
+            return i;
     }
-    return nullptr;
+    return npos;
 }
 
-const SetAssocTlb::Entry *
-SetAssocTlb::find(mem::Addr va_page, bool large) const
+std::size_t
+SetAssocTlb::findAny(mem::Addr va_page) const
 {
-    const mem::Addr vpn =
-        large ? largeVpn(va_page) : mem::pageNumber(va_page);
-    for (const auto &e : sets_[setIndex(vpn)]) {
-        if (e.valid && e.large == large && e.vpn == vpn)
-            return &e;
-    }
-    return nullptr;
+    // Small entries first (exact match), then the covering 2 MB entry.
+    const std::size_t small = findSlot(va_page, /*large=*/false);
+    return small != npos ? small : findSlot(va_page, /*large=*/true);
+}
+
+TlbHit
+SetAssocTlb::hitAt(std::size_t i, mem::Addr va_page) const
+{
+    if (!large_[i])
+        return TlbHit{ppn_[i] << mem::pageShift, false};
+    const mem::Addr base = ppn_[i] << 21;
+    const mem::Addr offset =
+        (mem::pageNumber(va_page) % largeOffsetPages) << mem::pageShift;
+    return TlbHit{base | offset, true};
 }
 
 std::optional<TlbHit>
 SetAssocTlb::lookupEntry(mem::Addr va_page)
 {
-    // Small entries first (exact match), then the covering 2 MB entry.
-    if (Entry *e = find(va_page, /*large=*/false)) {
-        ++hits_;
-        e->lastUse = ++useClock_;
-        return TlbHit{e->ppn << mem::pageShift, false};
+    const std::size_t i = findAny(va_page);
+    if (i == npos) {
+        ++misses_;
+        return std::nullopt;
     }
-    if (Entry *e = find(va_page, /*large=*/true)) {
-        ++hits_;
-        e->lastUse = ++useClock_;
-        const mem::Addr base = e->ppn << 21;
-        const mem::Addr offset =
-            (mem::pageNumber(va_page) % largeOffsetPages)
-            << mem::pageShift;
-        return TlbHit{base | offset, true};
-    }
-    ++misses_;
-    return std::nullopt;
+    ++hits_;
+    lastUse_[i] = ++useClock_;
+    return hitAt(i, va_page);
 }
 
 std::optional<mem::Addr>
 SetAssocTlb::lookup(mem::Addr va_page)
 {
-    auto hit = lookupEntry(va_page);
+    const auto hit = lookupEntry(va_page);
     if (!hit)
         return std::nullopt;
     return hit->paPage;
@@ -89,16 +104,10 @@ SetAssocTlb::lookup(mem::Addr va_page)
 std::optional<mem::Addr>
 SetAssocTlb::probe(mem::Addr va_page) const
 {
-    if (const Entry *e = find(va_page, /*large=*/false))
-        return e->ppn << mem::pageShift;
-    if (const Entry *e = find(va_page, /*large=*/true)) {
-        const mem::Addr base = e->ppn << 21;
-        const mem::Addr offset =
-            (mem::pageNumber(va_page) % largeOffsetPages)
-            << mem::pageShift;
-        return base | offset;
-    }
-    return std::nullopt;
+    const std::size_t i = findAny(va_page);
+    if (i == npos)
+        return std::nullopt;
+    return hitAt(i, va_page).paPage;
 }
 
 void
@@ -109,64 +118,72 @@ SetAssocTlb::insert(mem::Addr va_page, mem::Addr pa_page,
                                      : mem::pageNumber(va_page);
     const mem::Addr ppn = large_page ? (pa_page >> 21)
                                      : mem::pageNumber(pa_page);
-    auto &set = sets_[setIndex(vpn)];
 
-    Entry *victim = nullptr;
-    for (auto &e : set) {
-        if (e.valid && e.large == large_page && e.vpn == vpn) {
-            // Refresh an existing entry (duplicate fill).
-            e.ppn = ppn;
-            e.lastUse = ++useClock_;
-            return;
-        }
-        if (!e.valid) {
-            if (!victim || victim->valid)
-                victim = &e;
-        } else if (!victim || (victim->valid
-                               && e.lastUse < victim->lastUse)) {
-            victim = &e;
-        }
+    // Refresh a duplicate fill in place.
+    const std::size_t hit = findSlot(va_page, large_page);
+    if (hit != npos) {
+        ppn_[hit] = ppn;
+        lastUse_[hit] = ++useClock_;
+        return;
     }
 
-    if (victim->valid)
+    // Victim: the first invalid way, or failing that the true-LRU
+    // valid way (first-encountered on lastUse ties).
+    const std::size_t base = setIndex(vpn) * cfg_.associativity;
+    std::size_t victim = npos;
+    for (std::size_t i = base; i < base + cfg_.associativity; ++i) {
+        if (!valid_[i]) {
+            victim = i;
+            break;
+        }
+    }
+    if (victim == npos) {
+        victim = base;
+        for (std::size_t i = base + 1; i < base + cfg_.associativity;
+             ++i) {
+            if (lastUse_[i] < lastUse_[victim])
+                victim = i;
+        }
         ++evictions_;
+        if (large_[victim])
+            --largeResident_;
+    }
+
     ++insertions_;
-    victim->vpn = vpn;
-    victim->ppn = ppn;
-    victim->valid = true;
-    victim->large = large_page;
-    victim->lastUse = ++useClock_;
+    vpn_[victim] = vpn;
+    ppn_[victim] = ppn;
+    valid_[victim] = 1;
+    large_[victim] = large_page ? 1 : 0;
+    lastUse_[victim] = ++useClock_;
+    if (large_page)
+        ++largeResident_;
 }
 
 void
 SetAssocTlb::invalidateAll()
 {
-    for (auto &set : sets_)
-        for (auto &e : set)
-            e.valid = false;
+    std::fill(valid_.begin(), valid_.end(), std::uint8_t{0});
+    largeResident_ = 0;
 }
 
 bool
 SetAssocTlb::invalidate(mem::Addr va_page)
 {
-    if (Entry *e = find(va_page, /*large=*/false)) {
-        e->valid = false;
-        return true;
-    }
-    if (Entry *e = find(va_page, /*large=*/true)) {
-        e->valid = false;
-        return true;
-    }
-    return false;
+    const std::size_t i = findAny(va_page);
+    if (i == npos)
+        return false;
+    valid_[i] = 0;
+    if (large_[i])
+        --largeResident_;
+    return true;
 }
 
 unsigned
 SetAssocTlb::population() const
 {
     unsigned n = 0;
-    for (const auto &set : sets_)
-        for (const auto &e : set)
-            n += e.valid ? 1 : 0;
+    for (const std::uint8_t v : valid_)
+        n += v;
     return n;
 }
 

@@ -5,6 +5,12 @@
  * Instantiated as: per-CU L1 TLB (32-entry fully associative), the
  * GPU-wide shared L2 TLB (512-entry 16-way), and the IOMMU's own two
  * TLB levels (Table I).
+ *
+ * Entry state is stored structure-of-arrays: the tag/valid/large
+ * columns a lookup compares against are contiguous per set instead of
+ * strided across fat AoS entries, and the ppn/lastUse columns are only
+ * touched on a hit. The set count must be a power of two so indexing
+ * is a mask, not a division — every Table I geometry qualifies.
  */
 
 #ifndef GPUWALK_TLB_SET_ASSOC_TLB_HH
@@ -96,14 +102,7 @@ class SetAssocTlb
     sim::StatGroup &stats() { return statGroup_; }
 
   private:
-    struct Entry
-    {
-        mem::Addr vpn = 0; ///< VPN tag (4 KB- or 2 MB-granular)
-        mem::Addr ppn = 0; ///< PPN at the same granularity
-        bool valid = false;
-        bool large = false;
-        std::uint64_t lastUse = 0;
-    };
+    static constexpr std::size_t npos = ~std::size_t{0};
 
     std::size_t
     setIndex(mem::Addr vpn) const
@@ -112,16 +111,34 @@ class SetAssocTlb
         // strides of matrix rows) would otherwise collide into a few
         // sets; hardware TLBs hash the index for the same reason.
         const mem::Addr h = vpn ^ (vpn >> 5) ^ (vpn >> 10);
-        return static_cast<std::size_t>(h) % numSets_;
+        return static_cast<std::size_t>(h) & (numSets_ - 1);
     }
 
-    Entry *find(mem::Addr va_page, bool large);
-    const Entry *find(mem::Addr va_page, bool large) const;
+    /** Slot of the entry matching (@p va_page, @p large), or npos. */
+    std::size_t findSlot(mem::Addr va_page, bool large) const;
+
+    /** Small-before-large match of @p va_page: slot or npos. */
+    std::size_t findAny(mem::Addr va_page) const;
+
+    /** The 4 KB-granular PA of @p va_page through slot @p i's entry. */
+    TlbHit hitAt(std::size_t i, mem::Addr va_page) const;
 
     TlbConfig cfg_;
     std::size_t numSets_;
-    std::vector<std::vector<Entry>> sets_;
+
+    // Entry columns, slot = set * associativity + way.
+    std::vector<mem::Addr> vpn_;
+    std::vector<mem::Addr> ppn_;
+    std::vector<std::uint64_t> lastUse_;
+    std::vector<std::uint8_t> valid_;
+    std::vector<std::uint8_t> large_;
+
     std::uint64_t useClock_ = 0;
+
+    /** Valid 2 MB entries resident; when zero, the large-tag probe of
+     *  every lookup and fill short-circuits (most runs never install
+     *  one). */
+    std::size_t largeResident_ = 0;
 
     sim::StatGroup statGroup_;
     sim::Counter hits_{"hits", "TLB hits"};

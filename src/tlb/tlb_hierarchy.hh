@@ -15,10 +15,10 @@
 #include <cstdint>
 #include <memory>
 #include <set>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/event_queue.hh"
+#include "sim/flat_map.hh"
 #include "sim/object_pool.hh"
 #include "sim/rate_limiter.hh"
 #include "sim/stats.hh"
@@ -134,10 +134,10 @@ class TlbHierarchy
     // so hashing them is determinism-safe.
 
     /** In-flight L1 misses: l1Key(cu, vaPage) -> merge record. */
-    std::unordered_map<std::uint64_t, MergeEntry *> l1Inflight_;
+    sim::FlatMap<std::uint64_t, MergeEntry *> l1Inflight_;
 
     /** In-flight L2 misses: vaPage -> merge record. */
-    std::unordered_map<mem::Addr, MergeEntry *> l2Inflight_;
+    sim::FlatMap<mem::Addr, MergeEntry *> l2Inflight_;
 
     /** Shared pool behind both miss tables. */
     sim::ObjectPool<MergeEntry> mergePool_{64};

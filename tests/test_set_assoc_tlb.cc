@@ -122,4 +122,12 @@ TEST(SetAssocTlbDeathTest, BadGeometry)
                  "not divisible");
 }
 
+TEST(SetAssocTlbDeathTest, NonPowerOfTwoSetCount)
+{
+    // 12 entries / 4 ways = 3 sets: divisible, but set indexing is a
+    // mask, so the set count must be a power of two.
+    EXPECT_DEATH(SetAssocTlb(TlbConfig{"t", 12, 4}),
+                 "power of two");
+}
+
 } // namespace
