@@ -23,8 +23,9 @@ struct BenchOptions
 };
 
 /**
- * Parses --jobs[=]N, --json[=]PATH, --trace-out[=]PATH,
- * --trace-ring[=]N, --audit, --audit-interval[=]N, --help. Both
+ * Parses --jobs[=]N, --sim-threads[=]N, --json[=]PATH,
+ * --trace-out[=]PATH, --trace-ring[=]N, --audit,
+ * --audit-interval[=]N, --help. Both
  * "--flag=value" and "--flag value" spellings are accepted. --help
  * prints @p id / @p description plus the flag reference and exits;
  * unknown flags are fatal.

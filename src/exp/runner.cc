@@ -70,6 +70,22 @@ runJobs(const std::vector<Job> &jobs, const RunnerOptions &opts)
         workers = static_cast<unsigned>(jobs.size());
     if (workers == 0)
         workers = 1;
+
+    // Each run may itself spin up simThreads domain workers; keep
+    // jobs x simThreads within the machine instead of thrashing it.
+    if (opts.simThreads != 1 && workers > 1) {
+        const unsigned hw =
+            std::max(1u, std::thread::hardware_concurrency());
+        const unsigned per_run =
+            opts.simThreads == 0 ? std::min(3u, hw) : opts.simThreads;
+        const unsigned cap = std::max(1u, hw / per_run);
+        if (workers > cap) {
+            sim::warn("clamping sweep workers ", workers, " -> ", cap,
+                      " (", per_run, " simulation threads per run on ",
+                      hw, " hardware threads)");
+            workers = cap;
+        }
+    }
     out.jobs_used_ = workers;
 
     std::atomic<std::size_t> cursor{0};
@@ -129,13 +145,16 @@ runJobs(const std::vector<Job> &jobs, const RunnerOptions &opts)
 SweepResult
 runSweep(const SweepSpec &spec, const RunnerOptions &opts)
 {
-    if (!opts.trace.enabled && !opts.audit.enabled)
+    if (!opts.trace.enabled && !opts.audit.enabled
+        && opts.simThreads == 1) {
         return runJobs(spec.expand(), opts);
+    }
     SweepSpec instrumented = spec;
     if (opts.trace.enabled)
         instrumented.base.trace = opts.trace;
     if (opts.audit.enabled)
         instrumented.base.audit = opts.audit;
+    instrumented.base.simThreads = opts.simThreads;
     return runJobs(instrumented.expand(), opts);
 }
 

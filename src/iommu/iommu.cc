@@ -193,6 +193,36 @@ Iommu::translate(tlb::TranslationRequest req)
 }
 
 void
+Iommu::deliverTranslate(tlb::TranslationRequest req)
+{
+    // The translate channel already carried the hop latency.
+    ++requests_;
+    frontPort_.submit([this, r = std::move(req)]() mutable {
+        lookupTlbs(std::move(r));
+    });
+}
+
+void
+Iommu::respond(tlb::TranslationRequest req, mem::Addr pa_page,
+               bool large_page, sim::Tick delay)
+{
+    if (replyChannel_) {
+        replyChannel_->sendAt(eq_.now() + delay,
+                              tlb::TranslationReply{std::move(req),
+                                                    pa_page, large_page});
+        return;
+    }
+    if (delay == 0) {
+        req.complete(pa_page, large_page);
+        return;
+    }
+    eq_.scheduleIn(delay,
+                   [r = std::move(req), pa_page, large_page]() mutable {
+                       r.complete(pa_page, large_page);
+                   });
+}
+
+void
 Iommu::lookupTlbs(tlb::TranslationRequest r)
 {
     // IOMMU TLB lookups (paper step 5).
@@ -204,10 +234,8 @@ Iommu::lookupTlbs(tlb::TranslationRequest r)
         sim::debug::log("tlb", eq_.now(), "IOMMU TLB hit va=",
                         std::hex, r.vaPage, std::dec, " instr=",
                         r.instruction);
-        eq_.scheduleIn(cfg_.tlbLatency,
-                       [r = std::move(r), h = *hit]() mutable {
-                           r.complete(h.paPage, h.largePage);
-                       });
+        const auto h = *hit;
+        respond(std::move(r), h.paPage, h.largePage, cfg_.tlbLatency);
         return;
     }
     eq_.scheduleIn(cfg_.tlbLatency,
@@ -384,13 +412,16 @@ Iommu::onWalkDone(WalkResult result)
     l2Tlb_.insert(result.walk.request.vaPage, result.paPage,
                   result.largePage);
 
-    result.walk.request.complete(result.paPage, result.largePage);
+    const mem::Addr completedVa = result.walk.request.vaPage;
+    const bool isPrefetch = result.walk.isPrefetch;
+    respond(std::move(result.walk.request), result.paPage,
+            result.largePage, 0);
 
     // The finishing walker is idle now: service the backlog.
     dispatchIfPossible();
 
-    if (cfg_.prefetchNextPage && !result.walk.isPrefetch)
-        maybePrefetch(result.walk.request.vaPage);
+    if (cfg_.prefetchNextPage && !isPrefetch)
+        maybePrefetch(completedVa);
 }
 
 void

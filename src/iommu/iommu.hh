@@ -36,6 +36,7 @@
 #include "sim/event_queue.hh"
 #include "sim/rate_limiter.hh"
 #include "sim/stats.hh"
+#include "tlb/channel_port.hh"
 #include "tlb/set_assoc_tlb.hh"
 #include "tlb/translation.hh"
 
@@ -105,8 +106,27 @@ class Iommu : public tlb::TranslationService
           mem::MemoryDevice &memory, mem::BackingStore &store,
           mem::Addr page_table_root);
 
-    /** Entry point for GPU L2 TLB misses. */
+    /** Entry point for GPU L2 TLB misses. Pays the GPU→IOMMU hop
+     *  latency internally (direct wiring; unit tests, interposers). */
     void translate(tlb::TranslationRequest req) override;
+
+    /**
+     * Entry point for requests arriving through the translate channel
+     * (system::System's port wiring): the channel has already carried
+     * the hop latency, so the request goes straight to the front port.
+     */
+    void deliverTranslate(tlb::TranslationRequest req);
+
+    /**
+     * Routes completed translations (IOMMU TLB hits and finished
+     * walks) back through @p ch instead of completing them in place,
+     * so the callback runs in the GPU's domain. nullptr restores
+     * direct completion.
+     */
+    void setReplyChannel(tlb::TranslationReplyChannel *ch)
+    {
+        replyChannel_ = ch;
+    }
 
     /**
      * Attaches a lifecycle tracer to the walk path (this component and
@@ -171,6 +191,8 @@ class Iommu : public tlb::TranslationService
 
   private:
     void lookupTlbs(tlb::TranslationRequest req);
+    void respond(tlb::TranslationRequest req, mem::Addr pa_page,
+                 bool large_page, sim::Tick delay);
     void enqueueWalk(tlb::TranslationRequest req);
     void maybePrefetch(mem::Addr completed_va_page);
     void admitToBuffer(core::PendingWalk walk);
@@ -197,6 +219,7 @@ class Iommu : public tlb::TranslationService
     WalkMetrics metrics_;
     std::uint64_t nextSeq_ = 0;
     trace::Tracer *tracer_ = nullptr;
+    tlb::TranslationReplyChannel *replyChannel_ = nullptr;
 
     sim::StatGroup statGroup_;
     sim::Counter requests_{"requests", "translation requests received"};

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Channel-backed MemoryDevice adapter: the request side of a
+ * domain-crossing memory edge.
+ *
+ * Components keep talking to a plain mem::MemoryDevice (caches never
+ * learn about domains); the adapter forwards each access through a
+ * typed request channel and stamps the reply channel the completing
+ * device (mem/dram_controller.cc) must respond on. The request hop
+ * itself is same-tick — the caller has already paid its own latency
+ * (cache tag/hit time) before calling access(), exactly as with
+ * direct wiring.
+ */
+
+#ifndef GPUWALK_MEM_CHANNEL_PORT_HH
+#define GPUWALK_MEM_CHANNEL_PORT_HH
+
+#include "mem/request.hh"
+#include "sim/port.hh"
+
+namespace gpuwalk::mem {
+
+/** Forwards access() into a request channel toward the memory domain. */
+class ChannelMemoryPort final : public MemoryDevice
+{
+  public:
+    /**
+     * @param request Carries requests into the memory domain.
+     * @param reply Stamped on each request; the DRAM controller sends
+     *        the completed request back through it.
+     */
+    ChannelMemoryPort(sim::Channel<MemoryRequest> &request,
+                      MemoryReplyChannel &reply)
+        : request_(request), reply_(reply)
+    {}
+
+    void
+    access(MemoryRequest req) override
+    {
+        req.reply = &reply_;
+        request_.sendNow(std::move(req));
+    }
+
+  private:
+    sim::Channel<MemoryRequest> &request_;
+    MemoryReplyChannel &reply_;
+};
+
+} // namespace gpuwalk::mem
+
+#endif // GPUWALK_MEM_CHANNEL_PORT_HH

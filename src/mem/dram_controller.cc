@@ -4,6 +4,7 @@
 
 #include "sim/audit.hh"
 #include "sim/debug.hh"
+#include "sim/port.hh"
 
 namespace gpuwalk::mem {
 
@@ -169,9 +170,19 @@ DramController::issue(Channel &ch, std::size_t idx)
                     std::hex, p.req.addr, std::dec, " bank=",
                     mapper_.flatBank(p.where), " done@", done);
 
-    eq_.schedule(done, [req = std::move(p.req)]() mutable {
-        req.complete();
-    });
+    if (p.req.reply) {
+        // Channel wiring: the finished request travels back across the
+        // domain boundary and completes in the requester's domain. In
+        // serial mode this schedules the same single completion event
+        // the direct form below does.
+        sim::Channel<MemoryRequest> *ch = p.req.reply;
+        p.req.reply = nullptr;
+        ch->sendAt(done, std::move(p.req));
+    } else {
+        eq_.schedule(done, [req = std::move(p.req)]() mutable {
+            req.complete();
+        });
+    }
 }
 
 sim::Tick

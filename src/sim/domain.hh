@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Latency-decoupled simulation domains.
+ *
+ * A Domain is a named partition of the simulated system that owns its
+ * own calendar EventQueue: every component assigned to the domain
+ * schedules on that queue, and every interaction with a component in
+ * another domain is routed through a typed Channel (sim/port.hh)
+ * whose fixed minimum latency becomes the edge's conservative
+ * lookahead. The DomainRunner (sim/domain_runner.hh) executes the
+ * resulting domain graph: serially when --sim-threads 1 (all domains
+ * share one queue and the channels pass straight through), or one
+ * domain group per thread under conservative synchronization
+ * otherwise.
+ */
+
+#ifndef GPUWALK_SIM_DOMAIN_HH
+#define GPUWALK_SIM_DOMAIN_HH
+
+#include <string>
+
+#include "sim/event_queue.hh"
+
+namespace gpuwalk::sim {
+
+class ChannelBase;
+
+/** One latency-decoupled partition: a name and its event queue. */
+struct Domain
+{
+    unsigned id = 0;
+    std::string name;
+    EventQueue *eq = nullptr;
+};
+
+/**
+ * A directed channel between two domains. The channel's minLatency()
+ * is the edge's lookahead: the destination may safely execute every
+ * event strictly before src.clock + lookahead, because no message the
+ * source has yet to send can be delivered earlier than that.
+ */
+struct DomainEdge
+{
+    unsigned src = 0;
+    unsigned dst = 0;
+    ChannelBase *channel = nullptr;
+};
+
+} // namespace gpuwalk::sim
+
+#endif // GPUWALK_SIM_DOMAIN_HH

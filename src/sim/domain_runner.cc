@@ -1,0 +1,222 @@
+#include "sim/domain_runner.hh"
+
+#include <algorithm>
+#include <thread>
+
+#include "sim/logging.hh"
+
+namespace gpuwalk::sim {
+
+/** Per-domain runtime state shared between worker and coordinator. */
+struct DomainRunner::DomainState
+{
+    Domain dom;
+
+    /** Edges delivering into this domain (horizon + drain set). */
+    std::vector<const DomainEdge *> in;
+
+    /**
+     * Published simulated time: every event this domain will ever
+     * execute from now on has tick >= clock. Monotone.
+     */
+    std::atomic<Tick> clock{0};
+
+    /** No pending local events and every in-inbox empty. */
+    std::atomic<bool> idle{false};
+};
+
+DomainRunner::DomainRunner(std::vector<Domain> domains,
+                           std::vector<DomainEdge> edges,
+                           unsigned threads)
+    : domains_(std::move(domains)), edges_(std::move(edges))
+{
+    GPUWALK_ASSERT(!domains_.empty(), "domain runner with no domains");
+    states_.reserve(domains_.size());
+    for (std::size_t i = 0; i < domains_.size(); ++i) {
+        GPUWALK_ASSERT(domains_[i].id == i,
+                       "domain ids must be dense from 0");
+        GPUWALK_ASSERT(domains_[i].eq != nullptr, "domain '",
+                       domains_[i].name, "' has no event queue");
+        auto st = std::make_unique<DomainState>();
+        st->dom = domains_[i];
+        states_.push_back(std::move(st));
+    }
+    for (const DomainEdge &e : edges_) {
+        GPUWALK_ASSERT(e.src < domains_.size()
+                           && e.dst < domains_.size(),
+                       "edge references an unknown domain");
+        GPUWALK_ASSERT(e.channel != nullptr, "edge with no channel");
+        states_[e.dst]->in.push_back(&e);
+    }
+    threads_ = resolveThreads(threads, domains_.size());
+}
+
+DomainRunner::~DomainRunner() = default;
+
+unsigned
+DomainRunner::resolveThreads(unsigned requested, std::size_t domains)
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
+    unsigned t = requested == 0 ? hw : requested;
+    t = std::min<unsigned>(t, static_cast<unsigned>(domains));
+    return std::max(1u, t);
+}
+
+bool
+DomainRunner::stepDomain(DomainState &st)
+{
+    // 1. Horizon from the in-neighbours' published clocks. Reading the
+    // clock *before* draining is what makes the drain complete: every
+    // message that can be delivered below the horizon was posted
+    // before its sender published the clock we just read.
+    Tick horizon = maxTick;
+    for (const DomainEdge *e : st.in) {
+        const Tick src_clock =
+            states_[e->src]->clock.load(std::memory_order_acquire);
+        horizon = std::min(
+            horizon, edgeHorizon(src_clock, e->channel->minLatency()));
+    }
+
+    // 2. Drain in-channel inboxes into the local queue.
+    std::size_t drained = 0;
+    for (const DomainEdge *e : st.in)
+        drained += e->channel->drainTo(*st.dom.eq);
+
+    // 3. Execute strictly below the horizon.
+    const std::uint64_t n = st.dom.eq->runUntil(horizon);
+    if (n > 0) {
+        const std::uint64_t total =
+            executed_.fetch_add(n, std::memory_order_relaxed) + n;
+        if (total > maxEvents_) {
+            overflow_.store(true, std::memory_order_release);
+            stop_.store(true, std::memory_order_release);
+        }
+    }
+
+    // 4. Publish the new clock (release: after the sends those events
+    // posted). The horizon is monotone because the source clocks are.
+    bool progress = n > 0 || drained > 0;
+    if (horizon > st.clock.load(std::memory_order_relaxed)) {
+        st.clock.store(horizon, std::memory_order_release);
+        progress = true;
+    }
+
+    Tick next = 0;
+    bool idle = !st.dom.eq->peekNext(next);
+    if (idle) {
+        for (const DomainEdge *e : st.in) {
+            if (!e->channel->inboxEmpty()) {
+                idle = false;
+                break;
+            }
+        }
+    }
+    st.idle.store(idle, std::memory_order_release);
+    return progress;
+}
+
+void
+DomainRunner::workerLoop(unsigned worker)
+{
+    // Domains are dealt round-robin over the workers; one worker may
+    // own several (e.g. 2 threads over 3 domains).
+    while (!stop_.load(std::memory_order_acquire)) {
+        bool progress = false;
+        for (std::size_t d = worker; d < states_.size(); d += threads_)
+            progress = stepDomain(*states_[d]) || progress;
+        if (!progress)
+            std::this_thread::yield();
+    }
+}
+
+bool
+DomainRunner::scanQuiescent(std::uint64_t &tally_out) const
+{
+    // Read delivered before sent: an in-flight message then shows up
+    // as sent > delivered rather than being missed.
+    bool quiescent = true;
+    std::uint64_t tally = executed_.load(std::memory_order_acquire);
+    for (const DomainEdge &e : edges_) {
+        const std::uint64_t delivered = e.channel->delivered();
+        const std::uint64_t sent = e.channel->sent();
+        if (sent != delivered || !e.channel->inboxEmpty())
+            quiescent = false;
+        tally += sent + delivered;
+    }
+    for (const auto &st : states_) {
+        if (!st->idle.load(std::memory_order_acquire))
+            quiescent = false;
+    }
+    tally_out = tally;
+    return quiescent;
+}
+
+DomainRunner::Result
+DomainRunner::run(std::uint64_t max_events)
+{
+    maxEvents_ = max_events;
+    stop_.store(false, std::memory_order_release);
+    overflow_.store(false, std::memory_order_release);
+    executed_.store(0, std::memory_order_release);
+
+    std::vector<std::thread> workers;
+    workers.reserve(threads_);
+    for (unsigned t = 0; t < threads_; ++t)
+        workers.emplace_back([this, t] { workerLoop(t); });
+
+    // Coordinate: double-scan termination, frozen-graph deadlock
+    // backstop. Clocks legitimately keep advancing at quiescence (the
+    // null-message leapfrog), so they count only toward deadlock
+    // detection, never against termination.
+    constexpr std::uint64_t deadlockScans = 4'000'000;
+    bool deadlocked = false;
+    bool prev_quiescent = false;
+    std::uint64_t prev_tally = ~std::uint64_t{0};
+    std::vector<Tick> prev_clocks(states_.size(), 0);
+    std::uint64_t frozen = 0;
+
+    while (!stop_.load(std::memory_order_acquire)) {
+        std::uint64_t tally = 0;
+        const bool quiescent = scanQuiescent(tally);
+
+        if (quiescent && prev_quiescent && tally == prev_tally) {
+            stop_.store(true, std::memory_order_release);
+            break;
+        }
+
+        bool clocks_frozen = true;
+        for (std::size_t d = 0; d < states_.size(); ++d) {
+            const Tick c =
+                states_[d]->clock.load(std::memory_order_acquire);
+            if (c != prev_clocks[d])
+                clocks_frozen = false;
+            prev_clocks[d] = c;
+        }
+        if (!quiescent && clocks_frozen && tally == prev_tally) {
+            if (++frozen >= deadlockScans) {
+                deadlocked = true;
+                stop_.store(true, std::memory_order_release);
+                break;
+            }
+        } else {
+            frozen = 0;
+        }
+
+        prev_quiescent = quiescent;
+        prev_tally = tally;
+        std::this_thread::yield();
+    }
+
+    for (std::thread &w : workers)
+        w.join();
+
+    Result r;
+    r.eventsExecuted = executed_.load(std::memory_order_acquire);
+    r.deadlocked = deadlocked;
+    r.maxEventsExceeded = overflow_.load(std::memory_order_acquire);
+    return r;
+}
+
+} // namespace gpuwalk::sim

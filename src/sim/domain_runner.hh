@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Conservative parallel executor for a graph of latency-decoupled
+ * domains (sim/domain.hh).
+ *
+ * Classic conservative synchronization with continuous per-domain
+ * horizons (no global barrier): each worker repeatedly
+ *
+ *   1. reads the published clocks of its in-neighbours and derives
+ *      horizon = min over in-edges of (src.clock + edge lookahead)
+ *      — no in-edges means an unbounded horizon;
+ *   2. drains its in-channels' inboxes into the domain queue
+ *      (Channel::drainTo injects events carrying the composite order
+ *      keys allocated by the sender, so insertion order is
+ *      deterministic and thread-timing independent);
+ *   3. executes every local event strictly before the horizon;
+ *   4. publishes clock = horizon (release, after all the sends those
+ *      events made were posted).
+ *
+ * Safety: a message crossing edge (s -> d) is posted while s executes
+ * an event at tick t < s's next published clock, and is delivered at
+ * tick >= t + lookahead(s,d). d only executes events strictly below
+ * min(s.clock + lookahead), and reads s.clock before draining — so
+ * every message that could land below d's horizon is already in the
+ * inbox when d drains. Liveness: horizons are derived from clocks,
+ * not executed events, so an idle domain still advances its clock
+ * (the null-message equivalent) and the graph needs no zero-lookahead
+ * cycles broken at runtime.
+ *
+ * Termination is detected by the coordinating caller thread with a
+ * double scan: every domain idle (no pending events, in-inboxes
+ * empty), every channel's delivered == sent (delivered read first),
+ * and the full (executed, sent, delivered) tally unchanged between
+ * two consecutive scans. A non-quiescent graph whose clocks and
+ * tallies freeze is reported as a deadlock.
+ */
+
+#ifndef GPUWALK_SIM_DOMAIN_RUNNER_HH
+#define GPUWALK_SIM_DOMAIN_RUNNER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/domain.hh"
+#include "sim/port.hh"
+#include "sim/ticks.hh"
+
+namespace gpuwalk::sim {
+
+/**
+ * Runs a domain graph to quiescence on N threads.
+ *
+ * Determinism: every event's execution order is fixed by (tick,
+ * priority, composite key), all allocated deterministically by the
+ * sending/owning domain — so any thread count >= 2 produces the
+ * bit-identical simulation.
+ */
+class DomainRunner
+{
+  public:
+    /** What a run() reports back to the caller. */
+    struct Result
+    {
+        /** Events executed, summed over every domain queue. */
+        std::uint64_t eventsExecuted = 0;
+
+        /** True when the graph froze without reaching quiescence. */
+        bool deadlocked = false;
+
+        /** True when the run hit the caller's max-event guard. */
+        bool maxEventsExceeded = false;
+    };
+
+    /**
+     * @param domains The partitions; ids must be dense from 0.
+     * @param edges Every cross-domain channel, with its lookahead.
+     * @param threads Worker count; clamped to [1, domains.size()].
+     *        0 picks min(domains, hardware threads).
+     */
+    DomainRunner(std::vector<Domain> domains,
+                 std::vector<DomainEdge> edges, unsigned threads);
+    ~DomainRunner();
+
+    /**
+     * Runs every domain to global quiescence. The calling thread
+     * coordinates (termination/deadlock detection) while the workers
+     * execute. @p max_events bounds the summed event count (runaway
+     * guard).
+     */
+    Result run(std::uint64_t max_events);
+
+    /** The worker count run() will use. */
+    unsigned threads() const { return threads_; }
+
+    /**
+     * The horizon bound one in-edge imposes: the destination may run
+     * events strictly below src_clock + lookahead; an event exactly on
+     * the boundary must wait. Saturates instead of overflowing, so an
+     * unbounded source clock yields an unbounded horizon.
+     */
+    static Tick
+    edgeHorizon(Tick src_clock, Tick lookahead)
+    {
+        return src_clock > maxTick - lookahead ? maxTick
+                                               : src_clock + lookahead;
+    }
+
+    /** Resolves a --sim-threads value (0 = auto) for @p domains. */
+    static unsigned resolveThreads(unsigned requested,
+                                   std::size_t domains);
+
+  private:
+    struct DomainState;
+
+    void workerLoop(unsigned worker);
+    bool stepDomain(DomainState &st);
+    bool scanQuiescent(std::uint64_t &tally_out) const;
+
+    std::vector<Domain> domains_;
+    std::vector<DomainEdge> edges_;
+    unsigned threads_ = 1;
+    std::vector<std::unique_ptr<DomainState>> states_;
+    std::atomic<bool> stop_{false};
+    std::atomic<std::uint64_t> executed_{0};
+    std::uint64_t maxEvents_ = 0;
+    std::atomic<bool> overflow_{false};
+};
+
+} // namespace gpuwalk::sim
+
+#endif // GPUWALK_SIM_DOMAIN_RUNNER_HH

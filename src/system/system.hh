@@ -18,10 +18,14 @@
 #include "iommu/iommu.hh"
 #include "mem/backing_store.hh"
 #include "mem/cache.hh"
+#include "mem/channel_port.hh"
 #include "mem/dram_controller.hh"
 #include "sim/audit.hh"
+#include "sim/domain.hh"
 #include "sim/event_queue.hh"
+#include "sim/port.hh"
 #include "system/system_config.hh"
+#include "tlb/channel_port.hh"
 #include "tlb/tlb_hierarchy.hh"
 #include "tlb/translating_port.hh"
 #include "trace/trace.hh"
@@ -104,7 +108,16 @@ class System
     void dumpStats(std::ostream &os) const;
 
     const SystemConfig &config() const { return cfg_; }
+
+    /** The GPU domain's queue (the only queue when running serially). */
     sim::EventQueue &eventQueue() { return eq_; }
+
+    /**
+     * Worker threads this System will actually use: cfg.simThreads
+     * resolved (0 = auto), clamped to the domain count, and forced to
+     * 1 when a translation interposer bypasses the channel wiring.
+     */
+    unsigned simThreads() const { return simThreads_; }
     vm::AddressSpace &addressSpace() { return *addressSpace_; }
     gpu::Gpu &gpu() { return *gpu_; }
     iommu::Iommu &iommu() { return *iommu_; }
@@ -129,15 +142,42 @@ class System
     };
 
     void registerSystemInvariants();
+    void registerChannelInvariants();
+    std::vector<sim::ChannelBase *> channels();
+    RunStats runSerial(std::uint64_t max_events);
+    RunStats runParallel(std::uint64_t max_events);
+    RunStats collectStats();
 
     SystemConfig cfg_;
+    unsigned simThreads_ = 1;          ///< resolved worker count
+    bool channelTranslation_ = false;  ///< TLB→IOMMU edge via channels
+
+    // Domain queues. eq_ is the GPU domain's queue and the only one in
+    // a serial run; eqIommu_/eqDram_ exist only when simThreads_ > 1.
     sim::EventQueue eq_;
+    std::unique_ptr<sim::EventQueue> eqIommu_;
+    std::unique_ptr<sim::EventQueue> eqDram_;
+
     std::unique_ptr<trace::Tracer> tracer_;
+    std::unique_ptr<trace::Tracer> tracerIommu_; ///< parallel runs only
     std::unique_ptr<sim::Auditor> auditor_;
     PeriodicAuditEvent auditEvent_;
     mem::BackingStore store_;
     vm::FrameAllocator frames_;
     std::unique_ptr<vm::AddressSpace> addressSpace_;
+
+    // Cross-domain channels (the system's channel wiring table) and
+    // the adapters presenting them as plain device interfaces.
+    std::unique_ptr<sim::Channel<tlb::TranslationRequest>> chTranslate_;
+    std::unique_ptr<tlb::TranslationReplyChannel> chTransReply_;
+    std::unique_ptr<sim::Channel<mem::MemoryRequest>> chGpuMem_;
+    std::unique_ptr<mem::MemoryReplyChannel> chMemReplyGpu_;
+    std::unique_ptr<sim::Channel<mem::MemoryRequest>> chWalkMem_;
+    std::unique_ptr<mem::MemoryReplyChannel> chMemReplyIommu_;
+    std::unique_ptr<tlb::ChannelTranslationPort> transPort_;
+    std::unique_ptr<mem::ChannelMemoryPort> gpuMemPort_;
+    std::unique_ptr<mem::ChannelMemoryPort> walkMemPort_;
+
     std::unique_ptr<mem::DramController> dram_;
     std::unique_ptr<mem::Cache> l2d_;
     std::vector<std::unique_ptr<tlb::TranslatingPort>> bridges_;

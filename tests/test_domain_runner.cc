@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Tests for the conservative parallel executor (sim/domain_runner.hh):
+ * horizon/boundary math, thread resolution, a two-domain ping-pong
+ * micro-benchmark of the runner itself, and — the heart of the suite —
+ * differential runs of the full System at --sim-threads 1/2/4
+ * asserting bit-identical simulated results.
+ *
+ * The differential runs enable walk tracing (digests pin the global
+ * event order, not just the aggregate counters) and final-only
+ * auditing (so the serial run drains to quiescence exactly like a
+ * partitioned run always does, and conservation violations fail the
+ * comparison loudly).
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "exp/run.hh"
+#include "sim/domain_runner.hh"
+#include "sim/event_queue.hh"
+#include "sim/port.hh"
+#include "trace/digest.hh"
+
+namespace {
+
+using namespace gpuwalk;
+using sim::Channel;
+using sim::DomainRunner;
+using sim::EventQueue;
+using sim::Tick;
+
+// ---------------------------------------------------------------------
+// Boundary math
+// ---------------------------------------------------------------------
+
+TEST(DomainRunner, EdgeHorizonAddsTheLookahead)
+{
+    EXPECT_EQ(DomainRunner::edgeHorizon(100, 25), 125u);
+    EXPECT_EQ(DomainRunner::edgeHorizon(0, 0), 0u);
+    EXPECT_EQ(DomainRunner::edgeHorizon(0, 25'000), 25'000u);
+}
+
+TEST(DomainRunner, EdgeHorizonSaturatesInsteadOfWrapping)
+{
+    EXPECT_EQ(DomainRunner::edgeHorizon(sim::maxTick, 25'000),
+              sim::maxTick);
+    EXPECT_EQ(DomainRunner::edgeHorizon(sim::maxTick - 5, 10),
+              sim::maxTick);
+    EXPECT_EQ(DomainRunner::edgeHorizon(sim::maxTick - 10, 10),
+              sim::maxTick);
+}
+
+/** The horizon is exclusive: an event exactly on the epoch edge must
+ *  wait — a message from the neighbour could still arrive *at* the
+ *  horizon tick (lookahead is a lower bound on latency). */
+TEST(DomainRunner, EventExactlyOnTheHorizonEdgeWaits)
+{
+    EventQueue eq;
+    int ran = 0;
+    eq.schedule(125, [&] { ++ran; });
+
+    EXPECT_EQ(eq.runUntil(125), 0u) << "tick 125 is not strictly < 125";
+    EXPECT_EQ(ran, 0);
+    EXPECT_EQ(eq.now(), 0u) << "runUntil must not advance past work";
+
+    EXPECT_EQ(eq.runUntil(126), 1u);
+    EXPECT_EQ(ran, 1);
+    EXPECT_EQ(eq.now(), 125u);
+}
+
+TEST(DomainRunner, ResolveThreadsClampsToDomainsAndFloorsAtOne)
+{
+    EXPECT_EQ(DomainRunner::resolveThreads(1, 3), 1u);
+    EXPECT_EQ(DomainRunner::resolveThreads(2, 3), 2u);
+    EXPECT_EQ(DomainRunner::resolveThreads(3, 3), 3u);
+    EXPECT_EQ(DomainRunner::resolveThreads(4, 3), 3u)
+        << "more threads than domains is clamped";
+    EXPECT_EQ(DomainRunner::resolveThreads(5, 2), 2u);
+    const unsigned auto_threads = DomainRunner::resolveThreads(0, 3);
+    EXPECT_GE(auto_threads, 1u);
+    EXPECT_LE(auto_threads, 3u);
+}
+
+// ---------------------------------------------------------------------
+// The runner itself, on a synthetic two-domain graph
+// ---------------------------------------------------------------------
+
+/** Two domains bounce a decrementing token across two latency-10
+ *  channels. Exercises horizon leapfrogging (each clock advance
+ *  unblocks the peer), inbox draining, and quiescence detection. */
+TEST(DomainRunner, PingPongRunsToQuiescenceOnTwoThreads)
+{
+    EventQueue qa;
+    EventQueue qb;
+    qa.enableDomainKeys(0);
+    qb.enableDomainKeys(1);
+
+    Channel<int> ab("a_to_b", 10);
+    Channel<int> ba("b_to_a", 10);
+    ab.bind(qa, qb);
+    ba.bind(qb, qa);
+    ab.setParallel(true);
+    ba.setParallel(true);
+
+    // Each vector is touched only by its owning domain's worker.
+    std::vector<Tick> a_ticks;
+    std::vector<Tick> b_ticks;
+    ab.onDeliver([&](int &&n) {
+        b_ticks.push_back(qb.now());
+        if (n > 0)
+            ba.send(n - 1);
+    });
+    ba.onDeliver([&](int &&n) {
+        a_ticks.push_back(qa.now());
+        if (n > 0)
+            ab.send(n - 1);
+    });
+
+    qa.schedule(0, [&] { ab.send(20); });
+
+    std::vector<sim::Domain> domains{{0, "a", &qa}, {1, "b", &qb}};
+    std::vector<sim::DomainEdge> edges{{0, 1, &ab}, {1, 0, &ba}};
+    DomainRunner runner(std::move(domains), std::move(edges), 2);
+    ASSERT_EQ(runner.threads(), 2u);
+
+    const DomainRunner::Result r = runner.run(1'000'000);
+    EXPECT_FALSE(r.deadlocked);
+    EXPECT_FALSE(r.maxEventsExceeded);
+
+    // Token values 20..0 cross alternately: 11 deliveries into b
+    // (n = 20, 18, ..., 0), 10 into a (n = 19, 17, ..., 1), each one
+    // hop (10 ticks) after the previous.
+    ASSERT_EQ(b_ticks.size(), 11u);
+    ASSERT_EQ(a_ticks.size(), 10u);
+    EXPECT_EQ(b_ticks.front(), 10u);
+    EXPECT_EQ(b_ticks.back(), 210u);
+    EXPECT_EQ(a_ticks.front(), 20u);
+    EXPECT_EQ(a_ticks.back(), 200u);
+
+    EXPECT_EQ(ab.sent(), 11u);
+    EXPECT_EQ(ab.delivered(), 11u);
+    EXPECT_EQ(ba.sent(), 10u);
+    EXPECT_EQ(ba.delivered(), 10u);
+    EXPECT_TRUE(ab.inboxEmpty());
+    EXPECT_TRUE(ba.inboxEmpty());
+
+    // 1 seed event + 21 injected deliveries.
+    EXPECT_EQ(r.eventsExecuted, 22u);
+}
+
+// ---------------------------------------------------------------------
+// Differential: the full System, serial vs partitioned
+// ---------------------------------------------------------------------
+
+system::RunStats
+runAt(unsigned threads, core::SchedulerKind sched,
+      const std::string &workload,
+      const workload::WorkloadParams &params)
+{
+    system::SystemConfig cfg = system::SystemConfig::baseline();
+    cfg.scheduler = sched;
+    cfg.simThreads = threads;
+    cfg.trace.enabled = true;
+    // Final-only audit: drains the serial run to quiescence (the
+    // partitioned run always drains) and fails the run on any
+    // conservation violation. interval = 0 keeps the periodic audit
+    // event out of the serial event count.
+    cfg.audit.enabled = true;
+    cfg.audit.interval = 0;
+    return exp::runOne(cfg, workload, params).stats;
+}
+
+void
+expectIdentical(const system::RunStats &serial,
+                const system::RunStats &parallel, const std::string &what)
+{
+    EXPECT_EQ(parallel.runtimeTicks, serial.runtimeTicks) << what;
+    EXPECT_EQ(parallel.stallTicks, serial.stallTicks) << what;
+    EXPECT_EQ(parallel.instructions, serial.instructions) << what;
+    EXPECT_EQ(parallel.translationRequests, serial.translationRequests)
+        << what;
+    EXPECT_EQ(parallel.walkRequests, serial.walkRequests) << what;
+    EXPECT_EQ(parallel.walksCompleted, serial.walksCompleted) << what;
+    EXPECT_EQ(parallel.eventsExecuted, serial.eventsExecuted)
+        << what << ": domain queues summed minus same-tick messages "
+        << "must equal the serial event count";
+    EXPECT_EQ(parallel.traceEvents, serial.traceEvents) << what;
+    EXPECT_EQ(parallel.traceDropped, 0u) << what;
+    EXPECT_EQ(trace::digestHex(parallel.traceDigest),
+              trace::digestHex(serial.traceDigest))
+        << what << ": merged per-domain trace must replay the serial "
+        << "global order bit-exactly";
+    EXPECT_EQ(parallel.auditViolations, 0u) << what;
+    EXPECT_EQ(serial.auditViolations, 0u) << what;
+}
+
+workload::WorkloadParams
+differentialParams()
+{
+    workload::WorkloadParams params;
+    params.wavefronts = 32;
+    params.instructionsPerWavefront = 8;
+    params.seed = 7;
+    params.footprintScale = 0.05;
+    params.computeCycles = 20;
+    return params;
+}
+
+TEST(DomainRunnerDifferential, GoldenPointMatchesAtTwoAndFourThreads)
+{
+    const auto params = differentialParams();
+    const system::RunStats serial =
+        runAt(1, core::SchedulerKind::SimtAware, "MVT", params);
+    ASSERT_EQ(serial.auditViolations, 0u);
+
+    for (unsigned threads : {2u, 4u}) {
+        const system::RunStats par =
+            runAt(threads, core::SchedulerKind::SimtAware, "MVT", params);
+        expectIdentical(serial, par,
+                        "MVT/simt_aware @" + std::to_string(threads)
+                            + " threads");
+    }
+}
+
+/** Thread-timing independence at a fixed thread count: two identical
+ *  partitioned runs digest identically even though the interleaving of
+ *  the host threads differs between them. */
+TEST(DomainRunnerDifferential, PartitionedRunIsRunToRunDeterministic)
+{
+    const auto params = differentialParams();
+    const system::RunStats a =
+        runAt(2, core::SchedulerKind::Fcfs, "BIC", params);
+    const system::RunStats b =
+        runAt(2, core::SchedulerKind::Fcfs, "BIC", params);
+    EXPECT_EQ(trace::digestHex(a.traceDigest),
+              trace::digestHex(b.traceDigest));
+    EXPECT_EQ(a.runtimeTicks, b.runtimeTicks);
+    EXPECT_EQ(a.eventsExecuted, b.eventsExecuted);
+}
+
+/** Randomized workload x scheduler x shape configurations, each run at
+ *  1/2/4 threads and required bit-identical. Fixed RNG seed: the cases
+ *  are random-looking but reproducible. */
+TEST(DomainRunnerDifferential, FuzzConfigsMatchAcrossThreadCounts)
+{
+    const std::vector<core::SchedulerKind> schedulers{
+        core::SchedulerKind::Fcfs,      core::SchedulerKind::Random,
+        core::SchedulerKind::SjfOnly,   core::SchedulerKind::BatchOnly,
+        core::SchedulerKind::SimtAware};
+    const std::vector<std::string> workloads{"MVT", "BIC", "KMN"};
+
+    std::mt19937 rng(0xd0a11u);
+    constexpr int cases = 6;
+    for (int c = 0; c < cases; ++c) {
+        const auto sched =
+            schedulers[rng() % schedulers.size()];
+        const auto &workload = workloads[rng() % workloads.size()];
+
+        workload::WorkloadParams params;
+        params.wavefronts = 8 + 8 * (rng() % 3);       // 8 / 16 / 24
+        params.instructionsPerWavefront = 4 + rng() % 5; // 4..8
+        params.seed = 1 + rng() % 1000;
+        params.footprintScale = (rng() % 2) ? 0.03 : 0.05;
+        params.computeCycles = 10 + 10 * (rng() % 2);  // 10 / 20
+
+        const std::string what =
+            "case " + std::to_string(c) + ": " + workload + "/"
+            + core::toString(sched) + " wf="
+            + std::to_string(params.wavefronts) + " ipw="
+            + std::to_string(params.instructionsPerWavefront) + " seed="
+            + std::to_string(params.seed);
+
+        const system::RunStats serial =
+            runAt(1, sched, workload, params);
+        for (unsigned threads : {2u, 4u}) {
+            const system::RunStats par =
+                runAt(threads, sched, workload, params);
+            expectIdentical(serial, par,
+                            what + " @" + std::to_string(threads));
+        }
+    }
+}
+
+} // namespace

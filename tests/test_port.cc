@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Unit tests for the cross-domain channel primitive (sim/port.hh):
+ * latency accounting, serial pass-through semantics, parallel inbox
+ * posting/draining, conservation counters, and the composite order
+ * keys that make the parallel delivery order thread-independent.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/port.hh"
+
+namespace {
+
+using namespace gpuwalk;
+using sim::Channel;
+using sim::EventQueue;
+using sim::Tick;
+
+TEST(Port, SendAddsTheChannelLatency)
+{
+    EventQueue eq;
+    Channel<int> ch("link", 40);
+    ch.bind(eq, eq);
+
+    Tick delivered_at = sim::maxTick;
+    ch.onDeliver([&](int &&) { delivered_at = eq.now(); });
+
+    // Advance time a little so the latency is added to "now", not 0.
+    eq.schedule(eq.now() + 5, [] {});
+    eq.runOne();
+    ASSERT_EQ(eq.now(), 5u);
+
+    ch.send(7);
+    EXPECT_EQ(ch.sent(), 1u);
+    EXPECT_EQ(ch.delivered(), 0u) << "positive latency defers delivery";
+
+    while (eq.runOne()) {}
+    EXPECT_EQ(delivered_at, 45u) << "delivery tick = send tick + latency";
+    EXPECT_EQ(ch.delivered(), 1u);
+    EXPECT_EQ(ch.sameTickSent(), 0u);
+}
+
+TEST(Port, MinLatencyDefaultsToTheLatency)
+{
+    Channel<int> ch("link", 25'000);
+    EXPECT_EQ(ch.latency(), 25'000u);
+    EXPECT_EQ(ch.minLatency(), 25'000u);
+}
+
+TEST(Port, ExplicitMinLatencyAllowsEarlierSendAt)
+{
+    EventQueue eq;
+    Channel<int> ch("dram_reply", 100, 10);
+    ch.bind(eq, eq);
+    EXPECT_EQ(ch.minLatency(), 10u);
+
+    std::vector<Tick> deliveries;
+    ch.onDeliver([&](int &&) { deliveries.push_back(eq.now()); });
+
+    ch.sendAt(eq.now() + 10, 1); // exactly the floor: legal
+    ch.sendAt(eq.now() + 60, 2); // between floor and nominal: legal
+    while (eq.runOne()) {}
+    EXPECT_EQ(deliveries, (std::vector<Tick>{10, 60}));
+}
+
+TEST(Port, SameTickSendIsASynchronousCallInSerialMode)
+{
+    EventQueue eq;
+    Channel<int> ch("zero_hop", 0);
+    ch.bind(eq, eq);
+
+    bool delivered = false;
+    ch.onDeliver([&](int &&v) {
+        delivered = true;
+        EXPECT_EQ(v, 9);
+    });
+
+    const std::uint64_t events_before = eq.executed();
+    ch.sendNow(9);
+    EXPECT_TRUE(delivered) << "serial same-tick delivery is synchronous";
+    EXPECT_EQ(eq.executed(), events_before) << "no event was scheduled";
+    EXPECT_EQ(ch.sent(), 1u);
+    EXPECT_EQ(ch.delivered(), 1u);
+    EXPECT_EQ(ch.sameTickSent(), 1u);
+}
+
+TEST(Port, SerialPositiveLatencySendSchedulesExactlyOneEvent)
+{
+    EventQueue eq;
+    Channel<int> ch("link", 8);
+    ch.bind(eq, eq);
+    ch.onDeliver([](int &&) {});
+
+    ASSERT_TRUE(eq.empty());
+    ch.send(1);
+    EXPECT_EQ(eq.pending(), 1u)
+        << "a serial send must cost the single event the direct "
+           "scheduleIn it replaced cost — golden digests depend on it";
+    while (eq.runOne()) {}
+    EXPECT_EQ(ch.delivered(), 1u);
+}
+
+TEST(Port, ParallelSendPostsToInboxUntilDrained)
+{
+    EventQueue src;
+    EventQueue dst;
+    src.enableDomainKeys(0);
+    dst.enableDomainKeys(1);
+
+    Channel<int> ch("cross", 16);
+    ch.bind(src, dst);
+    ch.setParallel(true);
+
+    std::vector<int> got;
+    ch.onDeliver([&](int &&v) { got.push_back(v); });
+
+    ch.send(1);
+    ch.send(2);
+    EXPECT_EQ(ch.sent(), 2u);
+    EXPECT_EQ(ch.delivered(), 0u);
+    EXPECT_FALSE(ch.inboxEmpty());
+    EXPECT_TRUE(dst.empty()) << "nothing lands in dst before drainTo";
+
+    EXPECT_EQ(ch.drainTo(dst), 2u);
+    EXPECT_TRUE(ch.inboxEmpty());
+    EXPECT_EQ(dst.pending(), 2u);
+
+    while (dst.runOne()) {}
+    EXPECT_EQ(got, (std::vector<int>{1, 2}));
+    EXPECT_EQ(ch.delivered(), 2u);
+    EXPECT_EQ(dst.now(), 16u);
+}
+
+/** Messages sent at the same delivery tick from the same source must
+ *  deliver in send order: the composite order keys allocated by the
+ *  sender carry a per-tick counter that the destination honours. */
+TEST(Port, SameTickDeliveriesHonourSendOrderViaOrderKeys)
+{
+    EventQueue src;
+    EventQueue dst;
+    src.enableDomainKeys(0);
+    dst.enableDomainKeys(1);
+
+    Channel<int> ch("cross", 32);
+    ch.bind(src, dst);
+    ch.setParallel(true);
+
+    std::vector<int> got;
+    ch.onDeliver([&](int &&v) { got.push_back(v); });
+
+    for (int i = 0; i < 5; ++i)
+        ch.send(i); // all deliver at tick 32
+    ch.drainTo(dst);
+    while (dst.runOne()) {}
+    EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+/** A same-tick parallel send inherits the executing event's key plus a
+ *  call index (allocNestedKey): it sorts immediately after its parent
+ *  and strictly before the parent's next sibling key. */
+TEST(Port, NestedKeysExtendTheExecutingEventsKey)
+{
+    EventQueue eq;
+    eq.enableDomainKeys(1);
+
+    std::uint64_t parent_key = 0;
+    std::uint64_t nested1 = 0;
+    std::uint64_t nested2 = 0;
+    eq.schedule(10, [&] {
+        parent_key = eq.cursor().seq;
+        nested1 = eq.allocNestedKey();
+        nested2 = eq.allocNestedKey();
+    });
+    const std::uint64_t sibling = eq.allocOrderKey();
+    while (eq.runOne()) {}
+
+    EXPECT_EQ(nested1, parent_key + 1);
+    EXPECT_EQ(nested2, parent_key + 2);
+    EXPECT_LT(nested2, sibling)
+        << "the sub field must stay below the next counter key";
+}
+
+/** An injected same-tick message takes its position at the destination
+ *  from the *sender's* key — here the sender's event was allocated
+ *  before (tick-major, then domain) anything the destination holds at
+ *  that tick, so the message delivers first. */
+TEST(Port, InjectedSameTickMessageSortsByItsSendersKey)
+{
+    EventQueue src;
+    EventQueue dst;
+    src.enableDomainKeys(0);
+    dst.enableDomainKeys(1);
+
+    Channel<int> ch("zero_hop", 0);
+    ch.bind(src, dst);
+    ch.setParallel(true);
+
+    std::vector<std::string> order;
+    ch.onDeliver([&](int &&) { order.push_back("message"); });
+
+    src.schedule(10, [&] { ch.sendNow(1); });
+    dst.schedule(10, [&] { order.push_back("dst_a"); });
+    dst.schedule(10, [&] { order.push_back("dst_b"); });
+
+    while (src.runOne()) {}
+    ch.drainTo(dst);
+    while (dst.runOne()) {}
+
+    EXPECT_EQ(order,
+              (std::vector<std::string>{"message", "dst_a", "dst_b"}));
+}
+
+TEST(Port, OrderKeysAreTickMajorThenDomainThenCounter)
+{
+    EventQueue d0;
+    EventQueue d1;
+    d0.enableDomainKeys(0);
+    d1.enableDomainKeys(1);
+
+    const std::uint64_t a0 = d0.allocOrderKey();
+    const std::uint64_t a1 = d0.allocOrderKey();
+    const std::uint64_t b0 = d1.allocOrderKey();
+    EXPECT_LT(a0, a1) << "per-tick counter orders same-domain keys";
+    EXPECT_LT(a1, b0) << "domain id breaks ties at equal tick";
+
+    // Advance d0 past tick 0: its new keys beat everything above
+    // because the allocation tick is the major field.
+    d0.schedule(100, [] {});
+    while (d0.runOne()) {}
+    const std::uint64_t later = d0.allocOrderKey();
+    EXPECT_GT(later, b0);
+    EXPECT_EQ(later & EventQueue::orderSubMask, 0u)
+        << "fresh keys carry an empty sub field";
+}
+
+TEST(Port, ConservationCountersBalanceAfterAFullDrain)
+{
+    EventQueue src;
+    EventQueue dst;
+    src.enableDomainKeys(0);
+    dst.enableDomainKeys(2);
+
+    Channel<int> ch("cross", 5);
+    ch.bind(src, dst);
+    ch.setParallel(true);
+    ch.onDeliver([](int &&) {});
+
+    for (int i = 0; i < 17; ++i)
+        ch.send(i);
+    EXPECT_EQ(ch.sent(), 17u);
+    ch.drainTo(dst);
+    while (dst.runOne()) {}
+    EXPECT_EQ(ch.delivered(), ch.sent());
+    EXPECT_TRUE(ch.inboxEmpty());
+}
+
+} // namespace
