@@ -321,7 +321,7 @@ BM_SrptSelect(benchmark::State &state)
 {
     auto buf = filledBuffer(static_cast<std::size_t>(state.range(0)));
     core::SrptScheduler sched(false);
-    sched.setEstimator([](mem::Addr va) -> unsigned {
+    sched.setEstimator([](mem::Addr va, tlb::ContextId) -> unsigned {
         return 1 + (va >> 12) % 4;
     });
     for (auto _ : state) {

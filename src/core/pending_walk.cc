@@ -58,6 +58,7 @@ WalkBuffer::insert(PendingWalk w)
     linkArrival(idx);
     linkInstruction(idx);
     linkScore(idx);
+    linkContext(idx);
     return idx;
 }
 
@@ -77,6 +78,7 @@ WalkBuffer::extract(std::size_t idx)
     unlinkArrival(idx);
     unlinkInstruction(idx);
     unlinkScore(idx);
+    unlinkContext(idx);
     PendingWalk out = std::move(entries_[idx]);
     const std::size_t last = entries_.size() - 1;
     if (idx != last) {
@@ -106,6 +108,23 @@ WalkBuffer::sjfBestIndex() const
     std::size_t best = overflow_.head;
     for (std::size_t i = links_[best].scoreNext; i != npos;
          i = links_[i].scoreNext) {
+        if (entries_[i].score < entries_[best].score)
+            best = i;
+    }
+    return best;
+}
+
+std::size_t
+WalkBuffer::sjfBestOfContext(tlb::ContextId ctx) const
+{
+    std::size_t best = contextHead(ctx);
+    if (best == npos)
+        return npos;
+    // The list is seq-sorted, so only a strict score improvement moves
+    // the pick — the same (score, seq) tie-break the global SJF bitmap
+    // implements.
+    for (std::size_t i = links_[best].ctxNext; i != npos;
+         i = links_[i].ctxNext) {
         if (entries_[i].score < entries_[best].score)
             best = i;
     }
@@ -344,6 +363,50 @@ WalkBuffer::unlinkScore(std::size_t idx)
 }
 
 void
+WalkBuffer::linkContext(std::size_t idx)
+{
+    const tlb::ContextId ctx = entries_[idx].request.ctx;
+    if (ctx >= ctxLists_.size()) {
+        ctxLists_.resize(ctx + 1);
+        ctxCounts_.resize(ctx + 1, 0);
+    }
+    ListHead &list = ctxLists_[ctx];
+    ++ctxCounts_[ctx];
+    const std::uint64_t seq = entries_[idx].seq;
+    std::size_t after = list.tail;
+    while (after != npos && entries_[after].seq > seq)
+        after = links_[after].ctxPrev;
+    links_[idx].ctxPrev = after;
+    if (after == npos) {
+        links_[idx].ctxNext = list.head;
+        list.head = idx;
+    } else {
+        links_[idx].ctxNext = links_[after].ctxNext;
+        links_[after].ctxNext = idx;
+    }
+    if (links_[idx].ctxNext == npos)
+        list.tail = idx;
+    else
+        links_[links_[idx].ctxNext].ctxPrev = idx;
+}
+
+void
+WalkBuffer::unlinkContext(std::size_t idx)
+{
+    const Links &l = links_[idx];
+    ListHead &list = ctxLists_[entries_[idx].request.ctx];
+    --ctxCounts_[entries_[idx].request.ctx];
+    if (l.ctxPrev == npos)
+        list.head = l.ctxNext;
+    else
+        links_[l.ctxPrev].ctxNext = l.ctxNext;
+    if (l.ctxNext == npos)
+        list.tail = l.ctxPrev;
+    else
+        links_[l.ctxNext].ctxPrev = l.ctxPrev;
+}
+
+void
 WalkBuffer::resyncScore(std::size_t idx)
 {
     if (links_[idx].scoreKey != entries_[idx].score) {
@@ -386,6 +449,16 @@ WalkBuffer::repointNeighbors(std::size_t from, std::size_t to)
         score.tail = to;
     else
         links_[l.scoreNext].scorePrev = to;
+
+    ListHead &ctxList = ctxLists_[entries_[to].request.ctx];
+    if (l.ctxPrev == npos)
+        ctxList.head = to;
+    else
+        links_[l.ctxPrev].ctxNext = to;
+    if (l.ctxNext == npos)
+        ctxList.tail = to;
+    else
+        links_[l.ctxNext].ctxPrev = to;
     (void)from;
 }
 

@@ -134,6 +134,44 @@ class WalkBuffer
     }
 
     /**
+     * Index of the oldest buffered entry of tenant @p ctx, or npos.
+     * The per-context lists back the QoS schedulers and the per-tenant
+     * occupancy accounting.
+     */
+    std::size_t
+    contextHead(tlb::ContextId ctx) const
+    {
+        return ctx < ctxLists_.size() ? ctxLists_[ctx].head : npos;
+    }
+
+    /** Buffered entries of tenant @p ctx (its walk-buffer share). */
+    std::size_t
+    contextCount(tlb::ContextId ctx) const
+    {
+        return ctx < ctxCounts_.size() ? ctxCounts_[ctx] : 0;
+    }
+
+    /** One past the highest ContextId ever buffered (iteration
+     *  bound for per-tenant queries; tenant IDs are small and dense). */
+    std::size_t contextLimit() const { return ctxLists_.size(); }
+
+    /** Successor of @p idx in its tenant's seq-ordered list. */
+    std::size_t
+    contextNext(std::size_t idx) const
+    {
+        GPUWALK_ASSERT(idx < links_.size(), "bad buffer index");
+        return links_[idx].ctxNext;
+    }
+
+    /**
+     * Index of tenant @p ctx's entry minimizing (score, seq), or npos
+     * — the SJF rule restricted to one address space. O(tenant
+     * occupancy): the QoS policies that need it trade the global
+     * bitmap's O(1) for per-tenant selection.
+     */
+    std::size_t sjfBestOfContext(tlb::ContextId ctx) const;
+
+    /**
      * Index of the entry minimizing (score, seq) — the SJF rule.
      * @pre !empty()
      */
@@ -235,6 +273,8 @@ class WalkBuffer
         std::size_t instrNext = npos;
         std::size_t scorePrev = npos;
         std::size_t scoreNext = npos;
+        std::size_t ctxPrev = npos;
+        std::size_t ctxNext = npos;
         std::size_t bucket = npos;       ///< owning instruction bucket
         std::uint64_t scoreKey = 0;      ///< score the entry is filed under
     };
@@ -278,6 +318,8 @@ class WalkBuffer
     void unlinkInstruction(std::size_t idx);
     void linkScore(std::size_t idx);
     void unlinkScore(std::size_t idx);
+    void linkContext(std::size_t idx);
+    void unlinkContext(std::size_t idx);
     void resyncScore(std::size_t idx);
     void repointNeighbors(std::size_t from, std::size_t to);
     void growScoreBuckets(std::uint64_t score);
@@ -292,6 +334,11 @@ class WalkBuffer
     // Arrival (seq) order.
     std::size_t arrivalHead_ = npos;
     std::size_t arrivalTail_ = npos;
+
+    // Per-context (tenant) seq-ordered lists, indexed directly by the
+    // small dense ContextId, with per-tenant occupancy counts.
+    std::vector<ListHead> ctxLists_;
+    std::vector<std::size_t> ctxCounts_;
 
     // Per-instruction buckets.
     std::vector<ListHead> buckets_;

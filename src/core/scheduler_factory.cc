@@ -6,6 +6,8 @@
 #include "core/oldest_job_scheduler.hh"
 #include "core/simt_aware_scheduler.hh"
 #include "core/srpt_scheduler.hh"
+#include "core/token_bucket_scheduler.hh"
+#include "core/weighted_share_scheduler.hh"
 #include "sim/logging.hh"
 
 namespace gpuwalk::core {
@@ -30,6 +32,10 @@ toString(SchedulerKind kind)
         return "srpt";
       case SchedulerKind::FairShare:
         return "fair-share";
+      case SchedulerKind::TokenBucket:
+        return "token-bucket";
+      case SchedulerKind::WeightedShare:
+        return "weighted-share";
     }
     sim::panic("unknown SchedulerKind");
 }
@@ -48,6 +54,8 @@ toString(PickReason reason)
         return "sjf";
       case PickReason::Aging:
         return "aging";
+      case PickReason::Overdraft:
+        return "overdraft";
     }
     sim::panic("unknown PickReason");
 }
@@ -71,14 +79,20 @@ schedulerKindFromString(const std::string &name)
         return SchedulerKind::Srpt;
     if (name == "fair-share" || name == "fair")
         return SchedulerKind::FairShare;
+    if (name == "token-bucket" || name == "token")
+        return SchedulerKind::TokenBucket;
+    if (name == "weighted-share" || name == "wfq")
+        return SchedulerKind::WeightedShare;
     sim::fatal("unknown scheduler '", name,
                "' (expected fcfs|random|sjf-only|batch-only|"
-               "simt-aware|oldest-job|srpt|fair-share)");
+               "simt-aware|oldest-job|srpt|fair-share|"
+               "token-bucket|weighted-share)");
 }
 
 std::unique_ptr<WalkScheduler>
 makeScheduler(SchedulerKind kind, std::uint64_t seed,
-              const SimtSchedulerConfig &cfg)
+              const SimtSchedulerConfig &cfg,
+              const QosSchedulerConfig &qos)
 {
     switch (kind) {
       case SchedulerKind::Fcfs:
@@ -110,6 +124,10 @@ makeScheduler(SchedulerKind kind, std::uint64_t seed,
         return std::make_unique<SrptScheduler>();
       case SchedulerKind::FairShare:
         return std::make_unique<FairShareScheduler>();
+      case SchedulerKind::TokenBucket:
+        return std::make_unique<TokenBucketScheduler>(cfg, qos);
+      case SchedulerKind::WeightedShare:
+        return std::make_unique<WeightedShareScheduler>(cfg, qos);
     }
     sim::panic("unknown SchedulerKind");
 }

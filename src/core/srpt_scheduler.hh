@@ -32,7 +32,8 @@ class SrptScheduler : public WalkScheduler
 {
   public:
     /** Estimates the memory accesses one walk would need (1-4). */
-    using Estimator = std::function<unsigned(mem::Addr va_page)>;
+    using Estimator =
+        std::function<unsigned(mem::Addr va_page, tlb::ContextId ctx)>;
 
     explicit SrptScheduler(bool enable_batching = true)
         : batching_(enable_batching)
@@ -70,7 +71,7 @@ class SrptScheduler : public WalkScheduler
         remaining_.clear();
         for (const auto &e : entries) {
             remaining_[e.request.instruction] +=
-                estimator_(e.request.vaPage);
+                estimator_(e.request.vaPage, e.request.ctx);
         }
 
         std::size_t best = 0;

@@ -27,6 +27,12 @@ enum class SchedulerKind
     OldestJob, ///< extension: complete instructions in age order
     Srpt,      ///< extension: selection-time re-scoring "oracle"
     FairShare, ///< extension: per-app round-robin + SIMT-aware within
+
+    // QoS policies composing SJF+batching with cross-tenant fairness.
+    // Appended at the end: the numeric values above appear in golden
+    // trace digests and must not shift.
+    TokenBucket,   ///< per-tenant token-bucket rate limiter
+    WeightedShare, ///< starvation-free weighted sharing by service
 };
 
 /** Printable name of @p kind (matches factory spelling). */
@@ -47,6 +53,14 @@ enum class PickReason : std::uint8_t
     Batch,         ///< same-instruction batching (paper key idea 2)
     Sjf,           ///< lowest job-length score (paper key idea 1)
     Aging,         ///< anti-starvation override
+
+    /**
+     * Work-conserving token-bucket overdraft: every tenant with
+     * pending work had exhausted its window budget, so a walker was
+     * granted anyway rather than idled. Appended at the end — the
+     * values above appear in golden trace digests as Scheduled arg0.
+     */
+    Overdraft,
 };
 
 /** Short name of @p reason (e.g. "batch"). */
@@ -133,10 +147,42 @@ struct SimtSchedulerConfig
     bool enableBatching = true;
 };
 
-/** Creates a scheduler. @p seed only matters for Random. */
+/** Cross-tenant fairness knobs for the QoS walk schedulers. */
+struct QosSchedulerConfig
+{
+    /**
+     * Token bucket: scheduler-mediated dispatches per tumbling window.
+     * Each window every tenant's spent tokens reset.
+     */
+    unsigned tokenWindow = 64;
+
+    /** Token bucket: per-tenant dispatch budget within one window. */
+    unsigned tokenQuota = 8;
+
+    /**
+     * Weighted share: per-ContextId weights (index = ContextId). A
+     * missing or zero entry means weight 1. A tenant's walker service
+     * is charged at estimatedAccesses/weight, and the tenant with the
+     * least charged service is picked next.
+     */
+    std::vector<std::uint32_t> shareWeights;
+
+    /** Weight of @p ctx under the missing-entry = 1 convention. */
+    std::uint32_t
+    weightOf(std::size_t ctx) const
+    {
+        return ctx < shareWeights.size() && shareWeights[ctx]
+                   ? shareWeights[ctx]
+                   : 1;
+    }
+};
+
+/** Creates a scheduler. @p seed only matters for Random; @p qos only
+ *  for the TokenBucket/WeightedShare policies. */
 std::unique_ptr<WalkScheduler>
 makeScheduler(SchedulerKind kind, std::uint64_t seed = 1,
-              const SimtSchedulerConfig &cfg = {});
+              const SimtSchedulerConfig &cfg = {},
+              const QosSchedulerConfig &qos = {});
 
 } // namespace gpuwalk::core
 

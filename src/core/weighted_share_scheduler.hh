@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Weighted-share QoS walk scheduler — start-time-fair-queueing-style
+ * virtual service per tenant, composed with the paper's SJF + batching
+ * within a tenant and the global aging override across tenants.
+ *
+ * Each tenant accumulates virtual service: every scheduler-mediated
+ * dispatch charges estimatedAccesses * scale / weight, so a weight-2
+ * tenant pays half price and receives twice the walker throughput at
+ * saturation. Selection order when a walker frees up:
+ *   0. Aging override (global): the provable starvation bound — no
+ *      request waits more than threshold + capacity scheduler-mediated
+ *      dispatches, whatever the weights say.
+ *   1. Pick the pending tenant with the least charged virtual service
+ *      (ties to the lowest ContextId).
+ *   2. Within that tenant: batch with the in-service instruction if it
+ *      belongs to the tenant, else the tenant's (score, seq) minimum.
+ *
+ * A tenant going idle stops accumulating service; when it returns its
+ * stale-low total is floored to the minimum among tenants that stayed
+ * busy, so sleeping does not bank priority (the classic virtual-time
+ * catch-up rule).
+ */
+
+#ifndef GPUWALK_CORE_WEIGHTED_SHARE_SCHEDULER_HH
+#define GPUWALK_CORE_WEIGHTED_SHARE_SCHEDULER_HH
+
+#include <optional>
+#include <vector>
+
+#include "core/walk_scheduler.hh"
+
+namespace gpuwalk::core {
+
+/** Starvation-free weighted sharing of walker service. */
+class WeightedShareScheduler : public WalkScheduler
+{
+  public:
+    explicit WeightedShareScheduler(const SimtSchedulerConfig &cfg = {},
+                                    const QosSchedulerConfig &qos = {});
+
+    std::string name() const override { return "weighted-share"; }
+
+    /** Charges estimatedAccesses, ranks by score: both need scoring. */
+    bool needsScores() const override { return true; }
+
+    std::size_t selectNext(const WalkBuffer &buffer) override;
+
+    void onDispatch(WalkBuffer &buffer, const PendingWalk &walk) override;
+
+    PickReason lastPickReason() const override { return lastPick_; }
+
+    /** Charged virtual service of tenant @p ctx (scaled integer). */
+    std::uint64_t
+    virtualService(tlb::ContextId ctx) const
+    {
+        return ctx < service_.size() ? service_[ctx] : 0;
+    }
+
+    /** Times the aging override fired. */
+    std::uint64_t agingOverrides() const { return agingOverrides_; }
+
+  private:
+    /** Fixed-point scale of the service charge: a unit access at
+     *  weight w costs scale / w, exactly representable for the small
+     *  integer weights the config takes. */
+    static constexpr std::uint64_t scale = 1 << 10;
+
+    SimtSchedulerConfig cfg_;
+    QosSchedulerConfig qos_;
+
+    /** Charged virtual service per tenant (index = ContextId). */
+    std::vector<std::uint64_t> service_;
+
+    /** Whether the tenant was pending at the last selection — drives
+     *  the idle-return service floor. */
+    std::vector<std::uint8_t> wasPending_;
+
+    std::optional<tlb::InstructionId> lastInstruction_;
+    PickReason lastPick_ = PickReason::Policy;
+    std::uint64_t agingOverrides_ = 0;
+};
+
+} // namespace gpuwalk::core
+
+#endif // GPUWALK_CORE_WEIGHTED_SHARE_SCHEDULER_HH

@@ -52,4 +52,26 @@ geomean(const std::vector<double> &values)
     return std::exp(log_sum / static_cast<double>(values.size()));
 }
 
+double
+jainIndex(const std::vector<double> &values)
+{
+    if (values.empty()) {
+        sim::warn("jainIndex: no values; reporting NaN");
+        return degenerate();
+    }
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (double v : values) {
+        if (!(v > 0.0)) {
+            sim::warn("jainIndex: non-positive value ", v,
+                      "; reporting NaN");
+            return degenerate();
+        }
+        sum += v;
+        sum_sq += v * v;
+    }
+    return (sum * sum)
+           / (static_cast<double>(values.size()) * sum_sq);
+}
+
 } // namespace gpuwalk::exp

@@ -28,6 +28,14 @@ double speedup(const system::RunStats &test,
  */
 double geomean(const std::vector<double> &values);
 
+/**
+ * Jain's fairness index over per-tenant allocations (slowdowns in the
+ * QoS experiments): (Σx)² / (n·Σx²), 1 = perfectly fair, 1/n =
+ * maximally unfair. Empty input or any non-positive/NaN value is
+ * degenerate: warns and returns NaN instead of aborting a sweep.
+ */
+double jainIndex(const std::vector<double> &values);
+
 /** "MEAN" row helper: geometric mean over collected per-app values. */
 class MeanTracker
 {

@@ -358,6 +358,25 @@ statsJson(std::ostream &os, const system::RunStats &stats)
         }
         os << "]}";
     }
+
+    // Multi-tenant runs only: single-tenant stats JSON stays
+    // byte-identical to the pre-ASID writer.
+    if (!stats.tenants.empty()) {
+        os << ", \"tenants\": [";
+        bool first = true;
+        for (const auto &t : stats.tenants) {
+            os << (first ? "" : ", ");
+            first = false;
+            os << "{\"ctx\": " << t.ctx
+               << ", \"walk_requests\": " << t.walkRequests
+               << ", \"walks_completed\": " << t.walksCompleted
+               << ", \"dispatches\": " << t.dispatches
+               << ", \"queue_wait_ticks\": " << t.queueWaitTicks
+               << ", \"service_ticks\": " << t.serviceTicks
+               << ", \"finish_tick\": " << t.finishTick << "}";
+        }
+        os << "]";
+    }
     os << "}";
 }
 

@@ -55,6 +55,28 @@ ComputeUnit::start()
 }
 
 void
+ComputeUnit::notifyWorkAvailable()
+{
+    for (std::size_t i = 0; i < wavefronts_.size(); ++i) {
+        if (!wavefronts_[i].finished)
+            continue;
+        auto next = gpu_.dispatchNextWavefront();
+        if (!next)
+            return;
+        Wavefront &wf = wavefronts_[i];
+        wf.globalId = next->globalId;
+        wf.appId = next->appId;
+        wf.trace = std::move(next->trace);
+        wf.pc = 0;
+        wf.finished = false;
+        --wavefrontsDone_;
+        updateStallState();
+        eq_.scheduleIn(cfg_.clockPeriod * cfg_.issueCycles,
+                       issueEvents_[i]);
+    }
+}
+
+void
 ComputeUnit::requestIssue(std::size_t wf_index)
 {
     // The CU front end issues at most one memory instruction per
@@ -158,6 +180,7 @@ ComputeUnit::issueNext(std::size_t wf_index)
         req.wavefront = wavefronts_[wf_index].globalId;
         req.cu = id_;
         req.app = wavefronts_[wf_index].appId;
+        req.ctx = gpu_.contextOf(wavefronts_[wf_index].appId);
         req.onComplete = [this, key, page](mem::Addr pa_page,
                                            bool /*large_page*/) {
             auto iit = inflight_.find(key);

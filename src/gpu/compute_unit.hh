@@ -61,6 +61,14 @@ class ComputeUnit
     /** Begins execution of all resident wavefronts at the next tick. */
     void start();
 
+    /**
+     * New work entered the GPU dispatch queue mid-run (tenant
+     * arrival): refills this CU's finished wavefront slots, which
+     * would otherwise only be re-checked when a resident wavefront
+     * retires.
+     */
+    void notifyWorkAvailable();
+
     std::uint32_t id() const { return id_; }
 
     /** Wavefronts that have finished their traces. */

@@ -29,6 +29,18 @@ Gpu::loadWorkload(GpuWorkload workload, unsigned app_id)
         static_cast<unsigned>(workload.wavefronts());
     totalWavefronts_ += static_cast<unsigned>(workload.wavefronts());
 
+    if (started_) {
+        // Late arrival (tenant churn): everything goes through the
+        // dispatch queue, then finished resident slots pick it up —
+        // pre-start slot filling would bypass the running CUs' issue
+        // machinery.
+        for (auto &trace : workload.traces)
+            dispatchQueue_.emplace_back(app_id, std::move(trace));
+        for (auto &cu : cus_)
+            cu->notifyWorkAvailable();
+        return;
+    }
+
     // Fill free resident slots round-robin; queue the rest for
     // dispatch as slots free up.
     const std::size_t resident_capacity =
@@ -42,6 +54,25 @@ Gpu::loadWorkload(GpuWorkload workload, unsigned app_id)
             dispatchQueue_.emplace_back(app_id, std::move(trace));
         }
     }
+}
+
+void
+Gpu::loadWorkloadAt(sim::Tick tick, GpuWorkload workload,
+                    unsigned app_id)
+{
+    GPUWALK_ASSERT(tick >= eq_.now(), "arrival tick in the past");
+    eq_.scheduleIn(tick - eq_.now(),
+                   [this, w = std::move(workload), app_id]() mutable {
+                       loadWorkload(std::move(w), app_id);
+                   });
+}
+
+void
+Gpu::setAppContext(unsigned app_id, tlb::ContextId ctx)
+{
+    if (appCtx_.size() <= app_id)
+        appCtx_.resize(app_id + 1, tlb::defaultContext);
+    appCtx_[app_id] = ctx;
 }
 
 std::optional<Gpu::WavefrontAssignment>
@@ -60,6 +91,7 @@ Gpu::dispatchNextWavefront()
 void
 Gpu::start()
 {
+    started_ = true;
     for (auto &cu : cus_)
         cu->start();
 }

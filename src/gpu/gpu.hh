@@ -54,6 +54,30 @@ class Gpu
      */
     void loadWorkload(GpuWorkload workload, unsigned app_id = 0);
 
+    /**
+     * Schedules @p workload to join the machine at @p tick (tenant
+     * arrival churn). The wavefronts enter the dispatch queue then and
+     * fill any finished resident slots immediately; departures need no
+     * counterpart — a tenant leaves by draining its trace.
+     */
+    void loadWorkloadAt(sim::Tick tick, GpuWorkload workload,
+                        unsigned app_id);
+
+    /**
+     * Maps @p app_id's translation requests to address space @p ctx.
+     * Unmapped apps translate in the default context 0, which keeps
+     * single-tenant runs on the exact pre-ASID path.
+     */
+    void setAppContext(unsigned app_id, tlb::ContextId ctx);
+
+    /** The address space @p app_id translates in. */
+    tlb::ContextId
+    contextOf(unsigned app_id) const
+    {
+        return app_id < appCtx_.size() ? appCtx_[app_id]
+                                       : tlb::defaultContext;
+    }
+
     /** Kicks off execution (schedules first issues). */
     void start();
 
@@ -134,6 +158,8 @@ class Gpu
     std::vector<std::unique_ptr<ComputeUnit>> cus_;
     std::deque<std::pair<unsigned, WavefrontTrace>> dispatchQueue_;
     std::vector<AppState> apps_;
+    std::vector<tlb::ContextId> appCtx_;
+    bool started_ = false;
     tlb::InstructionId nextInstrId_ = 1;
     std::uint32_t nextWavefrontId_ = 0;
     std::size_t residentAssigned_ = 0;

@@ -26,8 +26,8 @@ Iommu::Iommu(sim::EventQueue &eq, const IommuConfig &cfg,
     // The SRPT analysis scheduler re-probes the PWCs at selection.
     if (auto *srpt = dynamic_cast<core::SrptScheduler *>(
             scheduler_.get())) {
-        srpt->setEstimator([this](mem::Addr va_page) {
-            return pwc_.peekEstimate(va_page);
+        srpt->setEstimator([this](mem::Addr va_page, tlb::ContextId ctx) {
+            return pwc_.peekEstimate(va_page, ctx);
         });
     }
 
@@ -156,6 +156,37 @@ Iommu::registerInvariants(sim::Auditor &auditor)
         });
 
     auditor.registerInvariant(
+        "iommu.tenant_accounting", [this](sim::AuditContext &ctx) {
+            // The buffer's per-context occupancy lists must sum to its
+            // size, and the per-tenant demand counters must sum to the
+            // global ones.
+            std::size_t listed = 0;
+            for (std::size_t c = 0; c < buffer_.contextLimit(); ++c)
+                listed += buffer_.contextCount(
+                    static_cast<ContextId>(c));
+            ctx.require(listed == buffer_.size(), listed,
+                        " walks on per-tenant lists vs buffer size ",
+                        buffer_.size());
+
+            std::uint64_t enq = 0, done = 0;
+            for (const auto &t : tenants_) {
+                enq += t.walkRequests;
+                done += t.walksCompleted;
+            }
+            ctx.require(enq == walkRequests_.value(), enq,
+                        " tenant walk requests vs global ",
+                        walkRequests_.value());
+            // Global walksCompleted_ also counts prefetches; tenant
+            // counters are demand-only.
+            ctx.require(done + prefetches_.value()
+                            == walksCompleted_.value()
+                        || !ctx.final(),
+                        done, " tenant completions + ",
+                        prefetches_.value(), " prefetches vs global ",
+                        walksCompleted_.value());
+        });
+
+    auditor.registerInvariant(
         "iommu.buffer_counters", [this](sim::AuditContext &ctx) {
             const bool tracks = scheduler_->tracksAging();
             for (const auto &e : buffer_.entries()) {
@@ -225,10 +256,11 @@ Iommu::respond(tlb::TranslationRequest req, mem::Addr pa_page,
 void
 Iommu::lookupTlbs(tlb::TranslationRequest r)
 {
-    // IOMMU TLB lookups (paper step 5).
-    auto hit = l1Tlb_.lookupEntry(r.vaPage);
+    // IOMMU TLB lookups (paper step 5). ASID-tagged: an entry never
+    // hits across address spaces.
+    auto hit = l1Tlb_.lookupEntry(r.vaPage, r.ctx);
     if (!hit)
-        hit = l2Tlb_.lookupEntry(r.vaPage);
+        hit = l2Tlb_.lookupEntry(r.vaPage, r.ctx);
     if (hit) {
         ++tlbHits_;
         sim::debug::log("tlb", eq_.now(), "IOMMU TLB hit va=",
@@ -255,11 +287,13 @@ Iommu::enqueueWalk(tlb::TranslationRequest req)
     walk.arrival = eq_.now();
     walk.seq = nextSeq_++;
     metrics_.onArrival(walk.request.instruction);
+    ++tenantSlot(walk.request.ctx).walkRequests;
 
     if (tracer_) {
         trace::Event ev;
         ev.tick = eq_.now();
         ev.kind = trace::EventKind::Enqueued;
+        ev.ctx = walk.request.ctx;
         ev.wavefront = walk.request.wavefront;
         ev.instruction = walk.request.instruction;
         ev.vaPage = walk.request.vaPage;
@@ -297,7 +331,7 @@ Iommu::admitToBuffer(core::PendingWalk walk)
     // of every buffered request of the same instruction.
     if (scheduler_->needsScores()) {
         const unsigned estimate =
-            pwc_.probeEstimate(walk.request.vaPage);
+            pwc_.probeEstimate(walk.request.vaPage, walk.request.ctx);
         walk.estimatedAccesses = estimate;
 
         const std::uint64_t new_score =
@@ -309,6 +343,7 @@ Iommu::admitToBuffer(core::PendingWalk walk)
             trace::Event ev;
             ev.tick = eq_.now();
             ev.kind = trace::EventKind::Scored;
+            ev.ctx = walk.request.ctx;
             ev.wavefront = walk.request.wavefront;
             ev.instruction = walk.request.instruction;
             ev.vaPage = walk.request.vaPage;
@@ -363,10 +398,17 @@ Iommu::dispatchTo(PageTableWalker &walker, core::PendingWalk walk,
     const sim::Tick wait = eq_.now() - walk.arrival;
     queueWaitHist_.sample(wait);
     queueWaitAvg_.sample(static_cast<double>(wait));
+    {
+        TenantCounters &t = tenantSlot(walk.request.ctx);
+        t.queueWaitTicks += wait;
+        if (reason != core::PickReason::Immediate)
+            ++t.dispatches;
+    }
     if (tracer_) {
         trace::Event ev;
         ev.tick = eq_.now();
         ev.kind = trace::EventKind::Scheduled;
+        ev.ctx = walk.request.ctx;
         ev.walker = walker.id();
         ev.wavefront = walk.request.wavefront;
         ev.instruction = walk.request.instruction;
@@ -394,6 +436,9 @@ Iommu::onWalkDone(WalkResult result)
                             result.memAccesses);
 
         const sim::Tick service = result.finished - result.started;
+        TenantCounters &t = tenantSlot(result.walk.request.ctx);
+        ++t.walksCompleted;
+        t.serviceTicks += service;
         walkerServiceHist_.sample(service);
         walkerServiceAvg_.sample(static_cast<double>(service));
         for (unsigned l = 0; l < vm::numPtLevels; ++l) {
@@ -408,11 +453,12 @@ Iommu::onWalkDone(WalkResult result)
     // Fill the IOMMU's TLBs; the GPU-side fills happen in the request's
     // completion path inside the TLB hierarchy.
     l1Tlb_.insert(result.walk.request.vaPage, result.paPage,
-                  result.largePage);
+                  result.largePage, result.walk.request.ctx);
     l2Tlb_.insert(result.walk.request.vaPage, result.paPage,
-                  result.largePage);
+                  result.largePage, result.walk.request.ctx);
 
     const mem::Addr completedVa = result.walk.request.vaPage;
+    const ContextId completedCtx = result.walk.request.ctx;
     const bool isPrefetch = result.walk.isPrefetch;
     respond(std::move(result.walk.request), result.paPage,
             result.largePage, 0);
@@ -421,11 +467,11 @@ Iommu::onWalkDone(WalkResult result)
     dispatchIfPossible();
 
     if (cfg_.prefetchNextPage && !isPrefetch)
-        maybePrefetch(completedVa);
+        maybePrefetch(completedVa, completedCtx);
 }
 
 void
-Iommu::maybePrefetch(mem::Addr completed_va_page)
+Iommu::maybePrefetch(mem::Addr completed_va_page, ContextId ctx)
 {
     // Strictly idle-bandwidth: only when nothing demands service.
     if (!buffer_.empty() || !overflow_.empty())
@@ -435,22 +481,32 @@ Iommu::maybePrefetch(mem::Addr completed_va_page)
         return;
 
     const mem::Addr next = completed_va_page + mem::pageSize;
-    if (l1Tlb_.probe(next) || l2Tlb_.probe(next))
+    if (l1Tlb_.probe(next, ctx) || l2Tlb_.probe(next, ctx))
         return;
-    // Functional presence check: never walk into an unmapped page.
-    if (!vm::translateFrom(store_, pageTableRoot_, next))
+    // Functional presence check against the completing tenant's own
+    // page table: never walk into an unmapped page.
+    if (!vm::translateFrom(store_, pwc_.rootOf(ctx), next))
         return;
 
     ++prefetches_;
     core::PendingWalk walk;
     walk.request.vaPage = next;
     walk.request.instruction = 0; // reserved prefetch tag
+    walk.request.ctx = ctx;
     walk.arrival = eq_.now();
     walk.seq = nextSeq_++;
     walk.isPrefetch = true;
     // Bypass metrics/scheduler: the walker is idle by construction.
     w->start(std::move(walk),
              [this](WalkResult r) { onWalkDone(std::move(r)); });
+}
+
+Iommu::TenantCounters &
+Iommu::tenantSlot(ContextId ctx)
+{
+    if (tenants_.size() <= ctx)
+        tenants_.resize(ctx + 1);
+    return tenants_[ctx];
 }
 
 } // namespace gpuwalk::iommu

@@ -106,6 +106,19 @@ class Iommu : public tlb::TranslationService
           mem::MemoryDevice &memory, mem::BackingStore &store,
           mem::Addr page_table_root);
 
+    /**
+     * Attaches the page-table root of a further address space
+     * (tenant). The constructor registers @p page_table_root as
+     * ContextId 0; every additional tenant must register before its
+     * first translation arrives — walking an unregistered context is
+     * fatal (see PageWalkCache::rootOf()).
+     */
+    void
+    registerContext(ContextId ctx, mem::Addr root)
+    {
+        pwc_.registerContext(ctx, root);
+    }
+
     /** Entry point for GPU L2 TLB misses. Pays the GPU→IOMMU hop
      *  latency internally (direct wiring; unit tests, interposers). */
     void translate(tlb::TranslationRequest req) override;
@@ -174,6 +187,43 @@ class Iommu : public tlb::TranslationService
     /** Requests that waited in the overflow FIFO. */
     std::uint64_t overflowed() const { return overflowed_.value(); }
 
+    /** Per-tenant walk-path accounting (demand walks only). */
+    struct TenantCounters
+    {
+        std::uint64_t walkRequests = 0;   ///< demand walks enqueued
+        std::uint64_t walksCompleted = 0; ///< demand walks finished
+        std::uint64_t dispatches = 0;     ///< scheduler-mediated picks
+        std::uint64_t queueWaitTicks = 0; ///< cumulative buffer wait
+        std::uint64_t serviceTicks = 0;   ///< cumulative walker service
+
+        /** Demand walks currently buffered, overflowed, or walking. */
+        std::uint64_t inflight() const
+        {
+            return walkRequests - walksCompleted;
+        }
+    };
+
+    /**
+     * Counters of tenant @p ctx (zero-initialised if it never sent a
+     * walk). Indexed by ContextId; see tenantLimit().
+     */
+    const TenantCounters &
+    tenantCounters(ContextId ctx) const
+    {
+        static const TenantCounters zero{};
+        return ctx < tenants_.size() ? tenants_[ctx] : zero;
+    }
+
+    /** One past the highest ContextId that ever sent a walk. */
+    std::size_t tenantLimit() const { return tenants_.size(); }
+
+    /** Tenant @p ctx's current walk-buffer occupancy. */
+    std::size_t
+    tenantBufferOccupancy(ContextId ctx) const
+    {
+        return buffer_.contextCount(ctx);
+    }
+
     /** Bucketed queue-wait / walker-service / per-level breakdown. */
     LatencyBreakdownSummary latencySummary() const;
 
@@ -194,7 +244,8 @@ class Iommu : public tlb::TranslationService
     void respond(tlb::TranslationRequest req, mem::Addr pa_page,
                  bool large_page, sim::Tick delay);
     void enqueueWalk(tlb::TranslationRequest req);
-    void maybePrefetch(mem::Addr completed_va_page);
+    void maybePrefetch(mem::Addr completed_va_page, ContextId ctx);
+    TenantCounters &tenantSlot(ContextId ctx);
     void admitToBuffer(core::PendingWalk walk);
     void dispatchIfPossible();
     void dispatchTo(PageTableWalker &walker, core::PendingWalk walk,
@@ -215,6 +266,10 @@ class Iommu : public tlb::TranslationService
     mem::Addr pageTableRoot_ = 0;
     core::WalkBuffer buffer_;
     std::deque<core::PendingWalk> overflow_;
+
+    /** Per-tenant accounting, indexed by ContextId (grown lazily; a
+     *  single-tenant run only ever touches slot 0). */
+    std::vector<TenantCounters> tenants_;
     std::vector<std::unique_ptr<PageTableWalker>> walkers_;
     WalkMetrics metrics_;
     std::uint64_t nextSeq_ = 0;

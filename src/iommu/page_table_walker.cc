@@ -16,7 +16,8 @@ PageTableWalker::start(core::PendingWalk walk, DoneCallback on_done)
     started_ = eq_.now();
     levelTicks_.fill(0);
 
-    const WalkStart ws = pwc_.lookup(current_.request.vaPage);
+    const WalkStart ws =
+        pwc_.lookup(current_.request.vaPage, current_.request.ctx);
     level_ = ws.level;
     table_ = ws.tableBase;
     step();
@@ -36,6 +37,7 @@ PageTableWalker::step()
         trace::Event ev;
         ev.tick = eq_.now();
         ev.kind = trace::EventKind::MemIssued;
+        ev.ctx = current_.request.ctx;
         ev.level = static_cast<std::uint8_t>(level_);
         ev.walker = id_;
         ev.wavefront = current_.request.wavefront;
@@ -60,6 +62,7 @@ PageTableWalker::step()
             trace::Event ev;
             ev.tick = eq_.now();
             ev.kind = trace::EventKind::MemCompleted;
+            ev.ctx = current_.request.ctx;
             ev.level = static_cast<std::uint8_t>(issued_level);
             ev.walker = id_;
             ev.wavefront = current_.request.wavefront;
@@ -85,7 +88,8 @@ PageTableWalker::step()
 
         const mem::Addr next = entry & vm::pte::addrMask;
         if (level_ > 1) {
-            pwc_.fill(va, vm::PtLevel{level_}, next);
+            pwc_.fill(va, vm::PtLevel{level_}, next,
+                      current_.request.ctx);
             --level_;
             table_ = next;
             step();
@@ -107,6 +111,7 @@ PageTableWalker::finish(mem::Addr pa_page, bool large_page)
         trace::Event ev;
         ev.tick = eq_.now();
         ev.kind = trace::EventKind::WalkDone;
+        ev.ctx = current_.request.ctx;
         ev.walker = id_;
         ev.wavefront = current_.request.wavefront;
         ev.instruction = current_.request.instruction;

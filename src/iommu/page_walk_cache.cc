@@ -3,8 +3,9 @@
 namespace gpuwalk::iommu {
 
 PageWalkCache::PageWalkCache(const PwcConfig &cfg, mem::Addr root)
-    : cfg_(cfg), root_(root), statGroup_("pwc")
+    : cfg_(cfg), statGroup_("pwc")
 {
+    registerContext(tlb::defaultContext, root);
     GPUWALK_ASSERT(cfg_.entriesPerLevel % cfg_.associativity == 0,
                    "PWC entries not divisible by associativity");
     const std::size_t sets = cfg_.entriesPerLevel / cfg_.associativity;
@@ -28,35 +29,65 @@ PageWalkCache::LevelCache::setOf(mem::Addr region) const
 }
 
 PageWalkCache::Entry *
-PageWalkCache::LevelCache::find(mem::Addr region)
+PageWalkCache::LevelCache::find(mem::Addr region, ContextId ctx)
 {
     for (auto &e : sets[setOf(region)]) {
-        if (e.valid && e.regionBase == region)
+        if (e.valid && e.regionBase == region && e.ctx == ctx)
             return &e;
     }
     return nullptr;
 }
 
 const PageWalkCache::Entry *
-PageWalkCache::LevelCache::find(mem::Addr region) const
+PageWalkCache::LevelCache::find(mem::Addr region, ContextId ctx) const
 {
     for (const auto &e : sets[setOf(region)]) {
-        if (e.valid && e.regionBase == region)
+        if (e.valid && e.regionBase == region && e.ctx == ctx)
             return &e;
     }
     return nullptr;
 }
 
-unsigned
-PageWalkCache::probeEstimate(mem::Addr va_page)
+void
+PageWalkCache::registerContext(ContextId ctx, mem::Addr root)
 {
+    if (roots_.size() <= ctx) {
+        roots_.resize(ctx + 1, 0);
+        registered_.resize(ctx + 1, 0);
+    }
+    GPUWALK_ASSERT(!registered_[ctx], "context ", ctx,
+                   " registered twice");
+    roots_[ctx] = root;
+    registered_[ctx] = 1;
+}
+
+bool
+PageWalkCache::contextRegistered(ContextId ctx) const
+{
+    return ctx < registered_.size() && registered_[ctx];
+}
+
+mem::Addr
+PageWalkCache::rootOf(ContextId ctx) const
+{
+    GPUWALK_ASSERT(contextRegistered(ctx),
+                   "translation for unregistered context ", ctx,
+                   " (no page-table root attached)");
+    return roots_[ctx];
+}
+
+unsigned
+PageWalkCache::probeEstimate(mem::Addr va_page, ContextId ctx)
+{
+    GPUWALK_ASSERT(contextRegistered(ctx),
+                   "scoring probe for unregistered context ", ctx);
     // Deepest hit wins: a PD-level entry alone lets the walk jump
     // straight to the leaf (Barr et al.'s "skip, don't walk"), so the
     // caches are searched bottom-up and independently.
     for (unsigned l = 2; l <= vm::numPtLevels; ++l) {
         const auto level = vm::PtLevel{l};
-        Entry *e = cacheFor(level).find(vm::PageTable::regionBase(
-            va_page, level));
+        Entry *e = cacheFor(level).find(
+            vm::PageTable::regionBase(va_page, level), ctx);
         if (e) {
             if (e->counter < 3)
                 ++e->counter;
@@ -67,12 +98,12 @@ PageWalkCache::probeEstimate(mem::Addr va_page)
 }
 
 unsigned
-PageWalkCache::peekEstimate(mem::Addr va_page) const
+PageWalkCache::peekEstimate(mem::Addr va_page, ContextId ctx) const
 {
     for (unsigned l = 2; l <= vm::numPtLevels; ++l) {
         const auto level = vm::PtLevel{l};
-        const Entry *e = cacheFor(level).find(vm::PageTable::regionBase(
-            va_page, level));
+        const Entry *e = cacheFor(level).find(
+            vm::PageTable::regionBase(va_page, level), ctx);
         if (e)
             return l - 1;
     }
@@ -80,12 +111,16 @@ PageWalkCache::peekEstimate(mem::Addr va_page) const
 }
 
 WalkStart
-PageWalkCache::lookup(mem::Addr va_page)
+PageWalkCache::lookup(mem::Addr va_page, ContextId ctx)
 {
+    // rootOf() is the unregistered-context backstop: a walk of a
+    // context nobody attached a page table for dies here rather than
+    // dereferencing another tenant's tables.
+    const mem::Addr root = rootOf(ctx);
     for (unsigned l = 2; l <= vm::numPtLevels; ++l) {
         const auto level = vm::PtLevel{l};
-        Entry *e = cacheFor(level).find(vm::PageTable::regionBase(
-            va_page, level));
+        Entry *e = cacheFor(level).find(
+            vm::PageTable::regionBase(va_page, level), ctx);
         if (e) {
             ++hits_;
             e->lastUse = ++useClock_;
@@ -95,20 +130,22 @@ PageWalkCache::lookup(mem::Addr va_page)
         }
     }
     ++misses_;
-    return WalkStart{vm::numPtLevels, root_};
+    return WalkStart{vm::numPtLevels, root};
 }
 
 void
 PageWalkCache::fill(mem::Addr va_page, vm::PtLevel level,
-                    mem::Addr next_table)
+                    mem::Addr next_table, ContextId ctx)
 {
     GPUWALK_ASSERT(level == vm::PtLevel::Pml4 || level == vm::PtLevel::Pdpt
                        || level == vm::PtLevel::Pd,
                    "PWC only caches the three upper levels");
+    GPUWALK_ASSERT(contextRegistered(ctx),
+                   "PWC fill for unregistered context ", ctx);
     LevelCache &cache = cacheFor(level);
     const mem::Addr region = vm::PageTable::regionBase(va_page, level);
 
-    if (Entry *e = cache.find(region)) {
+    if (Entry *e = cache.find(region, ctx)) {
         e->nextTable = next_table;
         e->lastUse = ++useClock_;
         return;
@@ -147,18 +184,20 @@ PageWalkCache::fill(mem::Addr va_page, vm::PtLevel level,
     victim->regionBase = region;
     victim->nextTable = next_table;
     victim->valid = true;
+    victim->ctx = ctx;
     victim->lastUse = ++useClock_;
     victim->counter = 0;
 }
 
 std::optional<std::uint8_t>
-PageWalkCache::peekCounter(mem::Addr va_page, vm::PtLevel level) const
+PageWalkCache::peekCounter(mem::Addr va_page, vm::PtLevel level,
+                           ContextId ctx) const
 {
     GPUWALK_ASSERT(level == vm::PtLevel::Pml4 || level == vm::PtLevel::Pdpt
                        || level == vm::PtLevel::Pd,
                    "PWC only caches the three upper levels");
-    const Entry *e = cacheFor(level).find(vm::PageTable::regionBase(
-        va_page, level));
+    const Entry *e = cacheFor(level).find(
+        vm::PageTable::regionBase(va_page, level), ctx);
     if (!e)
         return std::nullopt;
     return e->counter;

@@ -25,9 +25,13 @@
 
 #include "mem/types.hh"
 #include "sim/stats.hh"
+#include "tlb/translation.hh"
 #include "vm/page_table.hh"
 
 namespace gpuwalk::iommu {
+
+/** Address-space identifier; see tlb::ContextId. */
+using ContextId = tlb::ContextId;
 
 /** Geometry and behaviour of the per-level walk caches. */
 struct PwcConfig
@@ -58,51 +62,71 @@ class PageWalkCache
   public:
     /**
      * @param cfg Geometry.
-     * @param root Physical base of the PML4 (walks start here on a
-     *        full miss).
+     * @param root Physical base of the PML4 of the default context
+     *        (ASID 0); walks of that context start here on a full
+     *        miss. Further address spaces join via registerContext().
      */
     PageWalkCache(const PwcConfig &cfg, mem::Addr root);
 
     /**
+     * Registers the page-table root of @p ctx. Every probe/lookup/fill
+     * must name a registered context; an unregistered one is a fatal
+     * modelling error (the hardware analogue is a DMA from a device
+     * with no IOMMU domain attached).
+     */
+    void registerContext(ContextId ctx, mem::Addr root);
+
+    /** Whether @p ctx has a registered page-table root. */
+    bool contextRegistered(ContextId ctx) const;
+
+    /** The registered walk root of @p ctx (fatal if unregistered). */
+    mem::Addr rootOf(ContextId ctx) const;
+
+    /**
      * Arrival-time scoring probe (paper action 1-a): returns the
      * estimated number of memory accesses for a walk of @p va_page
-     * (1-4) and increments the saturating counters of hit entries.
-     * Does not touch LRU state.
+     * in @p ctx (1-4) and increments the saturating counters of hit
+     * entries. Does not touch LRU state.
      */
-    unsigned probeEstimate(mem::Addr va_page);
+    unsigned probeEstimate(mem::Addr va_page,
+                           ContextId ctx = tlb::defaultContext);
 
     /**
      * Non-mutating estimate (for tests and non-scoring schedulers'
      * instrumentation): same value as probeEstimate, no counter or
      * LRU updates.
      */
-    unsigned peekEstimate(mem::Addr va_page) const;
+    unsigned peekEstimate(mem::Addr va_page,
+                          ContextId ctx = tlb::defaultContext) const;
 
     /**
-     * Walk-time lookup (action 2-b): finds the deepest hit, updates
-     * LRU, and decrements counters along the hit path.
-     * @return where the walk starts.
+     * Walk-time lookup (action 2-b): finds the deepest hit tagged with
+     * @p ctx, updates LRU, and decrements counters along the hit path.
+     * @return where the walk starts (@p ctx's root on a full miss).
      */
-    WalkStart lookup(mem::Addr va_page);
+    WalkStart lookup(mem::Addr va_page,
+                     ContextId ctx = tlb::defaultContext);
 
     /**
-     * Installs the translation read at @p level: the entry for
-     * @p va_page at that level points to @p next_table.
+     * Installs the translation read at @p level for @p ctx: the entry
+     * for @p va_page at that level points to @p next_table.
      * @pre level is Pml4, Pdpt, or Pd (leaf PTEs live in TLBs).
      */
-    void fill(mem::Addr va_page, vm::PtLevel level, mem::Addr next_table);
+    void fill(mem::Addr va_page, vm::PtLevel level, mem::Addr next_table,
+              ContextId ctx = tlb::defaultContext);
 
     /** Drops all entries (counters included). */
     void invalidateAll();
 
     /**
      * Test accessor: current pin-counter value of the entry covering
-     * @p va_page at @p level, or nullopt if no valid entry covers it.
-     * No LRU/counter side effects.
+     * @p va_page at @p level in @p ctx, or nullopt if no valid entry
+     * covers it. No LRU/counter side effects.
      * @pre level is Pml4, Pdpt, or Pd.
      */
     std::optional<std::uint8_t>
-    peekCounter(mem::Addr va_page, vm::PtLevel level) const;
+    peekCounter(mem::Addr va_page, vm::PtLevel level,
+                ContextId ctx = tlb::defaultContext) const;
 
     std::uint64_t hits() const { return hits_.value(); }
     std::uint64_t misses() const { return misses_.value(); }
@@ -116,18 +140,20 @@ class PageWalkCache
         mem::Addr regionBase = 0; ///< VA base of the covered region
         mem::Addr nextTable = 0;
         bool valid = false;
+        ContextId ctx = tlb::defaultContext; ///< owning address space
         std::uint64_t lastUse = 0;
         std::uint8_t counter = 0; ///< 2-bit saturating pin counter
     };
 
-    /** One per-level set-associative cache. */
+    /** One per-level set-associative cache. Entries are ASID-tagged:
+     *  a region base never matches across contexts. */
     struct LevelCache
     {
         std::vector<std::vector<Entry>> sets;
         unsigned associativity = 0;
 
-        Entry *find(mem::Addr region);
-        const Entry *find(mem::Addr region) const;
+        Entry *find(mem::Addr region, ContextId ctx);
+        const Entry *find(mem::Addr region, ContextId ctx) const;
         std::size_t setOf(mem::Addr region) const;
     };
 
@@ -144,7 +170,12 @@ class PageWalkCache
     }
 
     PwcConfig cfg_;
-    mem::Addr root_;
+
+    /** Registered per-context walk roots, indexed by ContextId (the
+     *  system hands out small dense IDs). */
+    std::vector<mem::Addr> roots_;
+    std::vector<std::uint8_t> registered_;
+
     std::array<LevelCache, 3> caches_;
     std::uint64_t useClock_ = 0;
 

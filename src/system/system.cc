@@ -114,7 +114,7 @@ System::System(const SystemConfig &cfg)
                          ? cfg_.schedulerFactory()
                          : core::makeScheduler(cfg_.scheduler,
                                                cfg_.schedulerSeed,
-                                               cfg_.simt);
+                                               cfg_.simt, cfg_.qos);
     iommu_ = std::make_unique<iommu::Iommu>(
         qIommu, cfg_.iommu, std::move(scheduler), *walkMemPort_, store_,
         addressSpace_->pageTable().root());
@@ -311,6 +311,47 @@ System::loadWorkload(gpu::GpuWorkload workload, unsigned app_id)
     gpu_->loadWorkload(std::move(workload), app_id);
 }
 
+tlb::ContextId
+System::createContext()
+{
+    GPUWALK_ASSERT(!cfg_.gpu.virtualL1Cache,
+                   "multi-tenant runs need physical L1s: a virtual L1 "
+                   "translates below the cache, where the owning "
+                   "context is unknown");
+    tenantSpaces_.push_back(
+        std::make_unique<vm::AddressSpace>(store_, frames_));
+    const auto ctx = static_cast<tlb::ContextId>(tenantSpaces_.size());
+    iommu_->registerContext(ctx,
+                            tenantSpaces_.back()->pageTable().root());
+    return ctx;
+}
+
+vm::AddressSpace &
+System::addressSpaceOf(tlb::ContextId ctx)
+{
+    if (ctx == tlb::defaultContext)
+        return *addressSpace_;
+    return *tenantSpaces_.at(ctx - 1);
+}
+
+void
+System::loadBenchmarkInContext(const std::string &workload_abbrev,
+                               const workload::WorkloadParams &params,
+                               unsigned app_id, tlb::ContextId ctx,
+                               sim::Tick arrival_tick)
+{
+    auto gen = workload::makeWorkload(workload_abbrev);
+    vm::AddressSpace &as = addressSpaceOf(ctx);
+    as.useLargePages(params.useLargePages);
+    gpu_->setAppContext(app_id, ctx);
+    if (arrival_tick == 0) {
+        gpu_->loadWorkload(gen->generate(as, params), app_id);
+    } else {
+        gpu_->loadWorkloadAt(arrival_tick, gen->generate(as, params),
+                             app_id);
+    }
+}
+
 RunStats
 System::run(std::uint64_t max_events)
 {
@@ -434,6 +475,30 @@ System::collectStats()
         stats.auditChecks = auditor_->checksRun();
         stats.auditViolations = auditor_->violationCount();
         stats.auditFindings = auditor_->violations();
+    }
+
+    // Per-tenant accounting, multi-tenant runs only: single-tenant
+    // stats stay byte-identical to the pre-ASID simulator.
+    if (!tenantSpaces_.empty()) {
+        const std::size_t numCtx = tenantSpaces_.size() + 1;
+        for (std::size_t c = 0; c < numCtx; ++c) {
+            const auto ctx = static_cast<tlb::ContextId>(c);
+            RunStats::TenantStats t;
+            t.ctx = ctx;
+            const auto &ic = iommu_->tenantCounters(ctx);
+            t.walkRequests = ic.walkRequests;
+            t.walksCompleted = ic.walksCompleted;
+            t.dispatches = ic.dispatches;
+            t.queueWaitTicks = ic.queueWaitTicks;
+            t.serviceTicks = ic.serviceTicks;
+            for (std::size_t app = 0; app < gpu_->numApps(); ++app) {
+                const auto a = static_cast<unsigned>(app);
+                if (gpu_->contextOf(a) == ctx)
+                    t.finishTick =
+                        std::max(t.finishTick, gpu_->appFinishTick(a));
+            }
+            stats.tenants.push_back(t);
+        }
     }
     return stats;
 }

@@ -77,6 +77,25 @@ struct RunStats
 
     /** The recorded violations (bounded; see sim::Auditor). */
     std::vector<sim::AuditViolation> auditFindings;
+
+    /** Per-tenant walk-path accounting for multi-tenant runs. */
+    struct TenantStats
+    {
+        std::uint16_t ctx = 0;            ///< tlb::ContextId
+        std::uint64_t walkRequests = 0;
+        std::uint64_t walksCompleted = 0;
+        std::uint64_t dispatches = 0;     ///< scheduler-mediated picks
+        std::uint64_t queueWaitTicks = 0;
+        std::uint64_t serviceTicks = 0;   ///< cumulative walker service
+        sim::Tick finishTick = 0;         ///< last bound app's finish
+    };
+
+    /**
+     * One entry per active address space, populated only when the run
+     * had more than one context — single-tenant stats stay bit- and
+     * byte-identical to the pre-ASID simulator.
+     */
+    std::vector<TenantStats> tenants;
 };
 
 /** Owns and wires every component; one System per simulation run. */
@@ -97,6 +116,31 @@ class System
 
     /** Loads a caller-built workload (examples / tests). */
     void loadWorkload(gpu::GpuWorkload workload, unsigned app_id = 0);
+
+    /**
+     * Creates a further address space (tenant) with its own page table
+     * over the shared backing store and frame allocator, registers its
+     * walk root with the IOMMU, and returns its ContextId. Same VA
+     * layout as the default space — tenants genuinely collide on
+     * virtual addresses, which is what the ASID isolation must absorb.
+     * Incompatible with virtually-indexed L1 caches (those translate
+     * below the cache, where the owning context is unknown).
+     */
+    tlb::ContextId createContext();
+
+    /** The address space of @p ctx (0 = the default space). */
+    vm::AddressSpace &addressSpaceOf(tlb::ContextId ctx);
+
+    /**
+     * Generates @p workload_abbrev in tenant @p ctx's address space,
+     * binds @p app_id's translations to that context, and loads it —
+     * immediately, or at @p arrival_tick when nonzero (tenant-churn
+     * arrivals).
+     */
+    void loadBenchmarkInContext(const std::string &workload_abbrev,
+                                const workload::WorkloadParams &params,
+                                unsigned app_id, tlb::ContextId ctx,
+                                sim::Tick arrival_tick = 0);
 
     /**
      * Runs to completion (or @p max_events as a runaway guard).
@@ -165,6 +209,8 @@ class System
     mem::BackingStore store_;
     vm::FrameAllocator frames_;
     std::unique_ptr<vm::AddressSpace> addressSpace_;
+    /** Tenant address spaces beyond the default (ContextId i+1). */
+    std::vector<std::unique_ptr<vm::AddressSpace>> tenantSpaces_;
 
     // Cross-domain channels (the system's channel wiring table) and
     // the adapters presenting them as plain device interfaces.

@@ -26,8 +26,24 @@ SystemConfig::print(std::ostream &os) const
        << "               " << iommu.l1TlbEntries << "/"
        << iommu.l2TlbEntries << " entries for IOMMU L1/L2 TLB\n"
        << "               " << core::toString(scheduler)
-       << " scheduling of page walks\n"
-       << "PWC            " << iommu.pwc.entriesPerLevel
+       << " scheduling of page walks\n";
+    // QoS knobs print only when a QoS policy reads them, so the config
+    // fingerprints of every pre-existing scheduler stay unchanged.
+    if (scheduler == core::SchedulerKind::TokenBucket) {
+        os << "QoS            token bucket: " << qos.tokenQuota
+           << " tokens per tenant per " << qos.tokenWindow
+           << "-dispatch window\n";
+    } else if (scheduler == core::SchedulerKind::WeightedShare) {
+        os << "QoS            weighted share:";
+        if (qos.shareWeights.empty()) {
+            os << " equal weights";
+        } else {
+            for (auto w : qos.shareWeights)
+                os << ' ' << w;
+        }
+        os << "\n";
+    }
+    os << "PWC            " << iommu.pwc.entriesPerLevel
        << " entries/level, " << iommu.pwc.associativity << "-way"
        << (iommu.pwc.pinScoredEntries ? ", counter-pinned replacement"
                                       : "")

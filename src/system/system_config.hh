@@ -41,6 +41,11 @@ struct SystemConfig
     /** Page-walk service policy (the experiments' variable). */
     core::SchedulerKind scheduler = core::SchedulerKind::Fcfs;
     core::SimtSchedulerConfig simt;
+
+    /** Cross-tenant QoS knobs; only the token-bucket and
+     *  weighted-share schedulers read them. */
+    core::QosSchedulerConfig qos;
+
     std::uint64_t schedulerSeed = 1;
 
     /**

@@ -35,6 +35,7 @@ SetAssocTlb::SetAssocTlb(const TlbConfig &cfg)
     lastUse_.assign(slots, 0);
     valid_.assign(slots, 0);
     large_.assign(slots, 0);
+    ctx_.assign(slots, defaultContext);
 
     statGroup_.add(hits_);
     statGroup_.add(misses_);
@@ -43,29 +44,34 @@ SetAssocTlb::SetAssocTlb(const TlbConfig &cfg)
 }
 
 std::size_t
-SetAssocTlb::findSlot(mem::Addr va_page, bool large) const
+SetAssocTlb::findSlot(mem::Addr va_page, bool large, ContextId ctx) const
 {
     if (large && largeResident_ == 0)
         return npos;
     const mem::Addr vpn =
         large ? largeVpn(va_page) : mem::pageNumber(va_page);
-    const std::size_t base = setIndex(vpn) * cfg_.associativity;
+    const std::size_t base = setIndex(vpn, ctx) * cfg_.associativity;
     const std::uint8_t want = large ? 1 : 0;
     // Tag compare first: it almost always differs, making the common
     // way one 64-bit compare instead of three dependent byte tests.
+    // The context tag is part of the match: a VPN never hits across
+    // address spaces.
     for (std::size_t i = base; i < base + cfg_.associativity; ++i) {
-        if (vpn_[i] == vpn && valid_[i] && large_[i] == want)
+        if (vpn_[i] == vpn && valid_[i] && large_[i] == want
+            && ctx_[i] == ctx) {
             return i;
+        }
     }
     return npos;
 }
 
 std::size_t
-SetAssocTlb::findAny(mem::Addr va_page) const
+SetAssocTlb::findAny(mem::Addr va_page, ContextId ctx) const
 {
     // Small entries first (exact match), then the covering 2 MB entry.
-    const std::size_t small = findSlot(va_page, /*large=*/false);
-    return small != npos ? small : findSlot(va_page, /*large=*/true);
+    const std::size_t small = findSlot(va_page, /*large=*/false, ctx);
+    return small != npos ? small : findSlot(va_page, /*large=*/true,
+                                            ctx);
 }
 
 TlbHit
@@ -80,9 +86,9 @@ SetAssocTlb::hitAt(std::size_t i, mem::Addr va_page) const
 }
 
 std::optional<TlbHit>
-SetAssocTlb::lookupEntry(mem::Addr va_page)
+SetAssocTlb::lookupEntry(mem::Addr va_page, ContextId ctx)
 {
-    const std::size_t i = findAny(va_page);
+    const std::size_t i = findAny(va_page, ctx);
     if (i == npos) {
         ++misses_;
         return std::nullopt;
@@ -93,18 +99,18 @@ SetAssocTlb::lookupEntry(mem::Addr va_page)
 }
 
 std::optional<mem::Addr>
-SetAssocTlb::lookup(mem::Addr va_page)
+SetAssocTlb::lookup(mem::Addr va_page, ContextId ctx)
 {
-    const auto hit = lookupEntry(va_page);
+    const auto hit = lookupEntry(va_page, ctx);
     if (!hit)
         return std::nullopt;
     return hit->paPage;
 }
 
 std::optional<mem::Addr>
-SetAssocTlb::probe(mem::Addr va_page) const
+SetAssocTlb::probe(mem::Addr va_page, ContextId ctx) const
 {
-    const std::size_t i = findAny(va_page);
+    const std::size_t i = findAny(va_page, ctx);
     if (i == npos)
         return std::nullopt;
     return hitAt(i, va_page).paPage;
@@ -112,7 +118,7 @@ SetAssocTlb::probe(mem::Addr va_page) const
 
 void
 SetAssocTlb::insert(mem::Addr va_page, mem::Addr pa_page,
-                    bool large_page)
+                    bool large_page, ContextId ctx)
 {
     const mem::Addr vpn = large_page ? largeVpn(va_page)
                                      : mem::pageNumber(va_page);
@@ -120,7 +126,7 @@ SetAssocTlb::insert(mem::Addr va_page, mem::Addr pa_page,
                                      : mem::pageNumber(pa_page);
 
     // Refresh a duplicate fill in place.
-    const std::size_t hit = findSlot(va_page, large_page);
+    const std::size_t hit = findSlot(va_page, large_page, ctx);
     if (hit != npos) {
         ppn_[hit] = ppn;
         lastUse_[hit] = ++useClock_;
@@ -129,7 +135,7 @@ SetAssocTlb::insert(mem::Addr va_page, mem::Addr pa_page,
 
     // Victim: the first invalid way, or failing that the true-LRU
     // valid way (first-encountered on lastUse ties).
-    const std::size_t base = setIndex(vpn) * cfg_.associativity;
+    const std::size_t base = setIndex(vpn, ctx) * cfg_.associativity;
     std::size_t victim = npos;
     for (std::size_t i = base; i < base + cfg_.associativity; ++i) {
         if (!valid_[i]) {
@@ -154,6 +160,7 @@ SetAssocTlb::insert(mem::Addr va_page, mem::Addr pa_page,
     ppn_[victim] = ppn;
     valid_[victim] = 1;
     large_[victim] = large_page ? 1 : 0;
+    ctx_[victim] = ctx;
     lastUse_[victim] = ++useClock_;
     if (large_page)
         ++largeResident_;
@@ -167,9 +174,9 @@ SetAssocTlb::invalidateAll()
 }
 
 bool
-SetAssocTlb::invalidate(mem::Addr va_page)
+SetAssocTlb::invalidate(mem::Addr va_page, ContextId ctx)
 {
-    const std::size_t i = findAny(va_page);
+    const std::size_t i = findAny(va_page, ctx);
     if (i == npos)
         return false;
     valid_[i] = 0;

@@ -24,6 +24,7 @@
 #include "mem/types.hh"
 #include "sim/logging.hh"
 #include "sim/stats.hh"
+#include "tlb/translation.hh"
 
 namespace gpuwalk::tlb {
 
@@ -59,30 +60,36 @@ class SetAssocTlb
     explicit SetAssocTlb(const TlbConfig &cfg);
 
     /**
-     * Looks up the page-aligned VA @p va_page, updating LRU on hit.
+     * Looks up the page-aligned VA @p va_page under context @p ctx,
+     * updating LRU on hit. An entry only hits in its own context.
      * @return the page-aligned PA, or nullopt on miss.
      */
-    std::optional<mem::Addr> lookup(mem::Addr va_page);
+    std::optional<mem::Addr> lookup(mem::Addr va_page,
+                                    ContextId ctx = defaultContext);
 
     /** Like lookup, but also reports the hitting entry's page size. */
-    std::optional<TlbHit> lookupEntry(mem::Addr va_page);
+    std::optional<TlbHit> lookupEntry(mem::Addr va_page,
+                                      ContextId ctx = defaultContext);
 
     /** Lookup without LRU update or stats (for tests/inspection). */
-    std::optional<mem::Addr> probe(mem::Addr va_page) const;
+    std::optional<mem::Addr> probe(mem::Addr va_page,
+                                   ContextId ctx = defaultContext) const;
 
     /**
-     * Installs a translation, evicting LRU within the set if full.
-     * With @p large_page, the entry covers the whole 2 MB region of
-     * @p va_page (addresses may be given at 4 KB granularity).
+     * Installs a translation for @p ctx, evicting LRU within the set
+     * if full. With @p large_page, the entry covers the whole 2 MB
+     * region of @p va_page (addresses may be given at 4 KB
+     * granularity).
      */
     void insert(mem::Addr va_page, mem::Addr pa_page,
-                bool large_page = false);
+                bool large_page = false,
+                ContextId ctx = defaultContext);
 
     /** Drops every entry. */
     void invalidateAll();
 
     /** Drops one translation if present. @return true if it existed. */
-    bool invalidate(mem::Addr va_page);
+    bool invalidate(mem::Addr va_page, ContextId ctx = defaultContext);
 
     const TlbConfig &config() const { return cfg_; }
 
@@ -105,20 +112,27 @@ class SetAssocTlb
     static constexpr std::size_t npos = ~std::size_t{0};
 
     std::size_t
-    setIndex(mem::Addr vpn) const
+    setIndex(mem::Addr vpn, ContextId ctx) const
     {
         // XOR-folded index: power-of-two strided VPN sequences (page
         // strides of matrix rows) would otherwise collide into a few
-        // sets; hardware TLBs hash the index for the same reason.
-        const mem::Addr h = vpn ^ (vpn >> 5) ^ (vpn >> 10);
+        // sets; hardware TLBs hash the index for the same reason. The
+        // context term spreads tenants sharing a VA layout across
+        // sets; it vanishes at ctx 0, keeping single-tenant indexing
+        // bit-identical to the pre-ASID implementation.
+        const mem::Addr h = vpn ^ (vpn >> 5) ^ (vpn >> 10)
+                            ^ (mem::Addr(ctx) * 0x9e3779b9u);
         return static_cast<std::size_t>(h) & (numSets_ - 1);
     }
 
-    /** Slot of the entry matching (@p va_page, @p large), or npos. */
-    std::size_t findSlot(mem::Addr va_page, bool large) const;
+    /** Slot of the entry matching (@p va_page, @p ctx, @p large), or
+     *  npos. */
+    std::size_t findSlot(mem::Addr va_page, bool large,
+                         ContextId ctx) const;
 
-    /** Small-before-large match of @p va_page: slot or npos. */
-    std::size_t findAny(mem::Addr va_page) const;
+    /** Small-before-large match of (@p va_page, @p ctx): slot or
+     *  npos. */
+    std::size_t findAny(mem::Addr va_page, ContextId ctx) const;
 
     /** The 4 KB-granular PA of @p va_page through slot @p i's entry. */
     TlbHit hitAt(std::size_t i, mem::Addr va_page) const;
@@ -132,6 +146,7 @@ class SetAssocTlb
     std::vector<std::uint64_t> lastUse_;
     std::vector<std::uint8_t> valid_;
     std::vector<std::uint8_t> large_;
+    std::vector<ContextId> ctx_;
 
     std::uint64_t useClock_ = 0;
 

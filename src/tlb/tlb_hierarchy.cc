@@ -55,6 +55,7 @@ TlbHierarchy::translate(TranslationRequest req)
         ev.wavefront = req.wavefront;
         ev.instruction = req.instruction;
         ev.vaPage = req.vaPage;
+        ev.ctx = req.ctx;
         tracer_->record(ev);
     }
 
@@ -72,13 +73,14 @@ void
 TlbHierarchy::lookupL1(TranslationRequest r)
 {
     SetAssocTlb &l1 = *l1s_[r.cu];
-    if (auto hit = l1.lookupEntry(r.vaPage)) {
+    if (auto hit = l1.lookupEntry(r.vaPage, r.ctx)) {
         r.complete(hit->paPage, hit->largePage);
         return;
     }
 
-    // Merge with an in-flight miss from this CU to the same page.
-    const std::uint64_t key = l1Key(r.cu, r.vaPage);
+    // Merge with an in-flight miss from this CU to the same page of
+    // the same address space.
+    const std::uint64_t key = l1Key(r.ctx, r.cu, r.vaPage);
     auto it = l1Inflight_.find(key);
     if (it != l1Inflight_.end()) {
         ++l1Merged_;
@@ -96,13 +98,14 @@ TlbHierarchy::lookupL1(TranslationRequest r)
     down.wavefront = leader.wavefront;
     down.cu = leader.cu;
     down.app = leader.app;
-    down.onComplete = [this, cu = leader.cu,
-                       va = leader.vaPage](mem::Addr pa_page, bool large) {
-        auto node = l1Inflight_.find(l1Key(cu, va));
+    down.ctx = leader.ctx;
+    down.onComplete = [this, cu = leader.cu, va = leader.vaPage,
+                       ctx = leader.ctx](mem::Addr pa_page, bool large) {
+        auto node = l1Inflight_.find(l1Key(ctx, cu, va));
         GPUWALK_ASSERT(node != l1Inflight_.end(), "orphan L1 fill");
         MergeEntry *filled = node->second;
         l1Inflight_.erase(node);
-        l1s_[cu]->insert(va, pa_page, large);
+        l1s_[cu]->insert(va, pa_page, large, ctx);
         for (auto &w : filled->waiters)
             w.complete(pa_page, large);
         filled->waiters.clear();
@@ -125,22 +128,22 @@ TlbHierarchy::accessL2(TranslationRequest req)
 {
     noteL2Access(req.wavefront);
 
-    if (auto hit = l2_.lookupEntry(req.vaPage)) {
+    if (auto hit = l2_.lookupEntry(req.vaPage, req.ctx)) {
         req.complete(hit->paPage, hit->largePage);
         return;
     }
 
-    auto it = l2Inflight_.find(req.vaPage);
+    const std::uint64_t key = l2Key(req.ctx, req.vaPage);
+    auto it = l2Inflight_.find(key);
     if (it != l2Inflight_.end()) {
         ++l2Merged_;
         it->second->waiters.push_back(std::move(req));
         return;
     }
 
-    const mem::Addr va_page = req.vaPage;
     MergeEntry *entry = mergePool_.acquire();
     entry->waiters.push_back(std::move(req));
-    l2Inflight_.emplace(va_page, entry);
+    l2Inflight_.emplace(key, entry);
     const TranslationRequest &leader = entry->waiters.front();
 
     ++iommuRequests_;
@@ -150,12 +153,14 @@ TlbHierarchy::accessL2(TranslationRequest req)
     down.wavefront = leader.wavefront;
     down.cu = leader.cu;
     down.app = leader.app;
-    down.onComplete = [this, va_page](mem::Addr pa_page, bool large) {
-        auto node = l2Inflight_.find(va_page);
+    down.ctx = leader.ctx;
+    down.onComplete = [this, key, va_page = leader.vaPage,
+                       ctx = leader.ctx](mem::Addr pa_page, bool large) {
+        auto node = l2Inflight_.find(key);
         GPUWALK_ASSERT(node != l2Inflight_.end(), "orphan L2 fill");
         MergeEntry *filled = node->second;
         l2Inflight_.erase(node);
-        l2_.insert(va_page, pa_page, large);
+        l2_.insert(va_page, pa_page, large, ctx);
         for (auto &w : filled->waiters)
             w.complete(pa_page, large);
         filled->waiters.clear();

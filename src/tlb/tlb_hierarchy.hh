@@ -105,15 +105,27 @@ class TlbHierarchy
         std::vector<TranslationRequest> waiters;
     };
 
-    /** Packs (cu, vaPage) into one hash key: vaPage is page-aligned,
-     *  so the CU id fits in the low bits. */
+    /** Packs (ctx, cu, vaPage) into one hash key: vaPage is
+     *  page-aligned so the CU id fits in the low bits, and simulated
+     *  virtual addresses stay below 2^48, leaving the top 16 bits for
+     *  the context tag. */
     static std::uint64_t
-    l1Key(std::uint32_t cu, mem::Addr va_page)
+    l1Key(ContextId ctx, std::uint32_t cu, mem::Addr va_page)
     {
         GPUWALK_ASSERT((va_page & (mem::pageSize - 1)) == 0
-                           && cu < mem::pageSize,
-                       "cannot pack (cu, vaPage) key");
-        return va_page | cu;
+                           && cu < mem::pageSize
+                           && va_page < (mem::Addr(1) << 48),
+                       "cannot pack (ctx, cu, vaPage) key");
+        return va_page | cu | (std::uint64_t(ctx) << 48);
+    }
+
+    /** Packs (ctx, vaPage) into the L2 miss-table key. */
+    static std::uint64_t
+    l2Key(ContextId ctx, mem::Addr va_page)
+    {
+        GPUWALK_ASSERT(va_page < (mem::Addr(1) << 48),
+                       "cannot pack (ctx, vaPage) key");
+        return va_page | (std::uint64_t(ctx) << 48);
     }
 
     void lookupL1(TranslationRequest req);
@@ -133,11 +145,11 @@ class TlbHierarchy
     // In-flight miss tables are looked up and erased, never iterated,
     // so hashing them is determinism-safe.
 
-    /** In-flight L1 misses: l1Key(cu, vaPage) -> merge record. */
+    /** In-flight L1 misses: l1Key(ctx, cu, vaPage) -> merge record. */
     sim::FlatMap<std::uint64_t, MergeEntry *> l1Inflight_;
 
-    /** In-flight L2 misses: vaPage -> merge record. */
-    sim::FlatMap<mem::Addr, MergeEntry *> l2Inflight_;
+    /** In-flight L2 misses: l2Key(ctx, vaPage) -> merge record. */
+    sim::FlatMap<std::uint64_t, MergeEntry *> l2Inflight_;
 
     /** Shared pool behind both miss tables. */
     sim::ObjectPool<MergeEntry> mergePool_{64};

@@ -19,6 +19,21 @@ namespace gpuwalk::tlb {
 using InstructionId = std::uint64_t;
 
 /**
+ * Address-space identifier (ASID). Every translation structure tags
+ * its entries with the originating context; an entry never hits
+ * across contexts. Context 0 is the default address space every
+ * single-tenant run uses — all ContextId plumbing is behaviour-neutral
+ * when only context 0 exists.
+ *
+ * Defined at the tlb layer (the lowest layer that sees requests) and
+ * aliased as core::ContextId / iommu::ContextId upstream.
+ */
+using ContextId = std::uint16_t;
+
+/** The default address space of single-tenant runs. */
+inline constexpr ContextId defaultContext = 0;
+
+/**
  * One page-granular translation request.
  *
  * The paper's scheduler keys on the instruction ID each request
@@ -41,6 +56,9 @@ struct TranslationRequest
 
     /** Owning application (multi-program runs; 0 otherwise). */
     std::uint32_t app = 0;
+
+    /** Owning address space (ASID); 0 for single-tenant runs. */
+    ContextId ctx = defaultContext;
 
     /**
      * Completion callback delivering the page-aligned (4 KB-granular)

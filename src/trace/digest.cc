@@ -20,6 +20,12 @@ digestEvent(Fnv1a &h, const Event &ev)
     h.u64(ev.vaPage);
     h.u64(ev.arg0);
     h.u64(ev.arg1);
+    // Skip-default encoding: the context tag only enters the hash when
+    // nonzero, so single-tenant (ctx 0) digests are byte-identical to
+    // the pre-ASID goldens while multi-tenant streams still pin every
+    // event's address space.
+    if (ev.ctx)
+        h.u64(ev.ctx);
 }
 
 std::uint64_t

@@ -80,6 +80,7 @@ struct Event
     sim::Tick tick = 0;
     EventKind kind = EventKind::Coalesced;
     std::uint8_t level = 0;            ///< PT level for Mem* events
+    std::uint16_t ctx = 0;             ///< tlb::ContextId (ASID)
     std::uint32_t walker = noWalker;   ///< walker index where relevant
     std::uint32_t wavefront = 0;
     std::uint64_t instruction = 0;     ///< tlb::InstructionId

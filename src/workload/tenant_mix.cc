@@ -1,0 +1,65 @@
+#include "workload/tenant_mix.hh"
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "workload/registry.hh"
+
+namespace gpuwalk::workload {
+
+std::vector<TenantSpec>
+generateTenantMix(const TenantMixConfig &cfg)
+{
+    GPUWALK_ASSERT(cfg.numTenants > 0, "tenant mix needs tenants");
+    GPUWALK_ASSERT(cfg.footprintScaleMin > 0
+                       && cfg.footprintScaleMax >= cfg.footprintScaleMin,
+                   "bad footprint scale range");
+    GPUWALK_ASSERT(cfg.churnFraction >= 0.0 && cfg.churnFraction <= 1.0,
+                   "churn fraction outside [0, 1]");
+
+    // Interleave irregular and regular workloads so neighbouring
+    // tenants differ maximally in divergence.
+    const auto irregular = irregularWorkloadNames();
+    const auto regular = regularWorkloadNames();
+
+    sim::Rng rng(cfg.seed);
+    std::vector<TenantSpec> mix;
+    mix.reserve(cfg.numTenants);
+
+    const unsigned churned = static_cast<unsigned>(
+        cfg.churnFraction * cfg.numTenants);
+
+    for (unsigned i = 0; i < cfg.numTenants; ++i) {
+        TenantSpec t;
+        t.workload = (i % 2 == 0)
+                         ? irregular[(i / 2) % irregular.size()]
+                         : regular[(i / 2) % regular.size()];
+
+        t.params.wavefronts = cfg.wavefrontsPerTenant;
+        t.params.instructionsPerWavefront = cfg.instructionsPerWavefront;
+        t.params.computeCycles = cfg.computeCycles;
+        // Independent per-tenant trace stream: identical workloads in
+        // one mix still touch different pages.
+        t.params.seed = cfg.seed * 1000003ull + i;
+
+        const double span =
+            cfg.footprintScaleMax - cfg.footprintScaleMin;
+        t.params.footprintScale =
+            cfg.footprintScaleMin + span * rng.uniform();
+
+        // The last `churned` tenants arrive mid-run, seeded-uniformly
+        // over the churn window (always > 0, so they miss start()).
+        if (i + churned >= cfg.numTenants && churned > 0) {
+            t.arrivalTick = 1
+                            + static_cast<sim::Tick>(rng.below(
+                                  cfg.churnWindowTicks));
+        }
+
+        if (cfg.alternateWeights && i % 2 == 1)
+            t.weight = 2;
+
+        mix.push_back(std::move(t));
+    }
+    return mix;
+}
+
+} // namespace gpuwalk::workload

@@ -12,6 +12,10 @@
  * latencies — fails loudly here; changes that only make the
  * simulator faster leave every value untouched.
  *
+ * The golden store is shared with the multi-tenant determinism test
+ * ("tenant..." keys); regeneration merges this test's keys into the
+ * committed file and preserves the rest.
+ *
  * Regenerating goldens (only after an *intentional* behaviour
  * change, with the diff reviewed):
  *
@@ -21,19 +25,18 @@
 
 #include <gtest/gtest.h>
 
-#include <cstdlib>
-#include <fstream>
 #include <map>
-#include <sstream>
 #include <string>
 #include <vector>
 
 #include "exp/run.hh"
+#include "golden_store.hh"
 #include "trace/digest.hh"
 
 namespace {
 
 using namespace gpuwalk;
+using gpuwalk::testing::GoldenEntry;
 
 /** Grid: the five paper policies x (two irregular + one regular). */
 const std::vector<core::SchedulerKind> goldenSchedulers{
@@ -56,24 +59,6 @@ goldenParams()
     params.footprintScale = 0.05;
     params.computeCycles = 20;
     return params;
-}
-
-/** The values a golden entry pins down. */
-struct GoldenEntry
-{
-    std::string digest; ///< 16-digit hex FNV-1a trace digest
-    std::uint64_t runtimeTicks = 0;
-    std::uint64_t instructions = 0;
-    std::uint64_t translationRequests = 0;
-    std::uint64_t walkRequests = 0;
-    std::uint64_t walksCompleted = 0;
-    std::uint64_t traceEvents = 0;
-};
-
-std::string
-goldenPath()
-{
-    return std::string(GPUWALK_TESTS_SOURCE_DIR) + "/golden/digests.json";
 }
 
 std::string
@@ -105,96 +90,6 @@ runPoint(const std::string &workload, core::SchedulerKind sched)
     return e;
 }
 
-/**
- * Parses the committed golden file. The format is the machine-written
- * one-entry-per-line JSON produced by writeGoldens(); parsing scans
- * for the known quoted keys rather than pulling in a JSON library.
- */
-std::map<std::string, GoldenEntry>
-readGoldens()
-{
-    std::ifstream in(goldenPath());
-    if (!in)
-        return {};
-
-    auto field = [](const std::string &line, const std::string &key)
-        -> std::string {
-        const std::string marker = "\"" + key + "\":";
-        const auto pos = line.find(marker);
-        if (pos == std::string::npos)
-            return "";
-        std::size_t begin = pos + marker.size();
-        while (begin < line.size()
-               && (line[begin] == ' ' || line[begin] == '"')) {
-            ++begin;
-        }
-        std::size_t end = begin;
-        while (end < line.size() && line[end] != ','
-               && line[end] != '"' && line[end] != '}') {
-            ++end;
-        }
-        return line.substr(begin, end - begin);
-    };
-
-    std::map<std::string, GoldenEntry> out;
-    std::string line;
-    while (std::getline(in, line)) {
-        const std::string key = field(line, "key");
-        if (key.empty())
-            continue;
-        GoldenEntry e;
-        e.digest = field(line, "digest");
-        e.runtimeTicks = std::stoull(field(line, "runtime_ticks"));
-        e.instructions = std::stoull(field(line, "instructions"));
-        e.translationRequests =
-            std::stoull(field(line, "translation_requests"));
-        e.walkRequests = std::stoull(field(line, "walk_requests"));
-        e.walksCompleted = std::stoull(field(line, "walks_completed"));
-        e.traceEvents = std::stoull(field(line, "trace_events"));
-        out[key] = e;
-    }
-    return out;
-}
-
-void
-writeGoldens(const std::map<std::string, GoldenEntry> &entries)
-{
-    std::ofstream out(goldenPath());
-    ASSERT_TRUE(out) << "cannot write " << goldenPath();
-    const auto params = goldenParams();
-    out << "{\n";
-    out << "  \"comment\": \"machine-written by test_digest_golden.cc"
-           " (GPUWALK_UPDATE_GOLDEN=1); do not edit by hand\",\n";
-    out << "  \"params\": {\"wavefronts\": " << params.wavefronts
-        << ", \"instructions_per_wavefront\": "
-        << params.instructionsPerWavefront << ", \"seed\": "
-        << params.seed << ", \"footprint_scale\": "
-        << params.footprintScale << ", \"compute_cycles\": "
-        << params.computeCycles << "},\n";
-    out << "  \"entries\": [\n";
-    bool first = true;
-    for (const auto &[key, e] : entries) {
-        if (!first)
-            out << ",\n";
-        first = false;
-        out << "    {\"key\": \"" << key << "\", \"digest\": \""
-            << e.digest << "\", \"runtime_ticks\": " << e.runtimeTicks
-            << ", \"instructions\": " << e.instructions
-            << ", \"translation_requests\": " << e.translationRequests
-            << ", \"walk_requests\": " << e.walkRequests
-            << ", \"walks_completed\": " << e.walksCompleted
-            << ", \"trace_events\": " << e.traceEvents << "}";
-    }
-    out << "\n  ]\n}\n";
-}
-
-bool
-updateRequested()
-{
-    const char *env = std::getenv("GPUWALK_UPDATE_GOLDEN");
-    return env != nullptr && std::string(env) != "0";
-}
-
 TEST(DigestGolden, AllSchedulersMatchCommittedDigests)
 {
     std::map<std::string, GoldenEntry> computed;
@@ -204,32 +99,14 @@ TEST(DigestGolden, AllSchedulersMatchCommittedDigests)
                 runPoint(workload, sched);
     }
 
-    if (updateRequested()) {
-        writeGoldens(computed);
-        GTEST_SKIP() << "goldens rewritten at " << goldenPath();
+    if (gpuwalk::testing::updateRequested()) {
+        ASSERT_TRUE(gpuwalk::testing::writeGoldensMerged(computed))
+            << "cannot write " << gpuwalk::testing::goldenPath();
+        GTEST_SKIP() << "goldens rewritten at "
+                     << gpuwalk::testing::goldenPath();
     }
 
-    const auto goldens = readGoldens();
-    ASSERT_FALSE(goldens.empty())
-        << "no goldens at " << goldenPath()
-        << "; run with GPUWALK_UPDATE_GOLDEN=1 to mint them";
-    ASSERT_EQ(goldens.size(), computed.size());
-
-    for (const auto &[key, want] : goldens) {
-        const auto it = computed.find(key);
-        ASSERT_NE(it, computed.end()) << "missing run for " << key;
-        const GoldenEntry &got = it->second;
-        EXPECT_EQ(got.digest, want.digest)
-            << key << ": trace digest diverged — simulated behaviour "
-                      "changed";
-        EXPECT_EQ(got.runtimeTicks, want.runtimeTicks) << key;
-        EXPECT_EQ(got.instructions, want.instructions) << key;
-        EXPECT_EQ(got.translationRequests, want.translationRequests)
-            << key;
-        EXPECT_EQ(got.walkRequests, want.walkRequests) << key;
-        EXPECT_EQ(got.walksCompleted, want.walksCompleted) << key;
-        EXPECT_EQ(got.traceEvents, want.traceEvents) << key;
-    }
+    GPUWALK_EXPECT_GOLDENS_MATCH(computed);
 }
 
 /** The digest must be a pure function of simulated behaviour: two

@@ -59,7 +59,7 @@ TEST(Srpt, RanksByFreshEstimates)
 {
     SrptScheduler sched(/*enable_batching=*/false);
     // Pages below 0x10000 cost 1 access; others cost 4.
-    sched.setEstimator([](mem::Addr va) -> unsigned {
+    sched.setEstimator([](mem::Addr va, tlb::ContextId) -> unsigned {
         return va < 0x10000 ? 1u : 4u;
     });
 
@@ -83,13 +83,13 @@ TEST(Srpt, EstimateChangesFlipTheChoice)
     buf.insert(walk(1, 2, 0xB000));
 
     SrptScheduler cheap_a(false);
-    cheap_a.setEstimator([](mem::Addr va) -> unsigned {
+    cheap_a.setEstimator([](mem::Addr va, tlb::ContextId) -> unsigned {
         return va == 0xA000 ? 1u : 4u;
     });
     EXPECT_EQ(buf.at(cheap_a.selectNext(buf)).request.instruction, 1u);
 
     SrptScheduler cheap_b(false);
-    cheap_b.setEstimator([](mem::Addr va) -> unsigned {
+    cheap_b.setEstimator([](mem::Addr va, tlb::ContextId) -> unsigned {
         return va == 0xB000 ? 1u : 4u;
     });
     EXPECT_EQ(buf.at(cheap_b.selectNext(buf)).request.instruction, 2u);
@@ -98,7 +98,7 @@ TEST(Srpt, EstimateChangesFlipTheChoice)
 TEST(Srpt, BatchesWithLastDispatched)
 {
     SrptScheduler sched(/*enable_batching=*/true);
-    sched.setEstimator([](mem::Addr) -> unsigned { return 1u; });
+    sched.setEstimator([](mem::Addr, tlb::ContextId) -> unsigned { return 1u; });
     WalkBuffer buf(8);
     buf.insert(walk(0, 1));
     buf.insert(walk(1, 2));

@@ -149,7 +149,7 @@ TEST(SchedulerFuzz, OldestJobNeverSkipsOlderInstructions)
 TEST(SchedulerFuzz, SrptMatchesBruteForceRemaining)
 {
     SrptScheduler sched(/*enable_batching=*/false);
-    auto estimate = [](mem::Addr va) -> unsigned {
+    auto estimate = [](mem::Addr va, tlb::ContextId = 0) -> unsigned {
         return 1 + (va >> 12) % 4;
     };
     sched.setEstimator(estimate);

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Multi-tenant determinism differential tests and tenant golden
+ * digests.
+ *
+ * Tenant churn (mid-run arrivals) plus ASID-tagged shared caches is
+ * exactly the state the parallel domain executor must keep bit-exact:
+ * late workload loads are GPU-domain-local events, and per-tenant
+ * accounting rides the same cross-domain channels as everything else.
+ * These tests run reference tenant mixes under both QoS schedulers
+ * across --sim-threads {1, 2, 4} and concurrent same-process runs
+ * (the --jobs axis), demanding byte-identical trace digests and stats
+ * JSON, with the conservation auditor on throughout. The 2- and
+ * 8-tenant reference points are pinned as committed goldens in
+ * tests/golden/digests.json next to the scheduler-grid entries.
+ *
+ * Regenerating the tenant goldens (after an intentional behaviour
+ * change; the merge-write preserves the scheduler-grid keys):
+ *
+ *     GPUWALK_UPDATE_GOLDEN=1 build/tests/gpuwalk_tests \
+ *         --gtest_filter='TenantGolden.*'
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/report.hh"
+#include "golden_store.hh"
+#include "system/system.hh"
+#include "trace/digest.hh"
+#include "workload/tenant_mix.hh"
+
+namespace {
+
+using namespace gpuwalk;
+using gpuwalk::testing::GoldenEntry;
+
+/** A reference multi-tenant point: tenant count, churn, policy. */
+struct MixPoint
+{
+    std::string key; ///< golden-store key, e.g. "tenant8/weighted-share"
+    unsigned tenants;
+    core::SchedulerKind scheduler;
+    double churnFraction;
+    bool alternateWeights;
+};
+
+/** The two committed reference points. Churn is active in both: the
+ *  2-tenant point has one late arrival, the 8-tenant point two. */
+const std::vector<MixPoint> referencePoints{
+    {"tenant2/token-bucket", 2, core::SchedulerKind::TokenBucket, 0.5,
+     false},
+    {"tenant8/weighted-share", 8, core::SchedulerKind::WeightedShare,
+     0.25, true},
+};
+
+struct MixRun
+{
+    system::RunStats stats;
+    std::string statsJson;
+};
+
+MixRun
+runMix(const MixPoint &point, unsigned sim_threads)
+{
+    auto cfg = system::SystemConfig::baseline();
+    cfg.scheduler = point.scheduler;
+    cfg.simThreads = sim_threads;
+    cfg.trace.enabled = true;
+    cfg.audit.enabled = true;
+    cfg.audit.interval = 100'000;
+
+    workload::TenantMixConfig mix;
+    mix.numTenants = point.tenants;
+    mix.seed = 17;
+    mix.wavefrontsPerTenant = 8;
+    mix.instructionsPerWavefront = 6;
+    mix.footprintScaleMin = 0.02;
+    mix.footprintScaleMax = 0.06;
+    mix.churnFraction = point.churnFraction;
+    mix.churnWindowTicks = 200'000;
+    mix.alternateWeights = point.alternateWeights;
+    const auto specs = workload::generateTenantMix(mix);
+
+    // Tenant i receives ContextId i below, so spec weights map
+    // directly onto the per-ContextId weight table.
+    for (unsigned i = 0; i < specs.size(); ++i) {
+        if (specs[i].weight > 1) {
+            cfg.qos.shareWeights.resize(specs.size(), 1);
+            cfg.qos.shareWeights[i] = specs[i].weight;
+        }
+    }
+
+    system::System sys(cfg);
+    for (unsigned i = 0; i < specs.size(); ++i) {
+        const auto ctx =
+            i == 0 ? tlb::defaultContext : sys.createContext();
+        GPUWALK_ASSERT(ctx == i, "context ids must be dense");
+        sys.loadBenchmarkInContext(specs[i].workload, specs[i].params,
+                                   /*app_id=*/i, ctx,
+                                   specs[i].arrivalTick);
+    }
+
+    MixRun out;
+    out.stats = sys.run();
+    out.statsJson = exp::statsJsonString(out.stats);
+    return out;
+}
+
+/**
+ * Blanks the two counters that measure the engine rather than the
+ * simulation: the parallel executor runs its own bookkeeping events
+ * (events_executed) and the auditor checks once per domain quiescence
+ * rather than per serial interval (audit checks). Everything else in
+ * the stats JSON — every latency, every tenant counter — must be
+ * byte-identical across thread counts.
+ */
+std::string
+scrubEngineCounters(std::string s)
+{
+    for (const std::string key :
+         {"\"events_executed\": ", "\"checks\": "}) {
+        std::size_t pos = 0;
+        while ((pos = s.find(key, pos)) != std::string::npos) {
+            const std::size_t begin = pos + key.size();
+            std::size_t end = begin;
+            while (end < s.size() && s[end] >= '0' && s[end] <= '9')
+                ++end;
+            s.replace(begin, end - begin, "_");
+            pos = begin;
+        }
+    }
+    return s;
+}
+
+GoldenEntry
+toEntry(const system::RunStats &stats)
+{
+    GoldenEntry e;
+    e.digest = trace::digestHex(stats.traceDigest);
+    e.runtimeTicks = stats.runtimeTicks;
+    e.instructions = stats.instructions;
+    e.translationRequests = stats.translationRequests;
+    e.walkRequests = stats.walkRequests;
+    e.walksCompleted = stats.walksCompleted;
+    e.traceEvents = stats.traceEvents;
+    return e;
+}
+
+TEST(TenantDeterminism, BitIdenticalAcrossSimThreads)
+{
+    for (const auto &point : referencePoints) {
+        const auto serial = runMix(point, 1);
+        ASSERT_TRUE(serial.stats.traced);
+        ASSERT_NE(serial.stats.traceDigest, 0u);
+        ASSERT_EQ(serial.stats.traceDropped, 0u);
+        ASSERT_TRUE(serial.stats.audited);
+        EXPECT_EQ(serial.stats.auditViolations, 0u) << point.key;
+        ASSERT_EQ(serial.stats.tenants.size(), point.tenants)
+            << point.key;
+
+        for (const unsigned threads : {2u, 4u}) {
+            const auto parallel = runMix(point, threads);
+            EXPECT_EQ(parallel.stats.traceDigest,
+                      serial.stats.traceDigest)
+                << point.key << " diverged at --sim-threads "
+                << threads;
+            EXPECT_EQ(parallel.stats.auditViolations, 0u);
+            // The whole stats JSON — tenant accounting included — is
+            // byte-identical, not just the digest (modulo the two
+            // engine-infrastructure counters).
+            EXPECT_EQ(scrubEngineCounters(parallel.statsJson),
+                      scrubEngineCounters(serial.statsJson))
+                << point.key << " at --sim-threads " << threads;
+        }
+    }
+}
+
+TEST(TenantDeterminism, BitIdenticalAcrossConcurrentRuns)
+{
+    // The --jobs axis: two Systems simulating the same point in the
+    // same process at once (each itself parallel) must not interfere.
+    const auto &point = referencePoints.front();
+    const auto reference = runMix(point, 1);
+
+    std::vector<MixRun> concurrent(2);
+    {
+        std::thread a([&] { concurrent[0] = runMix(point, 2); });
+        std::thread b([&] { concurrent[1] = runMix(point, 2); });
+        a.join();
+        b.join();
+    }
+    for (const auto &run : concurrent) {
+        EXPECT_EQ(run.stats.traceDigest, reference.stats.traceDigest);
+        EXPECT_EQ(scrubEngineCounters(run.statsJson),
+                  scrubEngineCounters(reference.statsJson));
+        EXPECT_EQ(run.stats.auditViolations, 0u);
+    }
+}
+
+TEST(TenantGolden, ReferenceMixesMatchCommittedDigests)
+{
+    std::map<std::string, GoldenEntry> computed;
+    for (const auto &point : referencePoints)
+        computed[point.key] = toEntry(runMix(point, 1).stats);
+
+    if (gpuwalk::testing::updateRequested()) {
+        ASSERT_TRUE(gpuwalk::testing::writeGoldensMerged(computed))
+            << "cannot write " << gpuwalk::testing::goldenPath();
+        GTEST_SKIP() << "tenant goldens rewritten at "
+                     << gpuwalk::testing::goldenPath();
+    }
+
+    GPUWALK_EXPECT_GOLDENS_MATCH(computed);
+}
+
+} // namespace

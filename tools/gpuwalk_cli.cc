@@ -29,6 +29,7 @@
 #include "trace/chrome_export.hh"
 #include "trace/digest.hh"
 #include "workload/registry.hh"
+#include "workload/tenant_mix.hh"
 #include "workload/trace_io.hh"
 
 using namespace gpuwalk;
@@ -123,7 +124,8 @@ Workload selection (one of):
 Scheduler:
   --scheduler=NAME        fcfs | random | sjf-only | batch-only |
                           simt-aware | oldest-job | srpt |
-                          fair-share            (default: fcfs)
+                          fair-share | token-bucket | weighted-share
+                          (default: fcfs)
   --compare               run fcfs AND simt-aware, report speedup
   --jobs=N                worker threads for --compare
                           (default: all cores; results are identical
@@ -141,6 +143,18 @@ Workload shape:
   --footprint-scale=X     fraction of Table II size (default: 1.0)
   --compute-cycles=N      base ALU gap, cycles      (default: 200)
   --large-pages           back buffers with 2 MB pages
+
+Multi-tenant (replaces --workload with a generated mix):
+  --tenants=N             run an N-tenant mix: each tenant gets its
+                          own address space (ASID) and a benchmark
+                          from the tenant-mix generator; --wavefronts
+                          / --instructions / --seed shape every tenant
+  --churn-fraction=X      fraction of tenants arriving mid-run
+  --alternate-weights     odd tenants get QoS weight 2
+  --token-window=N        token-bucket window, scheduler dispatches
+                          (default: 64)
+  --token-quota=N         per-tenant dispatch quota per window
+                          (default: 8)
 
 Hardware overrides (baseline = the paper's Table I):
   --cus=N                 compute units             (default: 8)
@@ -219,6 +233,10 @@ configFromFlags(Flags &flags)
         cfg.iommu.useWalkCache = false;
     cfg.simt.agingThreshold =
         flags.getUint("aging-threshold", cfg.simt.agingThreshold);
+    cfg.qos.tokenWindow = static_cast<unsigned>(
+        flags.getUint("token-window", cfg.qos.tokenWindow));
+    cfg.qos.tokenQuota = static_cast<unsigned>(
+        flags.getUint("token-quota", cfg.qos.tokenQuota));
     if (flags.has("prefetch"))
         cfg.iommu.prefetchNextPage = true;
     if (flags.has("virtual-l1"))
@@ -297,6 +315,9 @@ struct CliOptions
     std::string saveTrace;   ///< "" = don't save
     bool dumpStats = false;
     std::string jsonPath;    ///< component-stats JSON ("" = off)
+    unsigned tenants = 1;    ///< > 1 = multi-tenant mix
+    double churnFraction = 0.0;
+    bool alternateWeights = false;
 };
 
 CliOptions
@@ -312,7 +333,27 @@ optionsFromFlags(Flags &flags)
     opt.dumpStats = flags.has("stats");
     if (flags.has("json"))
         opt.jsonPath = flags.get("json", "");
+    opt.tenants = static_cast<unsigned>(flags.getUint("tenants", 1));
+    opt.churnFraction = flags.getDouble("churn-fraction", 0.0);
+    opt.alternateWeights = flags.has("alternate-weights");
+    if (opt.tenants > 1 && !opt.traceFile.empty())
+        sim::fatal("--tenants and --load-trace are exclusive "
+                   "(the mix generator picks each tenant's workload)");
     return opt;
+}
+
+/** Mix shape for --tenants=N, derived from the workload flags. */
+workload::TenantMixConfig
+mixFromOptions(const CliOptions &opt)
+{
+    workload::TenantMixConfig mix;
+    mix.numTenants = opt.tenants;
+    mix.seed = opt.params.seed;
+    mix.wavefrontsPerTenant = opt.params.wavefronts;
+    mix.instructionsPerWavefront = opt.params.instructionsPerWavefront;
+    mix.churnFraction = opt.churnFraction;
+    mix.alternateWeights = opt.alternateWeights;
+    return mix;
 }
 
 /** One simulation's outcome plus its deferred text/JSON dumps
@@ -326,12 +367,34 @@ struct CliRun
 };
 
 CliRun
-simulate(const system::SystemConfig &cfg, const CliOptions &opt,
+simulate(const system::SystemConfig &base_cfg, const CliOptions &opt,
          bool save_trace)
 {
+    auto cfg = base_cfg;
+    std::vector<workload::TenantSpec> specs;
+    if (opt.tenants > 1) {
+        specs = workload::generateTenantMix(mixFromOptions(opt));
+        // Tenant i gets ContextId i, so spec weights map directly
+        // onto the per-ContextId weight table; set before the System
+        // copies its config.
+        for (unsigned i = 0; i < specs.size(); ++i) {
+            if (specs[i].weight > 1) {
+                cfg.qos.shareWeights.resize(specs.size(), 1);
+                cfg.qos.shareWeights[i] = specs[i].weight;
+            }
+        }
+    }
     system::System sys(cfg);
 
-    if (!opt.traceFile.empty()) {
+    if (!specs.empty()) {
+        for (unsigned i = 0; i < specs.size(); ++i) {
+            const auto ctx =
+                i == 0 ? tlb::defaultContext : sys.createContext();
+            sys.loadBenchmarkInContext(specs[i].workload,
+                                       specs[i].params, /*app_id=*/i,
+                                       ctx, specs[i].arrivalTick);
+        }
+    } else if (!opt.traceFile.empty()) {
         auto wl = workload::loadTraceFile(opt.traceFile);
         // External traces reference raw virtual addresses: map them.
         workload::mapTraceAddresses(sys.addressSpace(), wl);
@@ -401,6 +464,11 @@ reportRun(const system::SystemConfig &cfg, const CliOptions &opt,
             std::cout << "audit              " << stats.auditChecks
                       << " checks, " << stats.auditViolations
                       << " violations\n";
+        }
+        for (const auto &t : stats.tenants) {
+            std::cout << "tenant " << t.ctx << "           walks "
+                      << t.walkRequests << ", finish "
+                      << t.finishTick / 500 << " GPU cycles\n";
         }
     }
     if (opt.dumpStats)
