@@ -42,6 +42,26 @@ printHelp(const std::string &id, const std::string &description)
               << "  --audit-interval N  additionally check every N "
                  "ticks during the run\n"
               << "               (implies --audit)\n"
+              << "  --oversubscription R  demand paging: pages fault "
+                 "in on first touch and\n"
+              << "               resident frames are capped at R x the "
+                 "workload footprint\n"
+              << "               (R <= 1; R < 1 forces eviction)\n"
+              << "  --fault-latency N  host interrupt + runtime cost "
+                 "per fault batch, in\n"
+              << "               ticks (default 2000000; implies "
+                 "--oversubscription 1.0)\n"
+              << "  --migration-latency N  per-page CPU-GPU transfer "
+                 "cost in ticks\n"
+              << "               (default 400000)\n"
+              << "  --fault-policy P  fault service order within the "
+                 "GMMU: fcfs | sjf\n"
+              << "  --gmmu-batch N  max faults serviced per host round "
+                 "trip (default 8)\n"
+              << "  --gmmu-evict P  victim policy at the frame cap: "
+                 "lru | random\n"
+              << "  --no-contiguity  disable the 2 MB contiguity "
+                 "reservation + promotion\n"
               << "  --help       this text\n";
     std::exit(0);
 }
@@ -131,6 +151,74 @@ parseBenchArgs(int argc, char **argv, const std::string &id,
                            "count, got '", v, "'");
             opts.runner.audit.interval = static_cast<sim::Tick>(n);
             opts.runner.audit.enabled = true;
+        } else if (arg == "oversubscription") {
+            const std::string v = next_value();
+            char *end = nullptr;
+            const double r = std::strtod(v.c_str(), &end);
+            if (v.empty() || end == nullptr || *end != '\0' || r <= 0.0
+                || r > 1.0) {
+                sim::fatal("--oversubscription needs a ratio in "
+                           "(0, 1], got '", v, "'");
+            }
+            opts.runner.gmmu.oversubscription = r;
+            opts.runner.gmmu.enabled = true;
+        } else if (arg == "fault-latency") {
+            const std::string v = next_value();
+            char *end = nullptr;
+            const unsigned long long n =
+                std::strtoull(v.c_str(), &end, 0);
+            if (v.empty() || end == nullptr || *end != '\0')
+                sim::fatal("--fault-latency needs a tick count, got '",
+                           v, "'");
+            opts.runner.gmmu.faultLatency = static_cast<sim::Tick>(n);
+            opts.runner.gmmu.enabled = true;
+        } else if (arg == "migration-latency") {
+            const std::string v = next_value();
+            char *end = nullptr;
+            const unsigned long long n =
+                std::strtoull(v.c_str(), &end, 0);
+            if (v.empty() || end == nullptr || *end != '\0')
+                sim::fatal("--migration-latency needs a tick count, "
+                           "got '", v, "'");
+            opts.runner.gmmu.migrationLatency =
+                static_cast<sim::Tick>(n);
+            opts.runner.gmmu.enabled = true;
+        } else if (arg == "fault-policy") {
+            const std::string v = next_value();
+            if (v == "fcfs") {
+                opts.runner.gmmu.order = vm::FaultOrder::Fcfs;
+            } else if (v == "sjf") {
+                opts.runner.gmmu.order = vm::FaultOrder::Sjf;
+            } else {
+                sim::fatal("--fault-policy must be fcfs or sjf, got '",
+                           v, "'");
+            }
+            opts.runner.gmmu.enabled = true;
+        } else if (arg == "gmmu-batch") {
+            const std::string v = next_value();
+            char *end = nullptr;
+            const unsigned long n = std::strtoul(v.c_str(), &end, 0);
+            if (v.empty() || end == nullptr || *end != '\0' || n == 0)
+                sim::fatal("--gmmu-batch needs a positive integer, "
+                           "got '", v, "'");
+            opts.runner.gmmu.batchSize = static_cast<unsigned>(n);
+            opts.runner.gmmu.enabled = true;
+        } else if (arg == "gmmu-evict") {
+            const std::string v = next_value();
+            if (v == "lru") {
+                opts.runner.gmmu.evict = vm::EvictPolicy::Lru;
+            } else if (v == "random") {
+                opts.runner.gmmu.evict = vm::EvictPolicy::Random;
+            } else {
+                sim::fatal("--gmmu-evict must be lru or random, got '",
+                           v, "'");
+            }
+            opts.runner.gmmu.enabled = true;
+        } else if (arg == "no-contiguity") {
+            if (have_value)
+                sim::fatal("--no-contiguity takes no value");
+            opts.runner.gmmu.contiguity = false;
+            opts.runner.gmmu.enabled = true;
         } else {
             sim::fatal("unknown flag --", arg, " (see --help)");
         }

@@ -25,7 +25,10 @@ struct BenchOptions
 /**
  * Parses --jobs[=]N, --sim-threads[=]N, --json[=]PATH,
  * --trace-out[=]PATH, --trace-ring[=]N, --audit,
- * --audit-interval[=]N, --help. Both
+ * --audit-interval[=]N, the demand-paging knobs
+ * (--oversubscription[=]R, --fault-latency[=]N,
+ * --migration-latency[=]N, --fault-policy[=]P, --gmmu-batch[=]N,
+ * --gmmu-evict[=]P, --no-contiguity), --help. Both
  * "--flag=value" and "--flag value" spellings are accepted. --help
  * prints @p id / @p description plus the flag reference and exits;
  * unknown flags are fatal.

@@ -359,6 +359,31 @@ statsJson(std::ostream &os, const system::RunStats &stats)
         os << "]}";
     }
 
+    // Demand-paging runs only: fully resident stats JSON stays
+    // byte-identical to the pre-GMMU writer.
+    if (stats.gmmu.enabled) {
+        const auto &g = stats.gmmu;
+        os << ", \"gmmu\": {\"frame_cap\": " << g.frameCap
+           << ", \"resident_peak\": " << g.residentPeak
+           << ", \"resident_final\": " << g.residentFinal
+           << ", \"faults_raised\": " << g.faultsRaised
+           << ", \"faults_serviced\": " << g.faultsServiced
+           << ", \"faults_coalesced\": " << g.faultsCoalesced
+           << ", \"batches\": " << g.batches
+           << ", \"pages_migrated\": " << g.pagesMigrated
+           << ", \"pages_evicted\": " << g.pagesEvicted
+           << ", \"promotions\": " << g.promotions
+           << ", \"demotions\": " << g.demotions
+           << ", \"service_retries\": " << g.serviceRetries
+           << ", \"fault_latency\": {\"bucket_bounds\": ";
+        jsonUintArray(os, vm::faultLatencyBucketBounds());
+        os << ", \"bucket_counts\": ";
+        jsonUintArray(os, g.latencyBucketCounts);
+        os << ", \"samples\": " << g.latencySamples << ", \"avg\": ";
+        jsonNumber(os, g.latencyAvg);
+        os << "}}";
+    }
+
     // Multi-tenant runs only: single-tenant stats JSON stays
     // byte-identical to the pre-ASID writer.
     if (!stats.tenants.empty()) {

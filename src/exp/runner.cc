@@ -146,7 +146,7 @@ SweepResult
 runSweep(const SweepSpec &spec, const RunnerOptions &opts)
 {
     if (!opts.trace.enabled && !opts.audit.enabled
-        && opts.simThreads == 1) {
+        && !opts.gmmu.enabled && opts.simThreads == 1) {
         return runJobs(spec.expand(), opts);
     }
     SweepSpec instrumented = spec;
@@ -154,6 +154,8 @@ runSweep(const SweepSpec &spec, const RunnerOptions &opts)
         instrumented.base.trace = opts.trace;
     if (opts.audit.enabled)
         instrumented.base.audit = opts.audit;
+    if (opts.gmmu.enabled)
+        instrumented.base.gmmu = opts.gmmu;
     instrumented.base.simThreads = opts.simThreads;
     return runJobs(instrumented.expand(), opts);
 }

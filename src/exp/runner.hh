@@ -18,6 +18,7 @@
 #include "exp/sweep.hh"
 #include "sim/audit.hh"
 #include "trace/trace.hh"
+#include "vm/gmmu.hh"
 
 namespace gpuwalk::exp {
 
@@ -50,6 +51,14 @@ struct RunnerOptions
      * run's violations land in its RunStats audit fields.
      */
     sim::AuditConfig audit;
+
+    /**
+     * Demand paging / oversubscription applied to every run of the
+     * sweep (same copy-into-base mechanism). NOT observation-only:
+     * faulting runs simulate different machines than resident runs,
+     * so this only applies when gmmu.enabled is set.
+     */
+    vm::GmmuConfig gmmu;
 };
 
 /**

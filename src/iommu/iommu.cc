@@ -3,6 +3,7 @@
 #include "core/srpt_scheduler.hh"
 #include "sim/audit.hh"
 #include "sim/debug.hh"
+#include "vm/gmmu.hh"
 #include "vm/page_table.hh"
 
 namespace gpuwalk::iommu {
@@ -77,6 +78,30 @@ Iommu::setTracer(trace::Tracer *tracer)
         w->setTracer(tracer);
 }
 
+void
+Iommu::attachGmmu(vm::Gmmu *gmmu)
+{
+    gmmu_ = gmmu;
+    for (auto &w : walkers_)
+        w->allowFaults(gmmu != nullptr);
+    if (!gmmu)
+        return;
+    gmmu->setServiceCallback(
+        [this](vm::Gmmu::ContextId ctx, mem::Addr page) {
+            onFaultServiced(static_cast<ContextId>(ctx), page);
+        });
+    // Evictions shoot down the IOMMU's own TLB entries so no stale
+    // translation for a non-resident page can hit here. (GPU-side TLB
+    // entries are not shot down — a documented model approximation;
+    // their stale physical addresses point at frames the GMMU scrubs
+    // only after saving content.)
+    gmmu->setEvictCallback(
+        [this](vm::Gmmu::ContextId ctx, mem::Addr page) {
+            l1Tlb_.invalidate(page, static_cast<ContextId>(ctx));
+            l2Tlb_.invalidate(page, static_cast<ContextId>(ctx));
+        });
+}
+
 LatencyBreakdownSummary
 Iommu::latencySummary() const
 {
@@ -103,8 +128,10 @@ Iommu::registerInvariants(sim::Auditor &auditor)
 {
     auditor.registerInvariant(
         "iommu.walk_conservation", [this](sim::AuditContext &ctx) {
-            // There is no fault path in this model, so every started
-            // walk (demand or prefetch) must complete.
+            // Every started walk (demand or prefetch) completes
+            // exactly once. A far fault does not break this: the
+            // faulted attempt parks and the walk completes after the
+            // fault is serviced and it re-walks.
             const std::uint64_t started =
                 walkRequests_.value() + prefetches_.value();
             const std::uint64_t done = walksCompleted_.value();
@@ -143,6 +170,23 @@ Iommu::registerInvariants(sim::Auditor &auditor)
                         " walks stuck in the buffer at drain");
             ctx.require(overflow_.empty(), overflow_.size(),
                         " walks stuck in the overflow FIFO at drain");
+            ctx.require(faulted_.empty(), faultedParked_,
+                        " walks parked on unserviced faults at drain");
+        });
+
+    auditor.registerInvariant(
+        "iommu.fault_parking", [this](sim::AuditContext &ctx) {
+            // The parked-walk counter mirrors the faulted lists, and
+            // no list lingers empty (service removes the whole entry).
+            std::uint64_t parked = 0;
+            for (const auto &[key, entry] : faulted_) {
+                parked += entry.walks.size();
+                ctx.require(!entry.walks.empty(),
+                            "empty fault parking list for key ", key);
+            }
+            ctx.require(parked == faultedParked_, parked,
+                        " walks on fault lists vs counter ",
+                        faultedParked_);
         });
 
     auditor.registerInvariant(
@@ -288,6 +332,11 @@ Iommu::enqueueWalk(tlb::TranslationRequest req)
     walk.seq = nextSeq_++;
     metrics_.onArrival(walk.request.instruction);
     ++tenantSlot(walk.request.ctx).walkRequests;
+    // Pin the page for the walk's whole lifetime (buffer, walker,
+    // fault parking): the GMMU must never evict a page with an
+    // in-flight walk.
+    if (gmmu_)
+        gmmu_->pin(walk.request.ctx, walk.request.vaPage);
 
     if (tracer_) {
         trace::Event ev;
@@ -424,7 +473,18 @@ Iommu::dispatchTo(PageTableWalker &walker, core::PendingWalk walk,
 void
 Iommu::onWalkDone(WalkResult result)
 {
+    if (result.faulted) {
+        handleFaultedWalk(std::move(result));
+        return;
+    }
+
     ++walksCompleted_;
+    if (gmmu_) {
+        gmmu_->unpin(result.walk.request.ctx,
+                     result.walk.request.vaPage);
+        gmmu_->touch(result.walk.request.ctx,
+                     result.walk.request.vaPage);
+    }
     if (!result.walk.isPrefetch) {
         walkLatency_.sample(
             static_cast<double>(result.finished
@@ -471,6 +531,107 @@ Iommu::onWalkDone(WalkResult result)
 }
 
 void
+Iommu::handleFaultedWalk(WalkResult result)
+{
+    GPUWALK_ASSERT(gmmu_, "faulted walk without a GMMU attached");
+    // Prefetch walks only start on pages that are resident and pinned
+    // at issue time, so they can never observe a non-present entry.
+    GPUWALK_ASSERT(!result.walk.isPrefetch, "prefetch walk faulted");
+
+    const ContextId ctx = result.walk.request.ctx;
+    const mem::Addr page = result.walk.request.vaPage;
+    const std::uint64_t key = page | ctx;
+
+    const auto [it, fresh] = faulted_.try_emplace(key);
+    if (fresh) {
+        it->second.raised = eq_.now();
+        if (tracer_) {
+            trace::Event ev;
+            ev.tick = eq_.now();
+            ev.kind = trace::EventKind::FaultRaised;
+            ev.level = static_cast<std::uint8_t>(result.faultLevel);
+            ev.ctx = ctx;
+            ev.walker = result.walkerId;
+            ev.wavefront = result.walk.request.wavefront;
+            ev.instruction = result.walk.request.instruction;
+            ev.vaPage = page;
+            ev.arg0 = 1; // walks parked behind the fault so far
+            tracer_->record(ev);
+        }
+        gmmu_->raiseFault(ctx, page);
+    } else {
+        gmmu_->noteWaiter(ctx, page);
+    }
+    it->second.walks.push_back(std::move(result.walk));
+    ++faultedParked_;
+
+    // The faulting walker is idle now: service the backlog.
+    dispatchIfPossible();
+}
+
+void
+Iommu::onFaultServiced(ContextId ctx, mem::Addr va_page)
+{
+    const std::uint64_t key = va_page | ctx;
+    const auto it = faulted_.find(key);
+    GPUWALK_ASSERT(it != faulted_.end(),
+                   "fault serviced with no parked walks for va ",
+                   va_page);
+    FaultedEntry entry = std::move(it->second);
+    faulted_.erase(it);
+    GPUWALK_ASSERT(faultedParked_ >= entry.walks.size(),
+                   "parked-walk counter underflow");
+    faultedParked_ -= entry.walks.size();
+
+    if (tracer_) {
+        trace::Event ev;
+        ev.tick = eq_.now();
+        ev.kind = trace::EventKind::FaultServiced;
+        ev.ctx = ctx;
+        ev.walker = trace::noWalker;
+        ev.wavefront = entry.walks.front().request.wavefront;
+        ev.instruction = entry.walks.front().request.instruction;
+        ev.vaPage = va_page;
+        ev.arg0 = entry.walks.size();
+        ev.arg1 = eq_.now() - entry.raised;
+        tracer_->record(ev);
+    }
+    sim::debug::log("sched", eq_.now(), "fault serviced va=", std::hex,
+                    va_page, std::dec, " releasing ",
+                    entry.walks.size(), " walks");
+
+    for (auto &walk : entry.walks)
+        reenterWalk(std::move(walk));
+}
+
+void
+Iommu::reenterWalk(core::PendingWalk walk)
+{
+    // A re-entered walk is a new scheduling arrival: the buffer's
+    // monotone-seq insert and the aging bookkeeping both demand a
+    // fresh sequence number, and queue-wait restarts so the fault
+    // service time is accounted by the GMMU's latency histogram, not
+    // double-counted as buffer wait. It is NOT a new walk request:
+    // walkRequests_, tenant arrival counters, metrics_.onArrival and
+    // the Enqueued trace event all fired at the original arrival.
+    walk.seq = nextSeq_++;
+    walk.arrival = eq_.now();
+
+    if (PageTableWalker *w = idleWalker()) {
+        GPUWALK_ASSERT(buffer_.empty() && overflow_.empty(),
+                       "idle walker with pending requests");
+        dispatchTo(*w, std::move(walk), core::PickReason::Immediate);
+        return;
+    }
+    if (buffer_.full()) {
+        ++overflowed_;
+        overflow_.push_back(std::move(walk));
+        return;
+    }
+    admitToBuffer(std::move(walk));
+}
+
+void
 Iommu::maybePrefetch(mem::Addr completed_va_page, ContextId ctx)
 {
     // Strictly idle-bandwidth: only when nothing demands service.
@@ -484,7 +645,11 @@ Iommu::maybePrefetch(mem::Addr completed_va_page, ContextId ctx)
     if (l1Tlb_.probe(next, ctx) || l2Tlb_.probe(next, ctx))
         return;
     // Functional presence check against the completing tenant's own
-    // page table: never walk into an unmapped page.
+    // page table: never walk into an unmapped page. Under demand
+    // paging the page must additionally be resident — a prefetch must
+    // never raise a far fault.
+    if (gmmu_ && !gmmu_->isResident(ctx, next))
+        return;
     if (!vm::translateFrom(store_, pwc_.rootOf(ctx), next))
         return;
 
@@ -496,6 +661,10 @@ Iommu::maybePrefetch(mem::Addr completed_va_page, ContextId ctx)
     walk.arrival = eq_.now();
     walk.seq = nextSeq_++;
     walk.isPrefetch = true;
+    // The pin taken here (released at completion) keeps the resident
+    // check valid for the walk's whole duration.
+    if (gmmu_)
+        gmmu_->pin(ctx, next);
     // Bypass metrics/scheduler: the walker is idle by construction.
     w->start(std::move(walk),
              [this](WalkResult r) { onWalkDone(std::move(r)); });

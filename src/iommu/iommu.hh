@@ -22,6 +22,7 @@
 
 #include <array>
 #include <deque>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -43,6 +44,10 @@
 namespace gpuwalk::sim {
 class Auditor;
 } // namespace gpuwalk::sim
+
+namespace gpuwalk::vm {
+class Gmmu;
+} // namespace gpuwalk::vm
 
 namespace gpuwalk::iommu {
 
@@ -147,6 +152,16 @@ class Iommu : public tlb::TranslationService
      */
     void setTracer(trace::Tracer *tracer);
 
+    /**
+     * Attaches the demand-paging GMMU. Walkers may then terminate at
+     * non-present entries: the walk parks in a faulted list, the first
+     * parker raises a far fault (later ones coalesce), and the GMMU's
+     * service callback re-enters all parked walks into scheduling with
+     * fresh sequence numbers. Every walk pins its page against
+     * eviction from enqueue to completion. nullptr detaches.
+     */
+    void attachGmmu(vm::Gmmu *gmmu);
+
     const IommuConfig &config() const { return cfg_; }
     core::WalkScheduler &scheduler() { return *scheduler_; }
     PageWalkCache &pwc() { return pwc_; }
@@ -186,6 +201,9 @@ class Iommu : public tlb::TranslationService
 
     /** Requests that waited in the overflow FIFO. */
     std::uint64_t overflowed() const { return overflowed_.value(); }
+
+    /** Walks currently parked on unserviced far faults. */
+    std::uint64_t faultedWalks() const { return faultedParked_; }
 
     /** Per-tenant walk-path accounting (demand walks only). */
     struct TenantCounters
@@ -227,14 +245,16 @@ class Iommu : public tlb::TranslationService
     /** Bucketed queue-wait / walker-service / per-level breakdown. */
     LatencyBreakdownSummary latencySummary() const;
 
-    /** Walks currently buffered, overflowed, or in a walker. */
+    /** Walks currently buffered, overflowed, in a walker, or parked
+     *  on an unserviced far fault. */
     std::uint64_t
     inflightWalks() const
     {
         std::uint64_t busy = 0;
         for (const auto &w : walkers_)
             busy += w->busy() ? 1 : 0;
-        return buffer_.size() + overflow_.size() + busy;
+        return buffer_.size() + overflow_.size() + busy
+               + faultedParked_;
     }
 
     sim::StatGroup &stats() { return statGroup_; }
@@ -251,6 +271,9 @@ class Iommu : public tlb::TranslationService
     void dispatchTo(PageTableWalker &walker, core::PendingWalk walk,
                     core::PickReason reason);
     void onWalkDone(WalkResult result);
+    void handleFaultedWalk(WalkResult result);
+    void onFaultServiced(ContextId ctx, mem::Addr va_page);
+    void reenterWalk(core::PendingWalk walk);
     PageTableWalker *idleWalker();
 
     sim::EventQueue &eq_;
@@ -266,6 +289,18 @@ class Iommu : public tlb::TranslationService
     mem::Addr pageTableRoot_ = 0;
     core::WalkBuffer buffer_;
     std::deque<core::PendingWalk> overflow_;
+
+    /** Walks parked on an unserviced far fault, keyed by the page
+     *  (page-aligned VA | ctx). One raise per key; later walks for the
+     *  same page coalesce onto the list. */
+    struct FaultedEntry
+    {
+        std::vector<core::PendingWalk> walks;
+        sim::Tick raised = 0;
+    };
+    vm::Gmmu *gmmu_ = nullptr;
+    std::map<std::uint64_t, FaultedEntry> faulted_;
+    std::uint64_t faultedParked_ = 0;
 
     /** Per-tenant accounting, indexed by ContextId (grown lazily; a
      *  single-tenant run only ever touches slot 0). */

@@ -72,10 +72,17 @@ PageTableWalker::step()
             tracer_->record(ev);
         }
         const std::uint64_t entry = store_.read64(slot);
-        GPUWALK_ASSERT(entry & vm::pte::present,
-                       "page walk hit a non-present entry at level ",
-                       level_, " for va ", va,
-                       " (workloads are fully resident)");
+        if (!(entry & vm::pte::present)) {
+            // A non-present entry is a far fault under demand paging
+            // and a modeling bug otherwise (eagerly mapped workloads
+            // are fully resident).
+            GPUWALK_ASSERT(faultsAllowed_,
+                           "page walk hit a non-present entry at level ",
+                           level_, " for va ", va,
+                           " (workloads are fully resident)");
+            fault();
+            return;
+        }
         if (level_ == 2 && (entry & vm::pte::pageSize)) {
             // 2 MB leaf (PS bit): the walk terminates a level early.
             // The PWC is not filled — there is no next-level table;
@@ -126,6 +133,7 @@ PageTableWalker::finish(mem::Addr pa_page, bool large_page)
     result.paPage = pa_page;
     result.largePage = large_page;
     result.memAccesses = accesses_;
+    result.walkerId = id_;
     result.started = started_;
     result.finished = eq_.now();
     result.levelTicks = levelTicks_;
@@ -133,6 +141,30 @@ PageTableWalker::finish(mem::Addr pa_page, bool large_page)
     busy_ = false;
     // Move the callback out before invoking: the IOMMU may immediately
     // restart this walker from inside the callback.
+    auto done = std::move(onDone_);
+    done(std::move(result));
+}
+
+void
+PageTableWalker::fault()
+{
+    sim::debug::log("walks", eq_.now(), "walk faulted va=", std::hex,
+                    current_.request.vaPage, std::dec, " level=",
+                    level_, " accesses=", accesses_);
+    // No WalkDone trace and no walksDone_ increment: the walk is not
+    // done — it parks in the IOMMU's faulted list and completes after
+    // the fault is serviced. The IOMMU records FaultRaised instead.
+    WalkResult result;
+    result.walk = std::move(current_);
+    result.faulted = true;
+    result.faultLevel = level_;
+    result.memAccesses = accesses_;
+    result.walkerId = id_;
+    result.started = started_;
+    result.finished = eq_.now();
+    result.levelTicks = levelTicks_;
+
+    busy_ = false;
     auto done = std::move(onDone_);
     done(std::move(result));
 }

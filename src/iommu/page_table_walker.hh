@@ -32,8 +32,15 @@ struct WalkResult
     mem::Addr paPage = 0;       ///< page-aligned translation result
     bool largePage = false;     ///< backed by a 2 MB (PS-bit) mapping
     unsigned memAccesses = 0;   ///< actual accesses performed (1-4)
+    unsigned walkerId = 0;      ///< walker that performed the walk
     sim::Tick started = 0;      ///< dispatch time
     sim::Tick finished = 0;     ///< completion time
+
+    /** The walk reached a non-present entry (far fault): paPage is
+     *  meaningless and the walk must park until the fault is
+     *  serviced. Only possible when the walker allowFaults(). */
+    bool faulted = false;
+    unsigned faultLevel = 0;    ///< non-present level (4..1)
 
     /** Memory latency of each level's PTE read; index = level - 1,
      *  0 for levels the walk skipped (PWC hit / 2 MB leaf). */
@@ -68,6 +75,13 @@ class PageTableWalker
     /** Attaches a lifecycle tracer (nullptr = tracing off). */
     void setTracer(trace::Tracer *tracer) { tracer_ = tracer; }
 
+    /**
+     * Demand paging: a non-present entry produces a faulted WalkResult
+     * instead of being a fatal modeling error. Off by default — fully
+     * resident runs treat a non-present entry as a bug.
+     */
+    void allowFaults(bool on) { faultsAllowed_ = on; }
+
     /** Total walks completed by this walker. */
     std::uint64_t walksDone() const { return walksDone_; }
 
@@ -82,6 +96,7 @@ class PageTableWalker
   private:
     void step();
     void finish(mem::Addr pa_page, bool large_page);
+    void fault();
 
     sim::EventQueue &eq_;
     mem::MemoryDevice &memory_;
@@ -89,6 +104,7 @@ class PageTableWalker
     PageWalkCache &pwc_;
     unsigned id_ = 0;
     trace::Tracer *tracer_ = nullptr;
+    bool faultsAllowed_ = false;
 
     bool busy_ = false;
     core::PendingWalk current_{};

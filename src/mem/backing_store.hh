@@ -71,6 +71,15 @@ class BackingStore
     /** Number of frames actually materialized. */
     std::size_t framesAllocated() const { return index_.size(); }
 
+    /** True if the frame containing @p addr has been materialized.
+     *  Lets eviction machinery skip saving frames that were never
+     *  written (their content is implicitly zero). */
+    bool
+    contains(Addr addr) const
+    {
+        return find(pageNumber(addr)) != nullptr;
+    }
+
   private:
     using Frame = std::array<std::uint8_t, pageSize>;
 

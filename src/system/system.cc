@@ -1,6 +1,7 @@
 #include "system/system.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "sim/domain_runner.hh"
 #include "trace/digest.hh"
@@ -119,6 +120,17 @@ System::System(const SystemConfig &cfg)
         qIommu, cfg_.iommu, std::move(scheduler), *walkMemPort_, store_,
         addressSpace_->pageTable().root());
 
+    if (cfg_.gmmu.enabled) {
+        // Demand paging: the GMMU lives on the IOMMU domain's queue
+        // (faults are raised and serviced on the walk path), and the
+        // default address space stops eagerly mapping its regions.
+        gmmu_ = std::make_unique<vm::Gmmu>(qIommu, cfg_.gmmu, frames_,
+                                           store_);
+        addressSpace_->setDemandPaging(true);
+        gmmu_->registerSpace(0, *addressSpace_);
+        iommu_->attachGmmu(gmmu_.get());
+    }
+
     tlb::TranslationService *translation = nullptr;
     if (channelTranslation_) {
         iommu_->setReplyChannel(chTransReply_.get());
@@ -174,6 +186,8 @@ System::System(const SystemConfig &cfg)
         auditor_ = std::make_unique<sim::Auditor>();
         tlbs_->registerInvariants(*auditor_);
         iommu_->registerInvariants(*auditor_);
+        if (gmmu_)
+            gmmu_->registerInvariants(*auditor_);
         if (iommu_->walkCache())
             iommu_->walkCache()->registerInvariants(*auditor_);
         l2d_->registerInvariants(*auditor_);
@@ -301,6 +315,9 @@ System::loadBenchmark(const std::string &workload_abbrev,
                       unsigned app_id)
 {
     auto gen = workload::makeWorkload(workload_abbrev);
+    GPUWALK_ASSERT(!(gmmu_ && params.useLargePages),
+                   "demand paging excludes eager large pages (2 MB "
+                   "coverage comes from GMMU promotion)");
     addressSpace_->useLargePages(params.useLargePages);
     loadWorkload(gen->generate(*addressSpace_, params), app_id);
 }
@@ -323,6 +340,10 @@ System::createContext()
     const auto ctx = static_cast<tlb::ContextId>(tenantSpaces_.size());
     iommu_->registerContext(ctx,
                             tenantSpaces_.back()->pageTable().root());
+    if (gmmu_) {
+        tenantSpaces_.back()->setDemandPaging(true);
+        gmmu_->registerSpace(ctx, *tenantSpaces_.back());
+    }
     return ctx;
 }
 
@@ -342,6 +363,9 @@ System::loadBenchmarkInContext(const std::string &workload_abbrev,
 {
     auto gen = workload::makeWorkload(workload_abbrev);
     vm::AddressSpace &as = addressSpaceOf(ctx);
+    GPUWALK_ASSERT(!(gmmu_ && params.useLargePages),
+                   "demand paging excludes eager large pages (2 MB "
+                   "coverage comes from GMMU promotion)");
     as.useLargePages(params.useLargePages);
     gpu_->setAppContext(app_id, ctx);
     if (arrival_tick == 0) {
@@ -355,6 +379,20 @@ System::loadBenchmarkInContext(const std::string &workload_abbrev,
 RunStats
 System::run(std::uint64_t max_events)
 {
+    if (gmmu_) {
+        // Resolve the oversubscription ratio against the loaded
+        // workloads' total footprint: the cap is fixed for the run,
+        // like a real device's memory size.
+        mem::Addr bytes = addressSpace_->footprintBytes();
+        for (const auto &space : tenantSpaces_)
+            bytes += space->footprintBytes();
+        const auto pages =
+            std::uint64_t{(bytes + mem::pageSize - 1) / mem::pageSize};
+        const auto cap = static_cast<std::uint64_t>(
+            std::ceil(cfg_.gmmu.oversubscription
+                      * static_cast<double>(pages)));
+        gmmu_->setFrameCap(std::max<std::uint64_t>(1, cap));
+    }
     return simThreads_ > 1 ? runParallel(max_events)
                            : runSerial(max_events);
 }
@@ -500,6 +538,9 @@ System::collectStats()
             stats.tenants.push_back(t);
         }
     }
+
+    if (gmmu_)
+        stats.gmmu = gmmu_->summarize();
     return stats;
 }
 

@@ -31,6 +31,7 @@
 #include "trace/trace.hh"
 #include "vm/address_space.hh"
 #include "vm/frame_allocator.hh"
+#include "vm/gmmu.hh"
 #include "workload/workload.hh"
 
 namespace gpuwalk::system {
@@ -96,6 +97,10 @@ struct RunStats
      * byte-identical to the pre-ASID simulator.
      */
     std::vector<TenantStats> tenants;
+
+    /** Demand-paging accounting; gmmu.enabled is false for fully
+     *  resident runs (their stats stay byte-identical). */
+    vm::GmmuSummary gmmu;
 };
 
 /** Owns and wires every component; one System per simulation run. */
@@ -177,6 +182,10 @@ class System
     sim::Auditor *auditor() { return auditor_.get(); }
     const sim::Auditor *auditor() const { return auditor_.get(); }
 
+    /** The demand-paging GMMU, or nullptr when fully resident. */
+    vm::Gmmu *gmmu() { return gmmu_.get(); }
+    const vm::Gmmu *gmmu() const { return gmmu_.get(); }
+
   private:
     /** Intrusive wake-up driving the in-run (periodic) audit checks. */
     struct PeriodicAuditEvent final : sim::Event
@@ -208,6 +217,10 @@ class System
     PeriodicAuditEvent auditEvent_;
     mem::BackingStore store_;
     vm::FrameAllocator frames_;
+    /** Demand-paging fault handler; null for fully resident runs.
+     *  Lives on the IOMMU domain's queue — faults are raised and
+     *  serviced on the walk path, keeping parallel runs deterministic. */
+    std::unique_ptr<vm::Gmmu> gmmu_;
     std::unique_ptr<vm::AddressSpace> addressSpace_;
     /** Tenant address spaces beyond the default (ContextId i+1). */
     std::vector<std::unique_ptr<vm::AddressSpace>> tenantSpaces_;

@@ -43,6 +43,18 @@ SystemConfig::print(std::ostream &os) const
         }
         os << "\n";
     }
+    // GMMU knobs print only under demand paging, so fully resident
+    // configurations keep their pre-GMMU fingerprints.
+    if (gmmu.enabled) {
+        os << "GMMU           oversubscription " << gmmu.oversubscription
+           << ", " << vm::toString(gmmu.order) << " fault servicing, "
+           << vm::toString(gmmu.evict) << " eviction\n"
+           << "               fault latency " << gmmu.faultLatency
+           << " ticks, migration " << gmmu.migrationLatency
+           << " ticks, batch " << gmmu.batchSize
+           << (gmmu.contiguity ? ", contiguity-aware allocation" : "")
+           << "\n";
+    }
     os << "PWC            " << iommu.pwc.entriesPerLevel
        << " entries/level, " << iommu.pwc.associativity << "-way"
        << (iommu.pwc.pinScoredEntries ? ", counter-pinned replacement"

@@ -19,6 +19,7 @@
 #include "sim/audit.hh"
 #include "tlb/tlb_hierarchy.hh"
 #include "trace/trace.hh"
+#include "vm/gmmu.hh"
 
 namespace gpuwalk::system {
 
@@ -55,6 +56,15 @@ struct SystemConfig
      */
     std::function<std::unique_ptr<core::WalkScheduler>()>
         schedulerFactory;
+
+    /**
+     * Demand paging / memory oversubscription (the GMMU). Off by
+     * default: fully resident runs never construct the GMMU and stay
+     * byte-identical to the eager-mapping simulator. When enabled the
+     * knobs print (they change simulated behaviour, so they belong in
+     * the config fingerprint).
+     */
+    vm::GmmuConfig gmmu;
 
     /** Physical memory backing the frame allocator. */
     mem::Addr physMemBytes = mem::Addr(8) << 30;

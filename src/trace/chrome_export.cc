@@ -139,6 +139,24 @@ writeChromeTrace(std::ostream &os, const Tracer &tracer)
             writeCommonArgs(os, ev);
             os << ",\"accesses\":" << ev.arg0 << "}}";
             break;
+        case EventKind::FaultRaised:
+            w.next() << "{\"ph\":\"i\",\"pid\":0,\"tid\":" << tidBuffer
+                     << ",\"ts\":" << ev.tick
+                     << ",\"name\":\"fault_raised\",\"s\":\"t\","
+                     << "\"args\":{";
+            writeCommonArgs(os, ev);
+            os << ",\"level\":" << unsigned(ev.level)
+               << ",\"parked\":" << ev.arg0 << "}}";
+            break;
+        case EventKind::FaultServiced:
+            // The raise-to-service window renders as a span ending at
+            // the service tick; arg1 carries its duration.
+            w.next() << "{\"ph\":\"X\",\"pid\":0,\"tid\":" << tidBuffer
+                     << ",\"ts\":" << ev.tick - ev.arg1 << ",\"dur\":"
+                     << ev.arg1 << ",\"name\":\"fault\",\"args\":{";
+            writeCommonArgs(os, ev);
+            os << ",\"released\":" << ev.arg0 << "}}";
+            break;
         }
     });
 

@@ -54,6 +54,8 @@ toString(EventKind kind)
     case EventKind::MemIssued: return "mem_issued";
     case EventKind::MemCompleted: return "mem_completed";
     case EventKind::WalkDone: return "walk_done";
+    case EventKind::FaultRaised: return "fault_raised";
+    case EventKind::FaultServiced: return "fault_serviced";
     }
     return "unknown";
 }

@@ -63,10 +63,24 @@ enum class EventKind : std::uint8_t
     /** Walk finished. walker = walker index, arg0 = memory accesses
      *  performed (1-4), arg1 = walker service time (ticks). */
     WalkDone,
+
+    // Demand-paging kinds are appended so the numeric values above —
+    // and with them the committed golden trace digests of fully
+    // resident runs — stay stable.
+
+    /** A walk reached a non-present entry and raised a far fault.
+     *  level = the non-present PT level (4..1), walker = the walker
+     *  that hit it, arg0 = walks parked behind the fault so far. */
+    FaultRaised,
+
+    /** The GMMU repaired the fault; parked walks re-enter scheduling.
+     *  arg0 = walks released, arg1 = raise-to-service latency
+     *  (ticks). */
+    FaultServiced,
 };
 
 /** Number of distinct EventKind values. */
-constexpr unsigned numEventKinds = 7;
+constexpr unsigned numEventKinds = 9;
 
 /** Short lowercase name of @p kind (e.g. "scheduled"). */
 const char *toString(EventKind kind);

@@ -4,8 +4,9 @@
  *
  * Workload generators allocate named buffers; the address space lays
  * them out in virtual memory and eagerly maps every page through the
- * shared x86-64 page table (demand paging is out of the paper's scope:
- * its workloads are fully resident).
+ * shared x86-64 page table. Under the GMMU's demand-paging mode
+ * (vm/gmmu.hh) the eager mapping is skipped: regions are laid out but
+ * left non-present, and pages fault in on first touch by a walker.
  */
 
 #ifndef GPUWALK_VM_ADDRESS_SPACE_HH
@@ -52,6 +53,20 @@ class AddressSpace
     bool largePagesEnabled() const { return largePages_; }
 
     /**
+     * Demand-paging mode: allocate() lays out regions without mapping
+     * any page; the GMMU maps pages on far faults instead. Large pages
+     * are incompatible (2 MB coverage comes from GMMU promotion).
+     */
+    void
+    setDemandPaging(bool enable)
+    {
+        GPUWALK_ASSERT(!enable || !largePages_,
+                       "demand paging excludes eager large pages");
+        demandPaging_ = enable;
+    }
+    bool demandPaged() const { return demandPaging_; }
+
+    /**
      * Allocates @p bytes of virtual memory (rounded up to whole
      * pages — 4 KB or 2 MB depending on the page-size policy) and
      * maps every page to fresh physical frames.
@@ -69,12 +84,16 @@ class AddressSpace
         // surface as translation failures rather than silent overlap.
         nextVa_ += size + granule;
 
-        for (mem::Addr va = region.base; va < region.end();
-             va += granule) {
-            if (largePages_)
-                pageTable_.mapLarge(va, frames_.allocateLargeFrame());
-            else
-                pageTable_.map(va, frames_.allocateFrame());
+        if (!demandPaging_) {
+            for (mem::Addr va = region.base; va < region.end();
+                 va += granule) {
+                if (largePages_) {
+                    pageTable_.mapLarge(va,
+                                        frames_.allocateLargeFrame());
+                } else {
+                    pageTable_.map(va, frames_.allocateFrame());
+                }
+            }
         }
         regions_.push_back(region);
         return region;
@@ -121,6 +140,7 @@ class AddressSpace
     FrameAllocator &frames_;
     mem::Addr nextVa_;
     bool largePages_ = false;
+    bool demandPaging_ = false;
     std::vector<VaRegion> regions_;
 };
 

@@ -12,6 +12,7 @@
 #define GPUWALK_VM_FRAME_ALLOCATOR_HH
 
 #include <cstdint>
+#include <optional>
 
 #include "mem/types.hh"
 #include "sim/logging.hh"
@@ -60,12 +61,27 @@ class FrameAllocator
     mem::Addr
     allocateLargeFrame()
     {
+        const auto pa = tryAllocateLargeFrame();
+        GPUWALK_ASSERT(pa.has_value(),
+                       "out of physical memory for large pages");
+        return *pa;
+    }
+
+    /**
+     * Non-fatal variant of allocateLargeFrame(): returns nullopt when
+     * the contiguity pool has collided with the 4 KB bump region.
+     * The GMMU uses this for opportunistic Mosaic-style reservations,
+     * falling back to scattered 4 KB frames when contiguity runs out.
+     */
+    std::optional<mem::Addr>
+    tryAllocateLargeFrame()
+    {
         constexpr std::uint64_t framesPer2M = 512;
         if (largeTop_ == 0)
             largeTop_ = totalFrames_ & ~(framesPer2M - 1);
-        GPUWALK_ASSERT(largeTop_ >= framesPer2M
-                           && largeTop_ - framesPer2M >= nextFrame_,
-                       "out of physical memory for large pages");
+        if (largeTop_ < framesPer2M
+            || largeTop_ - framesPer2M < nextFrame_)
+            return std::nullopt;
         largeTop_ -= framesPer2M;
         return largeTop_ * mem::pageSize;
     }

@@ -67,6 +67,59 @@ PageTable::mapLarge(mem::Addr va, mem::Addr pa, bool writable)
     store_.write64(slot, leaf);
 }
 
+void
+PageTable::unmap(mem::Addr va)
+{
+    GPUWALK_ASSERT((va & (mem::pageSize - 1)) == 0, "unaligned va ", va);
+    const auto slot = entryAddress(va, PtLevel::Pt);
+    GPUWALK_ASSERT(slot.has_value(),
+                   "unmap of va ", va, " without a PT level");
+    const std::uint64_t leaf = store_.read64(*slot);
+    GPUWALK_ASSERT(leaf & pte::present, "unmap of non-present va ", va);
+    store_.write64(*slot, 0);
+    --mappings_;
+}
+
+std::uint64_t
+PageTable::promoteToLarge(mem::Addr va, mem::Addr pa)
+{
+    GPUWALK_ASSERT((pa & largePageMask) == 0, "unaligned 2MB pa ", pa);
+    const mem::Addr base = va & ~largePageMask;
+    const auto slot = entryAddress(base, PtLevel::Pd);
+    GPUWALK_ASSERT(slot.has_value(),
+                   "promotion of va ", va, " without a PD level");
+    const std::uint64_t old = store_.read64(*slot);
+    GPUWALK_ASSERT((old & pte::present) && !(old & pte::pageSize),
+                   "promotion needs a present PT pointer at ", base);
+    store_.write64(*slot, (pa & pte::addrMask2M) | pte::present
+                              | pte::writable | pte::pageSize);
+    return old;
+}
+
+void
+PageTable::demoteFromLarge(mem::Addr va, std::uint64_t saved_pd_entry)
+{
+    const mem::Addr base = va & ~largePageMask;
+    // entryAddress() stops at a PS-bit leaf, so locate the PD slot by
+    // walking the upper two levels directly.
+    mem::Addr table = root_;
+    for (unsigned l = numPtLevels; l > 2; --l) {
+        const std::uint64_t entry =
+            store_.read64(entrySlot(table, base, PtLevel{l}));
+        GPUWALK_ASSERT(entry & pte::present,
+                       "demotion of va ", va, " without upper levels");
+        table = entry & pte::addrMask;
+    }
+    const mem::Addr slot = entrySlot(table, base, PtLevel::Pd);
+    const std::uint64_t old = store_.read64(slot);
+    GPUWALK_ASSERT((old & pte::present) && (old & pte::pageSize),
+                   "demotion of a non-promoted range at ", base);
+    GPUWALK_ASSERT((saved_pd_entry & pte::present)
+                       && !(saved_pd_entry & pte::pageSize),
+                   "demotion needs the saved PT pointer for ", base);
+    store_.write64(slot, saved_pd_entry);
+}
+
 std::optional<mem::Addr>
 translateFrom(const mem::BackingStore &store, mem::Addr root,
               mem::Addr va)

@@ -87,6 +87,31 @@ class PageTable
     void mapLarge(mem::Addr va, mem::Addr pa, bool writable = true);
 
     /**
+     * Removes the 4 KB leaf mapping for page @p va (demand-paging
+     * eviction). Intermediate tables are kept: real OSes do not tear
+     * down the radix tree per eviction either. @pre the page is mapped
+     * with a 4 KB leaf (not a 2 MB PS-bit entry).
+     */
+    void unmap(mem::Addr va);
+
+    /**
+     * Mosaic-style promotion: replaces the PD-level pointer entry for
+     * the fully-resident 2 MB range containing @p va with a PS-bit
+     * leaf mapping @p pa. The underlying PT page (still holding the
+     * 512 4 KB leaves) is kept alive so the promotion can be undone.
+     * @return the replaced PD pointer entry, to hand back to
+     *         demoteFromLarge().
+     */
+    std::uint64_t promoteToLarge(mem::Addr va, mem::Addr pa);
+
+    /**
+     * Undoes promoteToLarge(): restores @p saved_pd_entry (the PT
+     * pointer) at the PD slot for @p va, making the 4 KB leaves
+     * authoritative again ahead of an eviction from the range.
+     */
+    void demoteFromLarge(mem::Addr va, std::uint64_t saved_pd_entry);
+
+    /**
      * Functional translation: returns the physical address for @p va,
      * or nullopt if unmapped. Accepts unaligned addresses.
      */

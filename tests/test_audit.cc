@@ -33,6 +33,7 @@
 #include "tlb/tlb_hierarchy.hh"
 #include "vm/address_space.hh"
 #include "vm/frame_allocator.hh"
+#include "vm/gmmu.hh"
 
 namespace {
 
@@ -625,6 +626,113 @@ TEST(SystemAuditFault, DelayedResponseIsTheNegativeControl)
     EXPECT_EQ(stats.auditViolations, 0u)
         << stats.auditFindings.front().invariant << ": "
         << stats.auditFindings.front().message;
+}
+
+// --- GMMU invariants under targeted faults -------------------------
+
+/** Gmmu + real page tables, driven directly (no IOMMU in the way), so
+ *  each Gmmu::TestFaults knob can break exactly one invariant. */
+struct GmmuAuditHarness
+{
+    explicit GmmuAuditHarness(vm::Gmmu::TestFaults faults = {})
+        : frames(mem::Addr(1) << 30, false), gmmu(eq, [&] {
+              vm::GmmuConfig cfg;
+              cfg.enabled = true;
+              cfg.faultLatency = 1'000;
+              cfg.migrationLatency = 100;
+              return cfg;
+          }(), frames, store)
+    {
+        space = std::make_unique<vm::AddressSpace>(store, frames);
+        space->setDemandPaging(true);
+        gmmu.registerSpace(0, *space);
+        gmmu.setTestFaults(faults);
+        gmmu.registerInvariants(auditor);
+        region = space->allocate("buf", 64 * mem::pageSize);
+    }
+
+    mem::Addr
+    pageAt(unsigned i) const
+    {
+        return region.base + mem::Addr(i) * mem::pageSize;
+    }
+
+    sim::EventQueue eq;
+    mem::BackingStore store;
+    vm::FrameAllocator frames;
+    std::unique_ptr<vm::AddressSpace> space;
+    vm::VaRegion region;
+    Auditor auditor;
+    vm::Gmmu gmmu;
+};
+
+TEST(GmmuAuditFault, CleanFaultingRunsAuditClean)
+{
+    GmmuAuditHarness h;
+    h.gmmu.setFrameCap(2); // churn through eviction too
+    for (unsigned i = 0; i < 6; ++i) {
+        h.gmmu.raiseFault(0, h.pageAt(i));
+        drain(h.eq);
+        h.auditor.check(AuditPhase::Periodic, h.eq.now());
+    }
+    h.auditor.check(AuditPhase::Final, h.eq.now());
+    EXPECT_TRUE(h.auditor.clean())
+        << h.auditor.violations().front().invariant << ": "
+        << h.auditor.violations().front().message;
+    EXPECT_GT(h.gmmu.pagesEvicted(), 0u);
+}
+
+TEST(GmmuAuditFault, DroppedServiceFiresFaultConservation)
+{
+    // The service completion is lost: the page lands in a frame but
+    // the fault is never acknowledged. raised != serviced + pending.
+    GmmuAuditHarness h({.dropFirstService = true});
+    h.gmmu.raiseFault(0, h.pageAt(0));
+    drain(h.eq);
+
+    h.auditor.check(AuditPhase::Final, h.eq.now());
+    EXPECT_FALSE(h.auditor.clean());
+    EXPECT_TRUE(hasViolation(h.auditor.violations(),
+                             "gmmu.fault_conservation"));
+    EXPECT_EQ(h.gmmu.faultsRaised(), 1u);
+    EXPECT_EQ(h.gmmu.faultsServiced(), 0u);
+    EXPECT_EQ(h.gmmu.pendingFaults(), 0u);
+}
+
+TEST(GmmuAuditFault, LeakedFrameFiresFrameAccounting)
+{
+    // Eviction forgets the frame bookkeeping: the residency counter,
+    // the LRU structures and the free list fall out of agreement.
+    GmmuAuditHarness h({.leakFrameOnEvict = true});
+    h.gmmu.setFrameCap(1);
+    h.gmmu.raiseFault(0, h.pageAt(0));
+    drain(h.eq);
+    h.gmmu.raiseFault(0, h.pageAt(1)); // evicts page 0, leaks its frame
+    drain(h.eq);
+
+    h.auditor.check(AuditPhase::Final, h.eq.now());
+    EXPECT_FALSE(h.auditor.clean());
+    EXPECT_TRUE(hasViolation(h.auditor.violations(),
+                             "gmmu.frame_accounting"));
+}
+
+TEST(GmmuAuditFault, PrematurePinnedEvictionFiresNoPinnedEviction)
+{
+    // The victim picker prefers a page a walk still holds pinned —
+    // the exact corruption pin-at-enqueue exists to prevent.
+    GmmuAuditHarness h({.evictPinned = true});
+    h.gmmu.setFrameCap(1);
+    h.gmmu.raiseFault(0, h.pageAt(0));
+    drain(h.eq);
+    h.gmmu.pin(0, h.pageAt(0));
+    h.gmmu.raiseFault(0, h.pageAt(1)); // must evict, only victim pinned
+    drain(h.eq);
+    h.gmmu.unpin(0, h.pageAt(0));
+
+    h.auditor.check(AuditPhase::Final, h.eq.now());
+    EXPECT_FALSE(h.auditor.clean());
+    EXPECT_TRUE(hasViolation(h.auditor.violations(),
+                             "gmmu.no_pinned_eviction"));
 }
 
 TEST(SystemAuditFault, FullRunWithPeriodicChecksAuditsClean)

@@ -281,6 +281,10 @@ validateTracedStream(const std::vector<trace::Event> &events,
                 << "walk completed twice";
             break;
         }
+        case EventKind::FaultRaised:
+        case EventKind::FaultServiced:
+            FAIL() << "fault event in a fully resident run";
+            break;
         }
     }
 

@@ -171,6 +171,21 @@ Hardware overrides (baseline = the paper's Table I):
   --virtual-l1            virtually-addressed L1 data caches
                           (translate on L1 miss, Yoon et al.)
 
+Demand paging (any flag enables the GMMU; excludes --large-pages):
+  --oversubscription=R    pages fault in on first touch; resident
+                          frames capped at R x the workload footprint
+                          (R in (0,1]; R < 1 forces eviction)
+  --fault-latency=N       host interrupt + runtime cost per fault
+                          batch, ticks        (default: 2000000)
+  --migration-latency=N   per-page CPU-GPU transfer cost, ticks
+                                              (default: 400000)
+  --fault-policy=P        fcfs | sjf fault service order
+  --gmmu-batch=N          max faults serviced per host round trip
+                                              (default: 8)
+  --gmmu-evict=P          lru | random victim policy at the cap
+  --no-contiguity         disable 2 MB contiguity reservation and
+                          promotion
+
 Output:
   --stats                 dump all component statistics (text)
   --json=FILE             write component statistics as JSON
@@ -259,6 +274,54 @@ configFromFlags(Flags &flags)
             sim::fatal("--trace-ring needs a positive integer");
         cfg.trace.ringCapacity = static_cast<std::size_t>(n);
         cfg.trace.enabled = true;
+    }
+    if (flags.has("oversubscription")) {
+        const double r = flags.getDouble("oversubscription", 1.0);
+        if (r <= 0.0 || r > 1.0)
+            sim::fatal("--oversubscription needs a ratio in (0, 1]");
+        cfg.gmmu.oversubscription = r;
+        cfg.gmmu.enabled = true;
+    }
+    if (flags.has("fault-latency")) {
+        cfg.gmmu.faultLatency =
+            static_cast<sim::Tick>(flags.getUint("fault-latency", 0));
+        cfg.gmmu.enabled = true;
+    }
+    if (flags.has("migration-latency")) {
+        cfg.gmmu.migrationLatency = static_cast<sim::Tick>(
+            flags.getUint("migration-latency", 0));
+        cfg.gmmu.enabled = true;
+    }
+    if (flags.has("fault-policy")) {
+        const std::string p = flags.get("fault-policy", "fcfs");
+        if (p == "fcfs")
+            cfg.gmmu.order = vm::FaultOrder::Fcfs;
+        else if (p == "sjf")
+            cfg.gmmu.order = vm::FaultOrder::Sjf;
+        else
+            sim::fatal("unknown --fault-policy '", p, "' (fcfs|sjf)");
+        cfg.gmmu.enabled = true;
+    }
+    if (flags.has("gmmu-batch")) {
+        const std::uint64_t n = flags.getUint("gmmu-batch", 0);
+        if (n == 0)
+            sim::fatal("--gmmu-batch needs a positive integer");
+        cfg.gmmu.batchSize = static_cast<unsigned>(n);
+        cfg.gmmu.enabled = true;
+    }
+    if (flags.has("gmmu-evict")) {
+        const std::string p = flags.get("gmmu-evict", "lru");
+        if (p == "lru")
+            cfg.gmmu.evict = vm::EvictPolicy::Lru;
+        else if (p == "random")
+            cfg.gmmu.evict = vm::EvictPolicy::Random;
+        else
+            sim::fatal("unknown --gmmu-evict '", p, "' (lru|random)");
+        cfg.gmmu.enabled = true;
+    }
+    if (flags.has("no-contiguity")) {
+        cfg.gmmu.contiguity = false;
+        cfg.gmmu.enabled = true;
     }
     if (flags.has("audit"))
         cfg.audit.enabled = true;
@@ -464,6 +527,17 @@ reportRun(const system::SystemConfig &cfg, const CliOptions &opt,
             std::cout << "audit              " << stats.auditChecks
                       << " checks, " << stats.auditViolations
                       << " violations\n";
+        }
+        if (stats.gmmu.enabled) {
+            std::cout << "far faults         " << stats.gmmu.faultsRaised
+                      << " raised (" << stats.gmmu.faultsCoalesced
+                      << " walks coalesced), " << stats.gmmu.batches
+                      << " batches\n"
+                      << "residency          peak "
+                      << stats.gmmu.residentPeak << " / cap "
+                      << stats.gmmu.frameCap << " pages, "
+                      << stats.gmmu.pagesEvicted << " evicted, "
+                      << stats.gmmu.promotions << " promoted\n";
         }
         for (const auto &t : stats.tenants) {
             std::cout << "tenant " << t.ctx << "           walks "
