@@ -62,6 +62,13 @@ printHelp(const std::string &id, const std::string &description)
                  "lru | random\n"
               << "  --no-contiguity  disable the 2 MB contiguity "
                  "reservation + promotion\n"
+              << "  --prefetch P  translation prefetch policy applied "
+                 "to every run:\n"
+              << "               off (default) | next (next-page) | "
+                 "spp (signature-path\n"
+              << "               lookahead)\n"
+              << "  --prefetch-degree N  max speculative walks per "
+                 "trigger (default 4)\n"
               << "  --help       this text\n";
     std::exit(0);
 }
@@ -219,6 +226,17 @@ parseBenchArgs(int argc, char **argv, const std::string &id,
                 sim::fatal("--no-contiguity takes no value");
             opts.runner.gmmu.contiguity = false;
             opts.runner.gmmu.enabled = true;
+        } else if (arg == "prefetch") {
+            opts.runner.prefetch.kind =
+                iommu::prefetchKindFromString(next_value());
+        } else if (arg == "prefetch-degree") {
+            const std::string v = next_value();
+            char *end = nullptr;
+            const unsigned long n = std::strtoul(v.c_str(), &end, 0);
+            if (v.empty() || end == nullptr || *end != '\0' || n == 0)
+                sim::fatal("--prefetch-degree needs a positive "
+                           "integer, got '", v, "'");
+            opts.runner.prefetch.degree = static_cast<unsigned>(n);
         } else {
             sim::fatal("unknown flag --", arg, " (see --help)");
         }

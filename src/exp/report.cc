@@ -384,6 +384,26 @@ statsJson(std::ostream &os, const system::RunStats &stats)
         os << "}}";
     }
 
+    // Prefetch-enabled runs only: --prefetch=off stats JSON stays
+    // byte-identical to the pre-prefetcher writer.
+    if (stats.prefetch.enabled) {
+        const auto &p = stats.prefetch;
+        os << ", \"prefetch\": {\"policy\": ";
+        jsonEscape(os, p.policy);
+        os << ", \"issued\": " << p.issued
+           << ", \"completed\": " << p.completed
+           << ", \"useful\": " << p.useful
+           << ", \"evicted_unused\": " << p.evictedUnused
+           << ", \"unused_at_end\": " << p.unusedAtEnd
+           << ", \"accuracy\": ";
+        jsonNumber(os, p.accuracy);
+        os << ", \"coverage\": ";
+        jsonNumber(os, p.coverage);
+        os << ", \"pollution\": ";
+        jsonNumber(os, p.pollution);
+        os << "}";
+    }
+
     // Multi-tenant runs only: single-tenant stats JSON stays
     // byte-identical to the pre-ASID writer.
     if (!stats.tenants.empty()) {

@@ -146,7 +146,9 @@ SweepResult
 runSweep(const SweepSpec &spec, const RunnerOptions &opts)
 {
     if (!opts.trace.enabled && !opts.audit.enabled
-        && !opts.gmmu.enabled && opts.simThreads == 1) {
+        && !opts.gmmu.enabled
+        && opts.prefetch.kind == iommu::PrefetchKind::Off
+        && opts.simThreads == 1) {
         return runJobs(spec.expand(), opts);
     }
     SweepSpec instrumented = spec;
@@ -156,6 +158,8 @@ runSweep(const SweepSpec &spec, const RunnerOptions &opts)
         instrumented.base.audit = opts.audit;
     if (opts.gmmu.enabled)
         instrumented.base.gmmu = opts.gmmu;
+    if (opts.prefetch.kind != iommu::PrefetchKind::Off)
+        instrumented.base.iommu.prefetch = opts.prefetch;
     instrumented.base.simThreads = opts.simThreads;
     return runJobs(instrumented.expand(), opts);
 }

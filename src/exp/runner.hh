@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "exp/sweep.hh"
+#include "iommu/prefetch/translation_prefetcher.hh"
 #include "sim/audit.hh"
 #include "trace/trace.hh"
 #include "vm/gmmu.hh"
@@ -59,6 +60,14 @@ struct RunnerOptions
      * so this only applies when gmmu.enabled is set.
      */
     vm::GmmuConfig gmmu;
+
+    /**
+     * Translation prefetching applied to every run of the sweep (same
+     * copy-into-base mechanism). NOT observation-only: speculative
+     * walks change TLB contents and walker occupancy, so this only
+     * applies when prefetch.kind != Off.
+     */
+    iommu::PrefetchConfig prefetch;
 };
 
 /**

@@ -24,6 +24,8 @@ Iommu::Iommu(sim::EventQueue &eq, const IommuConfig &cfg,
     GPUWALK_ASSERT(scheduler_ != nullptr, "IOMMU needs a scheduler");
     GPUWALK_ASSERT(cfg_.numWalkers > 0, "IOMMU needs walkers");
 
+    prefetcher_ = makePrefetcher(cfg_.prefetch);
+
     // The SRPT analysis scheduler re-probes the PWCs at selection.
     if (auto *srpt = dynamic_cast<core::SrptScheduler *>(
             scheduler_.get())) {
@@ -51,6 +53,9 @@ Iommu::Iommu(sim::EventQueue &eq, const IommuConfig &cfg,
     statGroup_.add(walksCompleted_);
     statGroup_.add(overflowed_);
     statGroup_.add(prefetches_);
+    statGroup_.add(prefetchCompleted_);
+    statGroup_.add(prefetchUseful_);
+    statGroup_.add(prefetchEvictedUnused_);
     statGroup_.add(bufferOccupancy_);
     statGroup_.add(walkLatency_);
     statGroup_.add(walkAccessesAvg_);
@@ -231,6 +236,27 @@ Iommu::registerInvariants(sim::Auditor &auditor)
         });
 
     auditor.registerInvariant(
+        "iommu.inflight_tracking", [this](sim::AuditContext &ctx) {
+            // The per-(ctx,page) in-flight counts the prefetch dedup
+            // filter consults must mirror the real walk population:
+            // buffered + overflowed + walking + fault-parked.
+            std::uint64_t tracked = 0;
+            for (const auto &[key, count] : inflight_) {
+                if (!ctx.require(count > 0, "zero in-flight count "
+                                 "lingers for key ", key))
+                    return;
+                tracked += count;
+            }
+            ctx.require(tracked == inflightWalks(), tracked,
+                        " tracked in-flight walks vs ",
+                        inflightWalks(), " actual");
+            if (ctx.final()) {
+                ctx.require(inflight_.empty(), inflight_.size(),
+                            " in-flight keys survive the drain");
+            }
+        });
+
+    auditor.registerInvariant(
         "iommu.buffer_counters", [this](sim::AuditContext &ctx) {
             const bool tracks = scheduler_->tracksAging();
             for (const auto &e : buffer_.entries()) {
@@ -311,6 +337,35 @@ Iommu::lookupTlbs(tlb::TranslationRequest r)
                         std::hex, r.vaPage, std::dec, " instr=",
                         r.instruction);
         const auto h = *hit;
+        if (prefetcher_) {
+            // First demand touch of a prefetched translation: the
+            // speculation paid off.
+            const std::uint64_t key = mem::pageCtxKey(r.ctx, r.vaPage);
+            if (const auto pit = prefetchedUntouched_.find(key);
+                pit != prefetchedUntouched_.end()) {
+                prefetchedUntouched_.erase(pit);
+                ++prefetchUseful_;
+                if (tracer_) {
+                    trace::Event ev;
+                    ev.tick = eq_.now();
+                    ev.kind = trace::EventKind::PrefetchUseful;
+                    ev.ctx = r.ctx;
+                    ev.wavefront = r.wavefront;
+                    ev.instruction = r.instruction;
+                    ev.vaPage = r.vaPage;
+                    tracer_->record(ev);
+                }
+            }
+            // A hit is still a demand touch: without this the stream
+            // starves as soon as the prefetcher starts covering it.
+            const mem::Addr va = r.vaPage;
+            const ContextId ctx = r.ctx;
+            const std::uint32_t wavefront = r.wavefront;
+            respond(std::move(r), h.paPage, h.largePage,
+                    cfg_.tlbLatency);
+            maybePrefetch(va, ctx, wavefront);
+            return;
+        }
         respond(std::move(r), h.paPage, h.largePage, cfg_.tlbLatency);
         return;
     }
@@ -332,6 +387,18 @@ Iommu::enqueueWalk(tlb::TranslationRequest req)
     walk.seq = nextSeq_++;
     metrics_.onArrival(walk.request.instruction);
     ++tenantSlot(walk.request.ctx).walkRequests;
+    noteInflight(walk.request.ctx, walk.request.vaPage);
+    if (prefetcher_) {
+        // A demand *walk* for a prefetched page means the prefetched
+        // TLB entry was evicted before its first use: pure pollution.
+        const std::uint64_t key =
+            mem::pageCtxKey(walk.request.ctx, walk.request.vaPage);
+        if (const auto pit = prefetchedUntouched_.find(key);
+            pit != prefetchedUntouched_.end()) {
+            prefetchedUntouched_.erase(pit);
+            ++prefetchEvictedUnused_;
+        }
+    }
     // Pin the page for the walk's whole lifetime (buffer, walker,
     // fault parking): the GMMU must never evict a page with an
     // in-flight walk.
@@ -479,6 +546,7 @@ Iommu::onWalkDone(WalkResult result)
     }
 
     ++walksCompleted_;
+    releaseInflight(result.walk.request.ctx, result.walk.request.vaPage);
     if (gmmu_) {
         gmmu_->unpin(result.walk.request.ctx,
                      result.walk.request.vaPage);
@@ -519,15 +587,26 @@ Iommu::onWalkDone(WalkResult result)
 
     const mem::Addr completedVa = result.walk.request.vaPage;
     const ContextId completedCtx = result.walk.request.ctx;
+    const std::uint32_t wavefront = result.walk.request.wavefront;
     const bool isPrefetch = result.walk.isPrefetch;
-    respond(std::move(result.walk.request), result.paPage,
-            result.largePage, 0);
+    if (isPrefetch) {
+        // No coalescer asked for this translation, so there is nothing
+        // to respond to: a synthetic TranslationReply would break the
+        // reply channel's request/reply conservation. The walk's whole
+        // value is the TLB fills above.
+        ++prefetchCompleted_;
+        prefetchedUntouched_.try_emplace(
+            mem::pageCtxKey(completedCtx, completedVa), true);
+    } else {
+        respond(std::move(result.walk.request), result.paPage,
+                result.largePage, 0);
+    }
 
     // The finishing walker is idle now: service the backlog.
     dispatchIfPossible();
 
-    if (cfg_.prefetchNextPage && !isPrefetch)
-        maybePrefetch(completedVa, completedCtx);
+    if (prefetcher_ && !isPrefetch)
+        maybePrefetch(completedVa, completedCtx, wavefront);
 }
 
 void
@@ -540,7 +619,7 @@ Iommu::handleFaultedWalk(WalkResult result)
 
     const ContextId ctx = result.walk.request.ctx;
     const mem::Addr page = result.walk.request.vaPage;
-    const std::uint64_t key = page | ctx;
+    const std::uint64_t key = mem::pageCtxKey(ctx, page);
 
     const auto [it, fresh] = faulted_.try_emplace(key);
     if (fresh) {
@@ -572,7 +651,7 @@ Iommu::handleFaultedWalk(WalkResult result)
 void
 Iommu::onFaultServiced(ContextId ctx, mem::Addr va_page)
 {
-    const std::uint64_t key = va_page | ctx;
+    const std::uint64_t key = mem::pageCtxKey(ctx, va_page);
     const auto it = faulted_.find(key);
     GPUWALK_ASSERT(it != faulted_.end(),
                    "fault serviced with no parked walks for va ",
@@ -632,42 +711,119 @@ Iommu::reenterWalk(core::PendingWalk walk)
 }
 
 void
-Iommu::maybePrefetch(mem::Addr completed_va_page, ContextId ctx)
+Iommu::maybePrefetch(mem::Addr touched_va_page, ContextId ctx,
+                     std::uint32_t wavefront)
 {
-    // Strictly idle-bandwidth: only when nothing demands service.
-    if (!buffer_.empty() || !overflow_.empty())
-        return;
-    PageTableWalker *w = idleWalker();
-    if (!w)
+    if (!prefetcher_)
         return;
 
-    const mem::Addr next = completed_va_page + mem::pageSize;
-    if (l1Tlb_.probe(next, ctx) || l2Tlb_.probe(next, ctx))
-        return;
-    // Functional presence check against the completing tenant's own
-    // page table: never walk into an unmapped page. Under demand
-    // paging the page must additionally be resident — a prefetch must
-    // never raise a far fault.
-    if (gmmu_ && !gmmu_->isResident(ctx, next))
-        return;
-    if (!vm::translateFrom(store_, pwc_.rootOf(ctx), next))
-        return;
+    // Train on every demand touch, whether or not any prediction can
+    // issue right now — the pattern tables must keep learning even
+    // while the walkers are saturated.
+    candidates_.clear();
+    prefetcher_->onDemandTouch(ctx, wavefront, touched_va_page,
+                               candidates_);
 
-    ++prefetches_;
-    core::PendingWalk walk;
-    walk.request.vaPage = next;
-    walk.request.instruction = 0; // reserved prefetch tag
-    walk.request.ctx = ctx;
-    walk.arrival = eq_.now();
-    walk.seq = nextSeq_++;
-    walk.isPrefetch = true;
-    // The pin taken here (released at completion) keeps the resident
-    // check valid for the walk's whole duration.
-    if (gmmu_)
-        gmmu_->pin(ctx, next);
-    // Bypass metrics/scheduler: the walker is idle by construction.
-    w->start(std::move(walk),
-             [this](WalkResult r) { onWalkDone(std::move(r)); });
+    for (const PrefetchCandidate &cand : candidates_) {
+        // Strictly idle-bandwidth: only when nothing demands service.
+        // Checked per candidate — issuing one occupies a walker.
+        if (!buffer_.empty() || !overflow_.empty())
+            return;
+        PageTableWalker *w = idleWalker();
+        if (!w)
+            return;
+
+        const mem::Addr page = cand.vaPage;
+        if (l1Tlb_.probe(page, ctx) || l2Tlb_.probe(page, ctx))
+            continue;
+        // In-flight dedup: a walk (demand or speculative) for this
+        // very translation is already buffered, walking, or parked —
+        // a second concurrent walk would be pure waste.
+        if (inflight_.contains(mem::pageCtxKey(ctx, page)))
+            continue;
+        // Functional presence check against the tenant's own page
+        // table: never walk into an unmapped page. Under demand
+        // paging the page must additionally be resident — a prefetch
+        // must never raise a far fault.
+        if (gmmu_ && !gmmu_->isResident(ctx, page))
+            continue;
+        if (!vm::translateFrom(store_, pwc_.rootOf(ctx), page))
+            continue;
+
+        ++prefetches_;
+        noteInflight(ctx, page);
+        core::PendingWalk walk;
+        walk.request.vaPage = page;
+        walk.request.instruction = 0; // reserved prefetch tag
+        walk.request.wavefront = wavefront;
+        walk.request.ctx = ctx;
+        walk.arrival = eq_.now();
+        walk.seq = nextSeq_++;
+        walk.isPrefetch = true;
+        // The pin taken here (released at completion) keeps the
+        // resident check valid for the walk's whole duration.
+        if (gmmu_)
+            gmmu_->pin(ctx, page);
+        if (tracer_) {
+            trace::Event ev;
+            ev.tick = eq_.now();
+            ev.kind = trace::EventKind::PrefetchIssued;
+            ev.ctx = ctx;
+            ev.walker = w->id();
+            ev.wavefront = wavefront;
+            ev.vaPage = page;
+            ev.arg0 = static_cast<std::uint64_t>(
+                cand.confidence * 1000.0);
+            ev.arg1 = touched_va_page;
+            tracer_->record(ev);
+        }
+        // Bypass metrics/scheduler: the walker is idle by
+        // construction.
+        w->start(std::move(walk),
+                 [this](WalkResult r) { onWalkDone(std::move(r)); });
+    }
+}
+
+void
+Iommu::noteInflight(ContextId ctx, mem::Addr va_page)
+{
+    ++inflight_[mem::pageCtxKey(ctx, va_page)];
+}
+
+void
+Iommu::releaseInflight(ContextId ctx, mem::Addr va_page)
+{
+    const std::uint64_t key = mem::pageCtxKey(ctx, va_page);
+    const auto it = inflight_.find(key);
+    GPUWALK_ASSERT(it != inflight_.end() && it->second > 0,
+                   "in-flight release with no tracked walk for va ",
+                   va_page);
+    if (--it->second == 0)
+        inflight_.erase(it);
+}
+
+PrefetchSummary
+Iommu::prefetchSummary() const
+{
+    PrefetchSummary s;
+    s.enabled = prefetcher_ != nullptr;
+    s.policy = toString(cfg_.prefetch.kind);
+    s.issued = prefetches_.value();
+    s.completed = prefetchCompleted_.value();
+    s.useful = prefetchUseful_.value();
+    s.evictedUnused = prefetchEvictedUnused_.value();
+    s.unusedAtEnd = prefetchedUntouched_.size();
+    if (s.completed > 0) {
+        s.accuracy = static_cast<double>(s.useful)
+                     / static_cast<double>(s.completed);
+        s.pollution = static_cast<double>(s.evictedUnused)
+                      / static_cast<double>(s.completed);
+    }
+    const std::uint64_t demand = s.useful + walkRequests_.value();
+    if (demand > 0)
+        s.coverage = static_cast<double>(s.useful)
+                     / static_cast<double>(demand);
+    return s;
 }
 
 Iommu::TenantCounters &

@@ -30,11 +30,14 @@
 #include "core/walk_scheduler.hh"
 #include "iommu/page_table_walker.hh"
 #include "iommu/page_walk_cache.hh"
+#include "iommu/prefetch/translation_prefetcher.hh"
 #include "iommu/walk_metrics.hh"
 #include "mem/backing_store.hh"
 #include "mem/cache.hh"
 #include "mem/request.hh"
+#include "mem/types.hh"
 #include "sim/event_queue.hh"
+#include "sim/flat_map.hh"
 #include "sim/rate_limiter.hh"
 #include "sim/stats.hh"
 #include "tlb/channel_port.hh"
@@ -80,13 +83,14 @@ struct IommuConfig
      * latency figures imply.
      */
     /**
-     * Next-page prefetching (an extension beyond the paper, in the
+     * Translation prefetching (an extension beyond the paper, in the
      * spirit of its related-work TLB prefetchers [44]): after a
-     * demand walk for page P completes and the walkers are otherwise
-     * idle, walk P+1 speculatively and fill the IOMMU TLBs. Strictly
-     * idle-bandwidth, so demand traffic is never delayed.
+     * demand touch of page P, the configured policy (next-page or
+     * SPP signature-path) proposes pages to walk speculatively into
+     * idle walkers, filling the IOMMU TLBs. Strictly idle-bandwidth,
+     * so demand traffic is never delayed.
      */
-    bool prefetchNextPage = false;
+    PrefetchConfig prefetch;
 
     bool useWalkCache = true;
     mem::CacheConfig walkCache{"ptwcache", 1024 * 1024, 16,
@@ -196,8 +200,26 @@ class Iommu : public tlb::TranslationService
         return walksCompleted_.value();
     }
 
-    /** Speculative next-page walks issued. */
+    /** Speculative translation walks issued. */
     std::uint64_t prefetches() const { return prefetches_.value(); }
+
+    /** The active prediction policy, or nullptr when prefetch is off. */
+    TranslationPrefetcher *prefetcher() { return prefetcher_.get(); }
+
+    /** Per-run prefetcher accounting (enabled=false when off). */
+    PrefetchSummary prefetchSummary() const;
+
+    /**
+     * Distinct (ctx, page) walks currently in flight — buffered,
+     * overflowed, walking, or parked on a fault. Test accessor for
+     * the prefetch dedup filter.
+     */
+    std::uint64_t
+    inflightForPage(ContextId ctx, mem::Addr va_page) const
+    {
+        const auto it = inflight_.find(mem::pageCtxKey(ctx, va_page));
+        return it == inflight_.end() ? 0 : it->second;
+    }
 
     /** Requests that waited in the overflow FIFO. */
     std::uint64_t overflowed() const { return overflowed_.value(); }
@@ -264,7 +286,10 @@ class Iommu : public tlb::TranslationService
     void respond(tlb::TranslationRequest req, mem::Addr pa_page,
                  bool large_page, sim::Tick delay);
     void enqueueWalk(tlb::TranslationRequest req);
-    void maybePrefetch(mem::Addr completed_va_page, ContextId ctx);
+    void maybePrefetch(mem::Addr touched_va_page, ContextId ctx,
+                       std::uint32_t wavefront);
+    void noteInflight(ContextId ctx, mem::Addr va_page);
+    void releaseInflight(ContextId ctx, mem::Addr va_page);
     TenantCounters &tenantSlot(ContextId ctx);
     void admitToBuffer(core::PendingWalk walk);
     void dispatchIfPossible();
@@ -302,6 +327,31 @@ class Iommu : public tlb::TranslationService
     std::map<std::uint64_t, FaultedEntry> faulted_;
     std::uint64_t faultedParked_ = 0;
 
+    /**
+     * In-flight walk counts keyed by mem::pageCtxKey(ctx, page): every
+     * walk (demand or prefetch) counts from enqueue/issue until its
+     * non-faulted completion, including the time it is parked on a
+     * fault. The prefetch issue path consults this so an idle walker
+     * never starts a speculative walk for a page another walker — or
+     * the buffer — already owns.
+     */
+    sim::FlatMap<std::uint64_t, std::uint32_t> inflight_;
+
+    /** The active prediction policy (nullptr = prefetch off). */
+    std::unique_ptr<TranslationPrefetcher> prefetcher_;
+
+    /** Scratch candidate list (reused across triggers). */
+    std::vector<PrefetchCandidate> candidates_;
+
+    /**
+     * Keys of pages whose IOMMU TLB entries were filled by a completed
+     * prefetch and not yet touched by demand. A demand TLB hit on a
+     * member counts it useful; a demand *walk* for a member means the
+     * entry was evicted before use (pollution, the wasted-work case);
+     * members surviving the run were never demanded at all.
+     */
+    sim::FlatMap<std::uint64_t, bool> prefetchedUntouched_;
+
     /** Per-tenant accounting, indexed by ContextId (grown lazily; a
      *  single-tenant run only ever touches slot 0). */
     std::vector<TenantCounters> tenants_;
@@ -321,7 +371,14 @@ class Iommu : public tlb::TranslationService
     sim::Counter overflowed_{"overflowed",
                              "requests that waited in the overflow FIFO"};
     sim::Counter prefetches_{"prefetches",
-                             "speculative next-page walks issued"};
+                             "speculative translation walks issued"};
+    sim::Counter prefetchCompleted_{
+        "prefetch_completed", "speculative walks that filled the TLBs"};
+    sim::Counter prefetchUseful_{
+        "prefetch_useful", "demand TLB hits on prefetched entries"};
+    sim::Counter prefetchEvictedUnused_{
+        "prefetch_evicted_unused",
+        "prefetched pages demand-walked again after TLB eviction"};
     sim::Average bufferOccupancy_{"buffer_occupancy",
                                   "walk-buffer depth at arrival"};
     sim::Average walkLatency_{"walk_latency",

@@ -16,8 +16,11 @@ PageTableWalker::start(core::PendingWalk walk, DoneCallback on_done)
     started_ = eq_.now();
     levelTicks_.fill(0);
 
+    // Prefetch walks were never scored at arrival, so their lookups
+    // must not consume pin counters a scoring probe left behind.
     const WalkStart ws =
-        pwc_.lookup(current_.request.vaPage, current_.request.ctx);
+        pwc_.lookup(current_.request.vaPage, current_.request.ctx,
+                    !current_.isPrefetch);
     level_ = ws.level;
     table_ = ws.tableBase;
     step();

@@ -111,7 +111,8 @@ PageWalkCache::peekEstimate(mem::Addr va_page, ContextId ctx) const
 }
 
 WalkStart
-PageWalkCache::lookup(mem::Addr va_page, ContextId ctx)
+PageWalkCache::lookup(mem::Addr va_page, ContextId ctx,
+                      bool consume_pins)
 {
     // rootOf() is the unregistered-context backstop: a walk of a
     // context nobody attached a page table for dies here rather than
@@ -124,7 +125,7 @@ PageWalkCache::lookup(mem::Addr va_page, ContextId ctx)
         if (e) {
             ++hits_;
             e->lastUse = ++useClock_;
-            if (e->counter > 0)
+            if (consume_pins && e->counter > 0)
                 --e->counter;
             return WalkStart{l - 1, e->nextTable};
         }

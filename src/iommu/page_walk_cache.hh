@@ -102,10 +102,14 @@ class PageWalkCache
     /**
      * Walk-time lookup (action 2-b): finds the deepest hit tagged with
      * @p ctx, updates LRU, and decrements counters along the hit path.
+     * Pass @p consume_pins = false for walks that were never scored
+     * (prefetches): their lookups must not drain pin counters that a
+     * scoring probe incremented on behalf of a buffered demand walk.
      * @return where the walk starts (@p ctx's root on a full miss).
      */
     WalkStart lookup(mem::Addr va_page,
-                     ContextId ctx = tlb::defaultContext);
+                     ContextId ctx = tlb::defaultContext,
+                     bool consume_pins = true);
 
     /**
      * Installs the translation read at @p level for @p ctx: the entry

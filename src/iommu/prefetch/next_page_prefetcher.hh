@@ -1,0 +1,32 @@
+/**
+ * @file
+ * The original idle-bandwidth next-page prefetcher (an extension
+ * beyond the paper, in the spirit of its related-work TLB prefetchers
+ * [44]), refactored onto the TranslationPrefetcher interface: after a
+ * demand touch of page P, propose P+1 with full confidence.
+ */
+
+#ifndef GPUWALK_IOMMU_PREFETCH_NEXT_PAGE_PREFETCHER_HH
+#define GPUWALK_IOMMU_PREFETCH_NEXT_PAGE_PREFETCHER_HH
+
+#include "iommu/prefetch/translation_prefetcher.hh"
+
+namespace gpuwalk::iommu {
+
+/** Stateless sequential prediction: always P+1. */
+class NextPagePrefetcher final : public TranslationPrefetcher
+{
+  public:
+    const char *name() const override { return "next"; }
+
+    void
+    onDemandTouch(tlb::ContextId, std::uint32_t, mem::Addr va_page,
+                  std::vector<PrefetchCandidate> &out) override
+    {
+        out.push_back({va_page + mem::pageSize, 1.0});
+    }
+};
+
+} // namespace gpuwalk::iommu
+
+#endif // GPUWALK_IOMMU_PREFETCH_NEXT_PAGE_PREFETCHER_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * SPP-style signature-path translation prefetcher.
+ *
+ * The Signature Path Prefetcher (Kim et al., MICRO 2016) learns
+ * compressed delta-history signatures and chains predictions down a
+ * confidence product. This port swaps cache lines for translation
+ * pages and memory-access streams for per-wavefront page streams:
+ *
+ *  - Signature table: one entry per (ctx, wavefront) stream holding
+ *    the stream's last touched page and its compressed signature
+ *    sig' = ((sig << shift) ^ fold(delta)) & mask.
+ *  - Pattern table: direct-mapped, signature-tagged; each entry
+ *    tracks up to four distinct page deltas with saturating counters
+ *    against a per-entry total, so counter / total is the per-step
+ *    confidence of a delta given the signature.
+ *  - Lookahead: from the current signature, repeatedly take the
+ *    highest-confidence delta, multiply it into the path confidence,
+ *    and propose the resulting page — speculatively advancing the
+ *    signature as if the prediction were a real touch — until the
+ *    product drops below the threshold or the configured degree is
+ *    reached.
+ *
+ * Deterministic by construction: fixed-seedless integer state, ties
+ * in the pattern table break toward the lowest slot index.
+ */
+
+#ifndef GPUWALK_IOMMU_PREFETCH_SPP_PREFETCHER_HH
+#define GPUWALK_IOMMU_PREFETCH_SPP_PREFETCHER_HH
+
+#include <array>
+
+#include "iommu/prefetch/translation_prefetcher.hh"
+#include "sim/flat_map.hh"
+
+namespace gpuwalk::iommu {
+
+/** Per-wavefront signature-path prediction. */
+class SppPrefetcher final : public TranslationPrefetcher
+{
+  public:
+    explicit SppPrefetcher(const PrefetchConfig &cfg);
+
+    const char *name() const override { return "spp"; }
+
+    void onDemandTouch(tlb::ContextId ctx, std::uint32_t wavefront,
+                       mem::Addr va_page,
+                       std::vector<PrefetchCandidate> &out) override;
+
+    /** Test accessors. */
+    std::uint64_t trainedDeltas() const { return trainedDeltas_; }
+    std::uint64_t streamResets() const { return streamResets_; }
+
+  private:
+    /** One (ctx, wavefront) stream. */
+    struct Stream
+    {
+        std::uint64_t lastPageNo = 0;
+        std::uint32_t signature = 0;
+    };
+
+    /** One learned delta under a signature. */
+    struct DeltaSlot
+    {
+        std::int64_t delta = 0;
+        std::uint32_t count = 0;
+    };
+
+    /** Direct-mapped, signature-tagged pattern entry. */
+    struct PatternEntry
+    {
+        std::uint32_t tag = 0;
+        bool valid = false;
+        std::uint32_t total = 0;
+        std::array<DeltaSlot, PrefetchConfig::sppDeltasPerEntry> slots;
+    };
+
+    std::uint32_t nextSignature(std::uint32_t sig,
+                                std::int64_t delta) const;
+    PatternEntry &entryFor(std::uint32_t sig);
+    void train(std::uint32_t sig, std::int64_t delta);
+    void lookahead(std::uint32_t sig, std::uint64_t page_no,
+                   std::vector<PrefetchCandidate> &out) const;
+
+    PrefetchConfig cfg_;
+    std::uint32_t sigMask_ = 0;
+
+    /** Stream table keyed by ctx << 32 | wavefront. */
+    sim::FlatMap<std::uint64_t, Stream> streams_;
+    std::vector<PatternEntry> patterns_;
+
+    std::uint64_t trainedDeltas_ = 0;
+    std::uint64_t streamResets_ = 0;
+};
+
+} // namespace gpuwalk::iommu
+
+#endif // GPUWALK_IOMMU_PREFETCH_SPP_PREFETCHER_HH

@@ -1,0 +1,50 @@
+#include "iommu/prefetch/translation_prefetcher.hh"
+
+#include "iommu/prefetch/next_page_prefetcher.hh"
+#include "iommu/prefetch/spp_prefetcher.hh"
+#include "sim/logging.hh"
+
+namespace gpuwalk::iommu {
+
+const char *
+toString(PrefetchKind kind)
+{
+    switch (kind) {
+      case PrefetchKind::Off:
+        return "off";
+      case PrefetchKind::NextPage:
+        return "next";
+      case PrefetchKind::Spp:
+        return "spp";
+    }
+    return "?";
+}
+
+PrefetchKind
+prefetchKindFromString(const std::string &name)
+{
+    if (name == "off")
+        return PrefetchKind::Off;
+    if (name == "next" || name == "next-page")
+        return PrefetchKind::NextPage;
+    if (name == "spp")
+        return PrefetchKind::Spp;
+    sim::fatal("unknown prefetch policy '", name,
+               "' (expected off, next or spp)");
+}
+
+std::unique_ptr<TranslationPrefetcher>
+makePrefetcher(const PrefetchConfig &cfg)
+{
+    switch (cfg.kind) {
+      case PrefetchKind::Off:
+        return nullptr;
+      case PrefetchKind::NextPage:
+        return std::make_unique<NextPagePrefetcher>();
+      case PrefetchKind::Spp:
+        return std::make_unique<SppPrefetcher>(cfg);
+    }
+    return nullptr;
+}
+
+} // namespace gpuwalk::iommu

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Pluggable translation prefetching policies.
+ *
+ * A TranslationPrefetcher observes demand translation activity (walk
+ * completions and consumed prefetch fills) and proposes pages whose
+ * translations should be walked speculatively. The Iommu owns every
+ * safety gate — idle-walker-only issue, IOMMU TLB probes, the
+ * in-flight dedup filter, the GMMU residency + pin gate, and the
+ * functional mapped-page check — so policies are pure prediction
+ * logic and can never perturb demand traffic or raise a far fault.
+ *
+ * Two policies ship behind the interface: the original next-page
+ * prefetcher (now PrefetchKind::NextPage) and an SPP-style
+ * signature-path prefetcher (Kim et al., MICRO 2016) ported from
+ * cache lines to translations: per-wavefront compressed page-delta
+ * signatures index a pattern table of delta/confidence pairs, and a
+ * lookahead pass chains predictions down the confidence product.
+ */
+
+#ifndef GPUWALK_IOMMU_PREFETCH_TRANSLATION_PREFETCHER_HH
+#define GPUWALK_IOMMU_PREFETCH_TRANSLATION_PREFETCHER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/types.hh"
+#include "tlb/translation.hh"
+
+namespace gpuwalk::iommu {
+
+/** The available translation prefetching policies. */
+enum class PrefetchKind : std::uint8_t
+{
+    Off = 0,  ///< no speculative walks
+    NextPage, ///< walk P+1 after a demand walk of P completes
+    Spp,      ///< signature-path lookahead (per-wavefront deltas)
+};
+
+/** Printable name of @p kind ("off" / "next" / "spp"). */
+const char *toString(PrefetchKind kind);
+
+/** Parses a policy name; fatal() on unknown names. */
+PrefetchKind prefetchKindFromString(const std::string &name);
+
+/** Prefetcher selection and SPP tuning knobs. */
+struct PrefetchConfig
+{
+    PrefetchKind kind = PrefetchKind::Off;
+
+    /** Max candidates a single trigger may propose (lookahead depth
+     *  for SPP; NextPage always proposes exactly one). */
+    unsigned degree = 4;
+
+    /** SPP: bits in the compressed delta-history signature. */
+    unsigned sppSignatureBits = 12;
+
+    /** SPP: signature shift per folded-in delta. */
+    unsigned sppSignatureShift = 3;
+
+    /** SPP: direct-mapped pattern-table entries. */
+    unsigned sppPatternEntries = 512;
+
+    /** SPP: delta slots tracked per pattern entry. */
+    static constexpr unsigned sppDeltasPerEntry = 4;
+
+    /** SPP: stop chaining when the path confidence product drops
+     *  below this. */
+    double sppConfidenceThreshold = 0.25;
+
+    /** SPP: |page delta| clamp — larger jumps reset the stream
+     *  instead of polluting the pattern table. */
+    std::int64_t sppMaxDelta = 256;
+};
+
+/** One proposed speculative walk. */
+struct PrefetchCandidate
+{
+    mem::Addr vaPage = 0;
+
+    /** Path confidence in [0, 1]; NextPage reports 1. */
+    double confidence = 1.0;
+};
+
+/** Per-run prefetcher accounting for RunStats / report JSON. */
+struct PrefetchSummary
+{
+    bool enabled = false;
+    std::string policy;          ///< toString(kind)
+    std::uint64_t issued = 0;    ///< speculative walks started
+    std::uint64_t completed = 0; ///< speculative walks that filled TLBs
+    std::uint64_t useful = 0;    ///< demand TLB hits on prefetched pages
+    std::uint64_t evictedUnused = 0; ///< demand re-walked a prefetched page
+    std::uint64_t unusedAtEnd = 0;   ///< filled but never demanded
+
+    double accuracy = 0.0;  ///< useful / completed
+    double coverage = 0.0;  ///< useful / (useful + demand walks)
+    double pollution = 0.0; ///< evictedUnused / completed
+};
+
+/** A prediction policy; the Iommu gates and issues the candidates. */
+class TranslationPrefetcher
+{
+  public:
+    virtual ~TranslationPrefetcher() = default;
+
+    /** Policy name (matches toString(kind)). */
+    virtual const char *name() const = 0;
+
+    /**
+     * Observes one demand touch of @p va_page — a demand walk
+     * completion, or a demand TLB hit that consumed a prefetched
+     * entry (so a correctly predicted stream keeps training even
+     * when prefetching removes its walks) — and appends prefetch
+     * candidates to @p out in priority order. Must be deterministic.
+     */
+    virtual void onDemandTouch(tlb::ContextId ctx,
+                               std::uint32_t wavefront,
+                               mem::Addr va_page,
+                               std::vector<PrefetchCandidate> &out) = 0;
+};
+
+/** Creates the configured policy; nullptr for PrefetchKind::Off. */
+std::unique_ptr<TranslationPrefetcher>
+makePrefetcher(const PrefetchConfig &cfg);
+
+} // namespace gpuwalk::iommu
+
+#endif // GPUWALK_IOMMU_PREFETCH_TRANSLATION_PREFETCHER_HH

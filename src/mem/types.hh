@@ -31,6 +31,34 @@ constexpr Addr pageAlign(Addr a) { return a & ~(pageSize - 1); }
 /** Virtual/physical page number of @p a. */
 constexpr Addr pageNumber(Addr a) { return a >> pageShift; }
 
+/**
+ * Non-aliasing (ctx, page) composite key: page number in the high
+ * bits, the full 16-bit context id in the low 16. The page offset is
+ * only 12 bits wide, so packing a 16-bit ASID into it (va_page | ctx)
+ * aliases ASIDs >= 4096 into VA bit 12+ — (ctx 4096, page X) would
+ * collide with (ctx 0, page X + 0x1000). Shifting by the page number
+ * keeps every (ctx, page) pair distinct for the full 48-bit VA range.
+ * For a fixed ctx the key is monotone in the page, so ordered-map
+ * iteration order is unchanged for single-tenant runs.
+ */
+constexpr std::uint64_t
+pageCtxKey(std::uint16_t ctx, Addr va_page)
+{
+    return (pageNumber(va_page) << 16) | ctx;
+}
+
+/** The page-aligned VA encoded in a pageCtxKey. */
+constexpr Addr pageOfKey(std::uint64_t key)
+{
+    return (key >> 16) << pageShift;
+}
+
+/** The context id encoded in a pageCtxKey. */
+constexpr std::uint16_t ctxOfKey(std::uint64_t key)
+{
+    return static_cast<std::uint16_t>(key & 0xFFFF);
+}
+
 /** Who generated a memory request; used for stats attribution. */
 enum class Requester : std::uint8_t
 {

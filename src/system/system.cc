@@ -241,6 +241,25 @@ System::registerSystemInvariants()
                                 " at drain");
                 }
             });
+        // Reply conservation: every reply answers a received request.
+        // Prefetch completions must short-circuit to TLB fills only —
+        // a synthetic reply for a request no coalescer made would push
+        // sent() past requests() and trip this.
+        auditor_->registerInvariant(
+            "system.reply_conservation",
+            [this](sim::AuditContext &ctx) {
+                ctx.require(chTransReply_->sent() <= iommu_->requests(),
+                            "IOMMU sent ", chTransReply_->sent(),
+                            " replies for only ", iommu_->requests(),
+                            " received requests");
+                if (ctx.final()) {
+                    ctx.require(chTransReply_->sent()
+                                    == iommu_->requests(),
+                                iommu_->requests()
+                                    - chTransReply_->sent(),
+                                " requests never answered at drain");
+                }
+            });
     } else {
         // Direct wiring (interposer): the forward and receive counters
         // move in the same synchronous call, so they must agree at any
@@ -541,6 +560,7 @@ System::collectStats()
 
     if (gmmu_)
         stats.gmmu = gmmu_->summarize();
+    stats.prefetch = iommu_->prefetchSummary();
     return stats;
 }
 

@@ -101,6 +101,10 @@ struct RunStats
     /** Demand-paging accounting; gmmu.enabled is false for fully
      *  resident runs (their stats stay byte-identical). */
     vm::GmmuSummary gmmu;
+
+    /** Translation-prefetcher accounting; prefetch.enabled is false
+     *  when --prefetch=off (those stats stay byte-identical). */
+    iommu::PrefetchSummary prefetch;
 };
 
 /** Owns and wires every component; one System per simulation run. */

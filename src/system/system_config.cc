@@ -55,6 +55,20 @@ SystemConfig::print(std::ostream &os) const
            << (gmmu.contiguity ? ", contiguity-aware allocation" : "")
            << "\n";
     }
+    // Prefetch knobs print only when a policy is on, so --prefetch=off
+    // configurations keep their pre-prefetcher fingerprints.
+    if (iommu.prefetch.kind != iommu::PrefetchKind::Off) {
+        os << "Prefetch       " << iommu::toString(iommu.prefetch.kind)
+           << " translation prefetch, degree "
+           << iommu.prefetch.degree;
+        if (iommu.prefetch.kind == iommu::PrefetchKind::Spp) {
+            os << ", " << iommu.prefetch.sppSignatureBits
+               << "-bit signatures, " << iommu.prefetch.sppPatternEntries
+               << " pattern entries, confidence "
+               << iommu.prefetch.sppConfidenceThreshold;
+        }
+        os << "\n";
+    }
     os << "PWC            " << iommu.pwc.entriesPerLevel
        << " entries/level, " << iommu.pwc.associativity << "-way"
        << (iommu.pwc.pinScoredEntries ? ", counter-pinned replacement"

@@ -157,6 +157,24 @@ writeChromeTrace(std::ostream &os, const Tracer &tracer)
             writeCommonArgs(os, ev);
             os << ",\"released\":" << ev.arg0 << "}}";
             break;
+        case EventKind::PrefetchIssued:
+            walkersSeen.insert(ev.walker);
+            w.next() << "{\"ph\":\"i\",\"pid\":0,\"tid\":"
+                     << tidWalkerBase + ev.walker << ",\"ts\":"
+                     << ev.tick << ",\"name\":\"prefetch_issued\","
+                     << "\"s\":\"t\",\"args\":{";
+            writeCommonArgs(os, ev);
+            os << ",\"confidence_permille\":" << ev.arg0
+               << ",\"trigger_page\":" << ev.arg1 << "}}";
+            break;
+        case EventKind::PrefetchUseful:
+            w.next() << "{\"ph\":\"i\",\"pid\":0,\"tid\":" << tidTlb
+                     << ",\"ts\":" << ev.tick
+                     << ",\"name\":\"prefetch_useful\",\"s\":\"t\","
+                     << "\"args\":{";
+            writeCommonArgs(os, ev);
+            os << "}}";
+            break;
         }
     });
 

@@ -56,6 +56,8 @@ toString(EventKind kind)
     case EventKind::WalkDone: return "walk_done";
     case EventKind::FaultRaised: return "fault_raised";
     case EventKind::FaultServiced: return "fault_serviced";
+    case EventKind::PrefetchIssued: return "prefetch_issued";
+    case EventKind::PrefetchUseful: return "prefetch_useful";
     }
     return "unknown";
 }

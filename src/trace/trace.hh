@@ -77,10 +77,23 @@ enum class EventKind : std::uint8_t
      *  arg0 = walks released, arg1 = raise-to-service latency
      *  (ticks). */
     FaultServiced,
+
+    // Prefetch kinds are likewise appended: the values above appear in
+    // every committed golden digest and must not shift.
+
+    /** A speculative translation walk was issued into an idle walker.
+     *  walker = walker index, vaPage = predicted page, arg0 = path
+     *  confidence in per-mille, arg1 = the triggering demand page. */
+    PrefetchIssued,
+
+    /** A demand request hit an IOMMU TLB entry filled by a prefetch
+     *  (first touch only). instruction/wavefront = the demand
+     *  request's. */
+    PrefetchUseful,
 };
 
 /** Number of distinct EventKind values. */
-constexpr unsigned numEventKinds = 9;
+constexpr unsigned numEventKinds = 11;
 
 /** Short lowercase name of @p kind (e.g. "scheduled"). */
 const char *toString(EventKind kind);

@@ -221,31 +221,32 @@ class Gmmu
     GmmuSummary summarize() const;
 
   private:
-    /** (ctx, page) key: page-aligned VA in the high bits, ctx in the
-     *  low 12 (the page offset, always zero for aligned pages). */
+    /** (ctx, page) key: mem::pageCtxKey — page number in the high
+     *  bits, the full 16-bit ctx in the low 16. The previous
+     *  va_page | ctx packing aliased ASIDs >= 4096 into VA bit 12+,
+     *  silently sharing residency/pin/fault state across tenants. */
     static std::uint64_t
     keyOf(ContextId ctx, mem::Addr va_page)
     {
         GPUWALK_ASSERT((va_page & (mem::pageSize - 1)) == 0,
                        "unaligned fault page ", va_page);
-        GPUWALK_ASSERT(ctx < mem::pageSize, "ctx out of key range");
-        return va_page | ctx;
+        return mem::pageCtxKey(ctx, va_page);
     }
     static ContextId
     ctxOf(std::uint64_t key)
     {
-        return static_cast<ContextId>(key & (mem::pageSize - 1));
+        return mem::ctxOfKey(key);
     }
     static mem::Addr
     pageOf(std::uint64_t key)
     {
-        return key & ~std::uint64_t(mem::pageSize - 1);
+        return mem::pageOfKey(key);
     }
     /** (ctx, 2 MB range) key, same encoding at 2 MB granularity. */
     static std::uint64_t
     regionKeyOf(ContextId ctx, mem::Addr va_page)
     {
-        return (va_page & ~largePageMask) | ctx;
+        return mem::pageCtxKey(ctx, va_page & ~largePageMask);
     }
 
     struct PendingFault

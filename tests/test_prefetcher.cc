@@ -33,7 +33,8 @@ struct PrefetchFixture : public ::testing::Test
         dram = std::make_unique<mem::DramController>(
             eq, mem::DramConfig{});
         iommu::IommuConfig cfg;
-        cfg.prefetchNextPage = prefetch;
+        cfg.prefetch.kind = prefetch ? iommu::PrefetchKind::NextPage
+                                     : iommu::PrefetchKind::Off;
         iommu = std::make_unique<iommu::Iommu>(
             eq, cfg, core::makeScheduler(core::SchedulerKind::Fcfs),
             *dram, store, as->pageTable().root());
@@ -127,7 +128,7 @@ TEST(PrefetchSystem, EndToEndStreamingWorkloadBenefits)
     off.loadBenchmark("BCK", params);
     const auto off_stats = off.run();
 
-    cfg.iommu.prefetchNextPage = true;
+    cfg.iommu.prefetch.kind = iommu::PrefetchKind::NextPage;
     system::System on(cfg);
     on.loadBenchmark("BCK", params);
     const auto on_stats = on.run();

@@ -226,7 +226,8 @@ TEST_P(FeatureMatrixProperty, ExtensionsComposeSafely)
     auto cfg = system::SystemConfig::baseline();
     cfg.scheduler = core::SchedulerKind::SimtAware;
     cfg.gpu.virtualL1Cache = virtual_l1;
-    cfg.iommu.prefetchNextPage = prefetch;
+    cfg.iommu.prefetch.kind = prefetch ? iommu::PrefetchKind::NextPage
+                                       : iommu::PrefetchKind::Off;
 
     auto params = tinyParams();
     params.useLargePages = large_pages;

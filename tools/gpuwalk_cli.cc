@@ -166,7 +166,11 @@ Hardware overrides (baseline = the paper's Table I):
   --no-pwc-pinning        disable counter-pinned PWC replacement
   --no-walk-cache         walker PTEs go straight to DRAM
   --aging-threshold=N     SIMT-aware starvation bound
-  --prefetch              IOMMU next-page prefetch (idle bandwidth)
+  --prefetch=P            translation prefetch policy: off | next |
+                          spp (signature-path lookahead); a bare
+                          --prefetch means next (idle bandwidth only)
+  --prefetch-degree=N     max speculative walks per trigger
+                                              (default: 4)
   --wavefront-sched=P     rr | gto  (CU issue arbitration)
   --virtual-l1            virtually-addressed L1 data caches
                           (translate on L1 miss, Yoon et al.)
@@ -252,8 +256,16 @@ configFromFlags(Flags &flags)
         flags.getUint("token-window", cfg.qos.tokenWindow));
     cfg.qos.tokenQuota = static_cast<unsigned>(
         flags.getUint("token-quota", cfg.qos.tokenQuota));
-    if (flags.has("prefetch"))
-        cfg.iommu.prefetchNextPage = true;
+    if (flags.has("prefetch")) {
+        const std::string p = flags.get("prefetch", "off");
+        // A bare --prefetch predates the policy knob and meant the
+        // next-page prefetcher; keep that spelling working.
+        cfg.iommu.prefetch.kind =
+            p == "true" ? iommu::PrefetchKind::NextPage
+                        : iommu::prefetchKindFromString(p);
+    }
+    cfg.iommu.prefetch.degree = static_cast<unsigned>(
+        flags.getUint("prefetch-degree", cfg.iommu.prefetch.degree));
     if (flags.has("virtual-l1"))
         cfg.gpu.virtualL1Cache = true;
     const std::string wf_sched = flags.get("wavefront-sched", "rr");
