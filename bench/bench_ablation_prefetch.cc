@@ -6,13 +6,17 @@
  *
  * Full factorial: prefetch policy {off, next-page, spp} x walk
  * scheduler {fcfs, simt-aware} x SIMT-aware aging {on, off}, over all
- * Table II workloads. Every speculative walk is idle-bandwidth only,
+ * Table II workloads, plus a speculative-admission axis {idle,
+ * reserved, budget} for the aging-on cells of each live prefetcher.
+ * Under idle admission every speculative walk is idle-bandwidth only,
  * so no cell may slow demand traffic down; the interesting questions
  * are (a) whether SPP's signature-path lookahead finds the strided
- * sub-streams inside the irregular apps that next-page misses, and
- * (b) whether the benefit survives scheduler and aging interaction.
- * Per-cell accuracy/coverage/pollution land in the JSON via each
- * run's stats.prefetch block.
+ * sub-streams inside the irregular apps that next-page misses, (b)
+ * whether the benefit survives scheduler and aging interaction, and
+ * (c) whether routing predictions through the speculative walk class
+ * (reserved walkers / token budget) buys coverage without taxing
+ * demand latency. Per-cell accuracy/coverage/pollution land in the
+ * JSON via each run's stats.prefetch block.
  */
 
 #include "bench_common.hh"
@@ -71,6 +75,26 @@ main(int argc, char **argv)
                      cfg.iommu.prefetch.kind = kind;
                      if (!aging)
                          cfg.simt.agingThreshold = noAgingThreshold;
+                 }});
+        }
+    }
+    // Admission axis: route predictions through the speculative walk
+    // class instead of the legacy idle-walker direct start. Only the
+    // aging-on cells of the live prefetchers — idle admission is the
+    // "pf-*/aging-on" variants above.
+    constexpr iommu::SpecAdmission admissions[] = {
+        iommu::SpecAdmission::Reserved, iommu::SpecAdmission::Budget};
+    for (const auto kind :
+         {iommu::PrefetchKind::NextPage, iommu::PrefetchKind::Spp}) {
+        for (const auto adm : admissions) {
+            std::string name = std::string("pf-") + pfName(kind)
+                               + "/adm-" + iommu::toString(adm);
+            spec.variants.push_back(
+                {std::move(name),
+                 [kind, adm](system::SystemConfig &cfg,
+                             workload::WorkloadParams &) {
+                     cfg.iommu.prefetch.kind = kind;
+                     cfg.iommu.specAdmission = adm;
                  }});
         }
     }
@@ -145,6 +169,46 @@ main(int argc, char **argv)
         }
     }
 
+    // Admission axis: same improvement metric, SIMT-aware scheduler,
+    // idle (direct start on an idle walker) vs the two buffered
+    // speculative-class policies.
+    auto &adm_cells = report.addTable(
+        {"prefetch", "admission", "improvement", "coverage",
+         "pollution"},
+        "Irregular-app geomeans per admission cell (SIMT-aware)", 13);
+    for (const auto kind :
+         {iommu::PrefetchKind::NextPage, iommu::PrefetchKind::Spp}) {
+        const std::string pf = std::string("pf-") + pfName(kind);
+        for (const char *adm : {"idle", "reserved", "budget"}) {
+            const std::string variant =
+                std::string(adm) == "idle" ? pf + "/aging-on"
+                                           : pf + "/adm-" + adm;
+            std::vector<double> imp;
+            double cov = 0.0, pol = 0.0;
+            unsigned apps = 0;
+            for (const auto &app : spec.workloads) {
+                if (!isIrregular(app))
+                    continue;
+                const auto &off = result.stats(
+                    app, core::SchedulerKind::SimtAware,
+                    "pf-off/aging-on");
+                const auto &run = result.stats(
+                    app, core::SchedulerKind::SimtAware, variant);
+                imp.push_back(walkLatency(off) / walkLatency(run));
+                cov += run.prefetch.coverage;
+                pol += run.prefetch.pollution;
+                ++apps;
+            }
+            const double impG = exp::geomean(imp);
+            adm_cells.addRow({pf, adm, fmt(impG), fmt(cov / apps),
+                              fmt(pol / apps)});
+            report.addSummary(std::string(pfName(kind))
+                                  + "_irregular_improvement_admission_"
+                                  + adm,
+                              impG);
+        }
+    }
+
     report.addNote(
         "Reading: improvement = walklat(off) / walklat(policy) within "
         "the same scheduler/aging cell,\ngeomean over the irregular "
@@ -152,8 +216,13 @@ main(int argc, char **argv)
         "delta\nsignatures also cover the strided sub-streams inside "
         "the irregular apps, so its column should\ndominate. Pollution "
         "(prefetched translations evicted before first use) polices "
-        "the cost side:\nspeculative walks burn only idle walkers, so "
-        "pollution is the one way a policy can hurt.");
+        "the cost side:\nunder idle admission speculative walks burn "
+        "only idle walkers, so pollution is the one way a\npolicy can "
+        "hurt. The admission table swaps that gate for the speculative "
+        "walk class: reserved\ndedicates walkers to predictions, "
+        "budget meters them per demand-dispatch window, and aged\n"
+        "entries are cancelled before dispatch instead of occupying a "
+        "walker.");
     report.render(std::cout);
     if (!opts.jsonPath.empty())
         report.writeJsonFile(opts.jsonPath, &result);

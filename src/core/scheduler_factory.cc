@@ -56,6 +56,8 @@ toString(PickReason reason)
         return "aging";
       case PickReason::Overdraft:
         return "overdraft";
+      case PickReason::Speculative:
+        return "speculative";
     }
     sim::panic("unknown PickReason");
 }

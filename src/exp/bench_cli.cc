@@ -69,6 +69,19 @@ printHelp(const std::string &id, const std::string &description)
               << "               lookahead)\n"
               << "  --prefetch-degree N  max speculative walks per "
                  "trigger (default 4)\n"
+              << "  --wasp       Wasp wavefront scheduling applied to "
+                 "every run: leader\n"
+              << "               slots issue ahead and their walks are "
+                 "classed speculative\n"
+              << "  --wasp-leaders N  leader slots per CU (default 1; "
+                 "implies --wasp)\n"
+              << "  --wasp-distance N  followers' first-issue delay in "
+                 "cycles\n"
+              << "               (default 2048; implies --wasp)\n"
+              << "  --spec-admission P  speculative-walk admission: "
+                 "idle (default) |\n"
+              << "               reserved (dedicated walkers) | budget "
+                 "(tokens per window)\n"
               << "  --help       this text\n";
     std::exit(0);
 }
@@ -237,6 +250,34 @@ parseBenchArgs(int argc, char **argv, const std::string &id,
                 sim::fatal("--prefetch-degree needs a positive "
                            "integer, got '", v, "'");
             opts.runner.prefetch.degree = static_cast<unsigned>(n);
+        } else if (arg == "wasp") {
+            if (have_value)
+                sim::fatal("--wasp takes no value (use --wasp-leaders "
+                           "/ --wasp-distance for the knobs)");
+            opts.runner.wasp = true;
+        } else if (arg == "wasp-leaders") {
+            const std::string v = next_value();
+            char *end = nullptr;
+            const unsigned long n = std::strtoul(v.c_str(), &end, 0);
+            if (v.empty() || end == nullptr || *end != '\0' || n == 0)
+                sim::fatal("--wasp-leaders needs a positive integer, "
+                           "got '", v, "'");
+            opts.runner.waspLeaders = static_cast<unsigned>(n);
+            opts.runner.wasp = true;
+        } else if (arg == "wasp-distance") {
+            const std::string v = next_value();
+            char *end = nullptr;
+            const unsigned long long n =
+                std::strtoull(v.c_str(), &end, 0);
+            if (v.empty() || end == nullptr || *end != '\0')
+                sim::fatal("--wasp-distance needs a cycle count, "
+                           "got '", v, "'");
+            opts.runner.waspDistanceCycles =
+                static_cast<sim::Cycles>(n);
+            opts.runner.wasp = true;
+        } else if (arg == "spec-admission") {
+            opts.runner.specAdmission =
+                iommu::specAdmissionFromString(next_value());
         } else {
             sim::fatal("unknown flag --", arg, " (see --help)");
         }

@@ -148,6 +148,8 @@ runSweep(const SweepSpec &spec, const RunnerOptions &opts)
     if (!opts.trace.enabled && !opts.audit.enabled
         && !opts.gmmu.enabled
         && opts.prefetch.kind == iommu::PrefetchKind::Off
+        && !opts.wasp
+        && opts.specAdmission == iommu::SpecAdmission::Idle
         && opts.simThreads == 1) {
         return runJobs(spec.expand(), opts);
     }
@@ -160,6 +162,15 @@ runSweep(const SweepSpec &spec, const RunnerOptions &opts)
         instrumented.base.gmmu = opts.gmmu;
     if (opts.prefetch.kind != iommu::PrefetchKind::Off)
         instrumented.base.iommu.prefetch = opts.prefetch;
+    if (opts.wasp) {
+        instrumented.base.gpu.wavefrontSched =
+            gpu::WavefrontSchedPolicy::Wasp;
+        instrumented.base.gpu.waspLeaders = opts.waspLeaders;
+        instrumented.base.gpu.waspDistanceCycles =
+            opts.waspDistanceCycles;
+    }
+    if (opts.specAdmission != iommu::SpecAdmission::Idle)
+        instrumented.base.iommu.specAdmission = opts.specAdmission;
     instrumented.base.simThreads = opts.simThreads;
     return runJobs(instrumented.expand(), opts);
 }

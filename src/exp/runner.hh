@@ -16,8 +16,10 @@
 #include <vector>
 
 #include "exp/sweep.hh"
+#include "iommu/iommu.hh"
 #include "iommu/prefetch/translation_prefetcher.hh"
 #include "sim/audit.hh"
+#include "sim/ticks.hh"
 #include "trace/trace.hh"
 #include "vm/gmmu.hh"
 
@@ -68,6 +70,22 @@ struct RunnerOptions
      * applies when prefetch.kind != Off.
      */
     iommu::PrefetchConfig prefetch;
+
+    /**
+     * Wasp wavefront scheduling applied to every run of the sweep
+     * (same copy-into-base mechanism). NOT observation-only: leaders
+     * reorder issue and add speculative walks, so the policy + knobs
+     * copy in only when wasp is true.
+     */
+    bool wasp = false;
+    unsigned waspLeaders = 1;
+    sim::Cycles waspDistanceCycles = 2048;
+
+    /**
+     * Speculative-walk admission applied to every run of the sweep
+     * (same mechanism; copies in only when != Idle, the default).
+     */
+    iommu::SpecAdmission specAdmission = iommu::SpecAdmission::Idle;
 };
 
 /**

@@ -1,7 +1,10 @@
 #include "gpu/compute_unit.hh"
 
+#include <algorithm>
+
 #include "gpu/gpu.hh"
 #include "sim/debug.hh"
+#include "trace/trace.hh"
 
 namespace gpuwalk::gpu {
 
@@ -10,11 +13,17 @@ ComputeUnit::ComputeUnit(sim::EventQueue &eq, const GpuConfig &cfg,
                          mem::MemoryDevice &l1d, Gpu &gpu)
     : eq_(eq), cfg_(cfg), id_(cu_id), tlbs_(tlbs), l1d_(l1d), gpu_(gpu),
       issuePort_(eq, cfg.issuePortCycles * cfg.clockPeriod),
+      arbiter_(cfg.wavefrontSched,
+               cfg.wavefrontSched == WavefrontSchedPolicy::Wasp
+                   ? std::min(cfg.waspLeaders, cfg.wavefrontsPerCu)
+                   : 0),
       statGroup_("cu" + std::to_string(cu_id))
 {
     statGroup_.add(instructions_);
     statGroup_.add(translationReqs_);
     statGroup_.add(lineAccesses_);
+    if (cfg_.wavefrontSched == WavefrontSchedPolicy::Wasp)
+        statGroup_.add(leaderIssues_);
 }
 
 void
@@ -28,6 +37,7 @@ ComputeUnit::addWavefront(std::uint32_t wavefront_global_id,
     wf.appId = app_id;
     wf.trace = std::move(trace);
     wavefronts_.push_back(std::move(wf));
+    arbiter_.addSlot(wavefront_global_id);
 
     IssueEvent &ev = issueEvents_.emplace_back();
     ev.cu = this;
@@ -47,9 +57,16 @@ ComputeUnit::start()
         // Spread initial issues pseudo-randomly over the stagger
         // window: wavefronts are dispatched by the front-end over
         // time, not all in the same cycle.
-        const sim::Cycles offset =
+        sim::Cycles offset =
             1 + (wavefronts_[i].globalId * 2654435761ull)
                     % std::max<sim::Cycles>(1, cfg_.startStaggerCycles);
+        // Wasp de-staggering: followers' first issues are pushed out
+        // past the leaders' whole stagger window, giving the leader
+        // group an issue-distance head start of waspDistanceCycles.
+        if (cfg_.wavefrontSched == WavefrontSchedPolicy::Wasp
+            && !arbiter_.isLeader(i)) {
+            offset += cfg_.waspDistanceCycles;
+        }
         eq_.scheduleIn(cfg_.clockPeriod * offset, issueEvents_[i]);
     }
 }
@@ -69,6 +86,7 @@ ComputeUnit::notifyWorkAvailable()
         wf.trace = std::move(next->trace);
         wf.pc = 0;
         wf.finished = false;
+        arbiter_.onRefill(i, wf.globalId);
         --wavefrontsDone_;
         updateStallState();
         eq_.scheduleIn(cfg_.clockPeriod * cfg_.issueCycles,
@@ -83,27 +101,14 @@ ComputeUnit::requestIssue(std::size_t wf_index)
     // issue-port period; simultaneously-ready wavefronts serialize,
     // and the configured policy picks which ready wavefront takes
     // each slot.
-    readyQueue_.push_back(wf_index);
+    arbiter_.markReady(wf_index);
     issuePort_.submit([this] { arbitrateIssue(); });
 }
 
 void
 ComputeUnit::arbitrateIssue()
 {
-    GPUWALK_ASSERT(!readyQueue_.empty(), "issue slot with nothing ready");
-    auto it = readyQueue_.begin();
-    if (cfg_.wavefrontSched == WavefrontSchedPolicy::OldestFirst) {
-        for (auto cand = readyQueue_.begin(); cand != readyQueue_.end();
-             ++cand) {
-            if (wavefronts_[*cand].globalId
-                < wavefronts_[*it].globalId) {
-                it = cand;
-            }
-        }
-    }
-    const std::size_t wf_index = *it;
-    readyQueue_.erase(it);
-    issueNext(wf_index);
+    issueNext(arbiter_.pick());
 }
 
 void
@@ -124,6 +129,7 @@ ComputeUnit::issueNext(std::size_t wf_index)
             wf.trace = std::move(next->trace);
             wf.pc = 0;
             wf.finished = false;
+            arbiter_.onRefill(wf_index, wf.globalId);
             --wavefrontsDone_;
             updateStallState();
             eq_.scheduleIn(cfg_.clockPeriod * cfg_.issueCycles,
@@ -139,6 +145,22 @@ ComputeUnit::issueNext(std::size_t wf_index)
     InflightInstruction inst;
     inst.wfIndex = wf_index;
     inst.access = tlb::coalesce(instr.laneAddrs);
+
+    const bool leader = isLeaderSlot(wf_index);
+    if (leader) {
+        ++leaderIssues_;
+        if (tracer_) {
+            trace::Event ev;
+            ev.tick = eq_.now();
+            ev.kind = trace::EventKind::LeaderIssued;
+            ev.ctx = gpu_.contextOf(wf.appId);
+            ev.wavefront = wf.globalId;
+            ev.instruction = key;
+            ev.arg0 = id_;
+            ev.arg1 = inst.access.pages.size();
+            tracer_->record(ev);
+        }
+    }
 
     setBlocked(wf_index, true);
 
@@ -181,6 +203,7 @@ ComputeUnit::issueNext(std::size_t wf_index)
         req.cu = id_;
         req.app = wavefronts_[wf_index].appId;
         req.ctx = gpu_.contextOf(wavefronts_[wf_index].appId);
+        req.leader = leader;
         req.onComplete = [this, key, page](mem::Addr pa_page,
                                            bool /*large_page*/) {
             auto iit = inflight_.find(key);

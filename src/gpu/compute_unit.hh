@@ -21,6 +21,7 @@
 
 #include "gpu/gpu_config.hh"
 #include "gpu/instruction.hh"
+#include "gpu/issue_arbiter.hh"
 #include "mem/request.hh"
 #include "sim/event_queue.hh"
 #include "sim/flat_map.hh"
@@ -28,6 +29,10 @@
 #include "sim/stats.hh"
 #include "tlb/coalescer.hh"
 #include "tlb/tlb_hierarchy.hh"
+
+namespace gpuwalk::trace {
+class Tracer;
+} // namespace gpuwalk::trace
 
 namespace gpuwalk::gpu {
 
@@ -60,6 +65,26 @@ class ComputeUnit
 
     /** Begins execution of all resident wavefronts at the next tick. */
     void start();
+
+    /** Attaches a lifecycle tracer (LeaderIssued events under Wasp).
+     *  nullptr detaches. */
+    void setTracer(trace::Tracer *tracer) { tracer_ = tracer; }
+
+    /** True when @p slot is a Wasp leader slot (always false under the
+     *  other policies). */
+    bool
+    isLeaderSlot(std::size_t slot) const
+    {
+        return cfg_.wavefrontSched == WavefrontSchedPolicy::Wasp
+               && arbiter_.isLeader(slot);
+    }
+
+    /** Memory instructions issued from leader slots (Wasp only). */
+    std::uint64_t
+    leaderInstructionsIssued() const
+    {
+        return leaderIssues_.value();
+    }
 
     /**
      * New work entered the GPU dispatch queue mid-run (tenant
@@ -154,8 +179,11 @@ class ComputeUnit
     std::vector<Wavefront> wavefronts_;
     /** deque: intrusive events need stable addresses while scheduled. */
     std::deque<IssueEvent> issueEvents_;
-    std::deque<std::size_t> readyQueue_;
+    /** O(1) ready-slot pick index (replaces the per-issue scan over a
+     *  ready deque; the scan survives as referenceArbitrate()). */
+    IssueArbiter arbiter_;
     sim::FlatMap<std::uint64_t, InflightInstruction> inflight_;
+    trace::Tracer *tracer_ = nullptr;
     unsigned wavefrontsDone_ = 0;
     unsigned blockedCount_ = 0;
 
@@ -170,6 +198,9 @@ class ComputeUnit
                                   "coalesced translation requests"};
     sim::Counter lineAccesses_{"line_accesses",
                                "coalesced data cache accesses"};
+    sim::Counter leaderIssues_{"leader_issues",
+                               "memory instructions issued by Wasp "
+                               "leader slots"};
 };
 
 } // namespace gpuwalk::gpu

@@ -20,6 +20,19 @@ enum class WavefrontSchedPolicy
 {
     RoundRobin,  ///< ready-order (FIFO) issue
     OldestFirst, ///< GTO-style: oldest resident wavefront wins
+
+    /**
+     * WaSP-style de-staggering (PAPERS.md): each CU's resident slots
+     * split into a small leader group and followers. Leaders start
+     * first (followers' first issues are pushed out by
+     * waspDistanceCycles, generalizing the first-issue stagger) and
+     * win issue arbitration, so their coalesced translation requests
+     * reach the IOMMU ahead of the followers that will touch the same
+     * pages. The walk side cooperates: leader-originated walks are
+     * classed speculative (low priority) so the lookahead they create
+     * never delays follower demand walks.
+     */
+    Wasp,
 };
 
 /** Shape and timing of the GPU compute side. */
@@ -72,6 +85,22 @@ struct GpuConfig
      * wavefront gets a deterministic pseudo-random offset.
      */
     sim::Cycles startStaggerCycles = 512;
+
+    /**
+     * Wasp only: leader slots per CU. The first waspLeaders resident
+     * slots are leaders for the whole run (slot-based, so a refilled
+     * wavefront inherits its slot's role). Clamped to the resident
+     * slot count.
+     */
+    unsigned waspLeaders = 1;
+
+    /**
+     * Wasp only: the issue-distance lead, in cycles. Leaders' first
+     * issues spread over the normal stagger window; followers' first
+     * issues are delayed by this many further cycles, so the leader
+     * group runs ahead from the first instruction on.
+     */
+    sim::Cycles waspDistanceCycles = 2048;
 };
 
 } // namespace gpuwalk::gpu

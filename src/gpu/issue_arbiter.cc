@@ -1,0 +1,37 @@
+#include "gpu/issue_arbiter.hh"
+
+namespace gpuwalk::gpu {
+
+std::size_t
+referenceArbitrate(WavefrontSchedPolicy policy,
+                   const std::deque<std::size_t> &ready,
+                   const std::vector<std::uint32_t> &global_ids,
+                   unsigned leader_slots)
+{
+    GPUWALK_ASSERT(!ready.empty(), "reference pick with nothing ready");
+    if (policy == WavefrontSchedPolicy::RoundRobin)
+        return 0;
+
+    // Wasp narrows the scan to leaders when any leader is ready;
+    // OldestFirst treats every slot alike (leader_slots unused).
+    auto scan_oldest = [&](bool leaders_only) -> std::size_t {
+        std::size_t best = ready.size();
+        for (std::size_t i = 0; i < ready.size(); ++i) {
+            if (leaders_only && ready[i] >= leader_slots)
+                continue;
+            if (best == ready.size()
+                || global_ids[ready[i]] < global_ids[ready[best]])
+                best = i;
+        }
+        return best;
+    };
+
+    if (policy == WavefrontSchedPolicy::Wasp) {
+        const std::size_t leader = scan_oldest(/*leaders_only=*/true);
+        if (leader != ready.size())
+            return leader;
+    }
+    return scan_oldest(/*leaders_only=*/false);
+}
+
+} // namespace gpuwalk::gpu

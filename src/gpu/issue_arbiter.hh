@@ -1,0 +1,239 @@
+/**
+ * @file
+ * O(1) issue arbitration among a CU's ready wavefront slots.
+ *
+ * The CU front end used to linear-scan its ready queue per issue to
+ * find the oldest wavefront. This class applies the walk buffer's
+ * index discipline (PR 5) to the GPU front end: priorities are
+ * maintained at *arrival* — when a slot is registered or refilled —
+ * so the per-issue pick is a bitmap first-set-bit.
+ *
+ * The key structural fact making O(1) possible: within one CU, slot
+ * (re)fills receive strictly increasing global wavefront IDs (the GPU
+ * hands them out from one monotone counter), so a slot's age rank
+ * only changes on refill, and a refilled slot is always the youngest.
+ * Ranks therefore form a permutation maintained by an O(slots) shift
+ * per *refill* (rare: once per completed trace) while the per-issue
+ * pick over the ready set is a word scan of a rank-indexed bitmap
+ * (one word up to 64 resident slots).
+ *
+ * Policies:
+ *  - RoundRobin: ready-order FIFO, exactly the old deque behaviour.
+ *  - OldestFirst: lowest age rank among ready slots (GTO).
+ *  - Wasp: leader slots first (oldest ready leader), then followers —
+ *    the de-staggering policy's arbitration half.
+ *
+ * referenceArbitrate() preserves the retired scan as an executable
+ * spec; the differential test drives both against random schedules.
+ */
+
+#ifndef GPUWALK_GPU_ISSUE_ARBITER_HH
+#define GPUWALK_GPU_ISSUE_ARBITER_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "gpu/gpu_config.hh"
+#include "sim/logging.hh"
+
+namespace gpuwalk::gpu {
+
+/** Picks which ready wavefront slot takes each issue-port slot. */
+class IssueArbiter
+{
+  public:
+    /** @param policy Arbitration policy.
+     *  @param leader_slots Slots [0, leader_slots) are Wasp leaders. */
+    explicit IssueArbiter(WavefrontSchedPolicy policy,
+                          unsigned leader_slots = 0)
+        : policy_(policy), leaderSlots_(leader_slots)
+    {
+    }
+
+    /**
+     * Registers the next slot. Must be called in slot order with the
+     * slots' initial global IDs assigned in increasing order (the
+     * GPU's round-robin fill guarantees this per CU).
+     */
+    void
+    addSlot(std::uint32_t global_id)
+    {
+        GPUWALK_ASSERT(slotRank_.empty()
+                           || global_id > lastGlobalId_,
+                       "slot global IDs must arrive increasing");
+        lastGlobalId_ = global_id;
+        const std::size_t slot = slotRank_.size();
+        slotRank_.push_back(slot);
+        rankSlot_.push_back(slot);
+        readyBits_.resize((slotRank_.size() + 63) / 64, 0);
+    }
+
+    /**
+     * Slot @p slot was refilled with a fresh (strictly larger) global
+     * ID: it becomes the youngest slot. @pre the slot is not ready.
+     */
+    void
+    onRefill(std::size_t slot, std::uint32_t new_global_id)
+    {
+        GPUWALK_ASSERT(slot < slotRank_.size(), "bad slot");
+        GPUWALK_ASSERT(new_global_id > lastGlobalId_,
+                       "refill must carry a fresh (larger) global ID");
+        GPUWALK_ASSERT(!testReady(slotRank_[slot]),
+                       "refilling a ready slot");
+        lastGlobalId_ = new_global_id;
+        const std::size_t old_rank = slotRank_[slot];
+        const std::size_t last = slotRank_.size() - 1;
+        // Compact the permutation: everyone younger moves up one
+        // rank, the refilled slot takes the youngest rank. Ready bits
+        // move with their slots.
+        for (std::size_t r = old_rank; r < last; ++r) {
+            const std::size_t s = rankSlot_[r + 1];
+            rankSlot_[r] = s;
+            slotRank_[s] = r;
+            if (testReady(r + 1)) {
+                clearReady(r + 1);
+                setReady(r);
+            }
+        }
+        rankSlot_[last] = slot;
+        slotRank_[slot] = last;
+    }
+
+    /** Slot @p slot has an instruction ready to issue. */
+    void
+    markReady(std::size_t slot)
+    {
+        GPUWALK_ASSERT(slot < slotRank_.size(), "bad slot");
+        if (policy_ == WavefrontSchedPolicy::RoundRobin) {
+            fifo_.push_back(slot);
+            return;
+        }
+        const std::size_t rank = slotRank_[slot];
+        GPUWALK_ASSERT(!testReady(rank), "slot already ready");
+        setReady(rank);
+        ++readyCount_;
+    }
+
+    /** Ready slots waiting for an issue-port slot. */
+    std::size_t
+    readyCount() const
+    {
+        return policy_ == WavefrontSchedPolicy::RoundRobin
+                   ? fifo_.size()
+                   : readyCount_;
+    }
+
+    bool empty() const { return readyCount() == 0; }
+
+    /** True when @p slot is a Wasp leader slot. */
+    bool isLeader(std::size_t slot) const { return slot < leaderSlots_; }
+
+    /**
+     * Removes and returns the winning slot: FIFO order (RoundRobin),
+     * oldest ready (OldestFirst), or oldest ready leader then oldest
+     * ready follower (Wasp). @pre !empty()
+     */
+    std::size_t
+    pick()
+    {
+        GPUWALK_ASSERT(!empty(), "issue slot with nothing ready");
+        if (policy_ == WavefrontSchedPolicy::RoundRobin) {
+            const std::size_t slot = fifo_.front();
+            fifo_.pop_front();
+            return slot;
+        }
+        std::size_t rank;
+        if (policy_ == WavefrontSchedPolicy::Wasp) {
+            rank = lowestReadyRank(
+                [this](std::size_t slot) { return isLeader(slot); });
+            if (rank == npos)
+                rank = lowestReadyRank(
+                    [](std::size_t) { return true; });
+        } else {
+            rank = lowestReadyRank([](std::size_t) { return true; });
+        }
+        GPUWALK_ASSERT(rank != npos, "ready count out of sync");
+        clearReady(rank);
+        --readyCount_;
+        return rankSlot_[rank];
+    }
+
+  private:
+    static constexpr std::size_t npos = ~std::size_t{0};
+
+    bool
+    testReady(std::size_t rank) const
+    {
+        return policy_ != WavefrontSchedPolicy::RoundRobin
+               && (readyBits_[rank >> 6]
+                   >> (rank & 63) & 1) != 0;
+    }
+
+    void
+    setReady(std::size_t rank)
+    {
+        readyBits_[rank >> 6] |= std::uint64_t{1} << (rank & 63);
+    }
+
+    void
+    clearReady(std::size_t rank)
+    {
+        readyBits_[rank >> 6] &= ~(std::uint64_t{1} << (rank & 63));
+    }
+
+    /**
+     * Lowest set rank whose slot satisfies @p accept. The word scan is
+     * O(slots/64) — one word for any realistic residency — and the
+     * Wasp leader filter inspects at most leaderSlots_ set bits before
+     * giving up on a word... but leaders can sit at any rank, so the
+     * filtered scan walks set bits; the leader group is small by
+     * definition, and the unfiltered fallback is pure first-set-bit.
+     */
+    template <typename Accept>
+    std::size_t
+    lowestReadyRank(Accept &&accept) const
+    {
+        for (std::size_t w = 0; w < readyBits_.size(); ++w) {
+            std::uint64_t bits = readyBits_[w];
+            while (bits != 0) {
+                const auto bit = static_cast<std::size_t>(
+                    __builtin_ctzll(bits));
+                const std::size_t rank = w * 64 + bit;
+                if (accept(rankSlot_[rank]))
+                    return rank;
+                bits &= bits - 1;
+            }
+        }
+        return npos;
+    }
+
+    WavefrontSchedPolicy policy_;
+    unsigned leaderSlots_ = 0;
+
+    std::deque<std::size_t> fifo_; ///< RoundRobin ready order
+
+    // Age permutation: rank 0 = oldest current global ID.
+    std::vector<std::size_t> slotRank_; ///< slot -> rank
+    std::vector<std::size_t> rankSlot_; ///< rank -> slot
+    std::vector<std::uint64_t> readyBits_; ///< bit per *rank*
+    std::size_t readyCount_ = 0;
+    std::uint32_t lastGlobalId_ = 0;
+};
+
+/**
+ * Executable reference spec of the pick rule: the retired
+ * ComputeUnit::arbitrateIssue() scan, generalized to the Wasp leader
+ * rule. @p ready holds ready slots in ready order; @p global_ids maps
+ * slot -> current global ID; @p leader_slots is the Wasp leader-group
+ * size. Returns the index *into @p ready* of the winner.
+ */
+std::size_t
+referenceArbitrate(WavefrontSchedPolicy policy,
+                   const std::deque<std::size_t> &ready,
+                   const std::vector<std::uint32_t> &global_ids,
+                   unsigned leader_slots);
+
+} // namespace gpuwalk::gpu
+
+#endif // GPUWALK_GPU_ISSUE_ARBITER_HH

@@ -1,5 +1,7 @@
 #include "iommu/iommu.hh"
 
+#include <algorithm>
+
 #include "core/srpt_scheduler.hh"
 #include "sim/audit.hh"
 #include "sim/debug.hh"
@@ -56,6 +58,12 @@ Iommu::Iommu(sim::EventQueue &eq, const IommuConfig &cfg,
     statGroup_.add(prefetchCompleted_);
     statGroup_.add(prefetchUseful_);
     statGroup_.add(prefetchEvictedUnused_);
+    statGroup_.add(specAdmitted_);
+    statGroup_.add(specDispatched_);
+    statGroup_.add(specPromoted_);
+    statGroup_.add(specDroppedStale_);
+    statGroup_.add(leaderWalks_);
+    specTokens_ = cfg_.specBudgetTokens;
     statGroup_.add(bufferOccupancy_);
     statGroup_.add(walkLatency_);
     statGroup_.add(walkAccessesAvg_);
@@ -162,21 +170,52 @@ Iommu::registerInvariants(sim::Auditor &auditor)
     auditor.registerInvariant(
         "iommu.buffer_drained", [this](sim::AuditContext &ctx) {
             if (!ctx.final()) {
-                // The buffer holds work only while every walker is busy
-                // (the class invariant immediate dispatch relies on).
+                // The buffer holds work only while every walker the
+                // demand class may use is busy (the class invariant
+                // immediate dispatch relies on).
                 if (!buffer_.empty() || !overflow_.empty()) {
-                    ctx.require(idleWalker() == nullptr,
+                    ctx.require(idleDemandWalker() == nullptr,
                                 buffer_.size() + overflow_.size(),
                                 " pending walks while a walker idles");
+                }
+                // Speculative entries wait only while no walker is
+                // currently eligible for them.
+                if (!buffer_.specEmpty()) {
+                    ctx.require(idleSpecWalker() == nullptr,
+                                buffer_.specCount(),
+                                " speculative walks wait while an"
+                                " eligible walker idles");
                 }
                 return;
             }
             ctx.require(buffer_.empty(), buffer_.size(),
                         " walks stuck in the buffer at drain");
+            ctx.require(buffer_.specEmpty(), buffer_.specCount(),
+                        " speculative walks stuck at drain");
             ctx.require(overflow_.empty(), overflow_.size(),
                         " walks stuck in the overflow FIFO at drain");
             ctx.require(faulted_.empty(), faultedParked_,
                         " walks parked on unserviced faults at drain");
+        });
+
+    auditor.registerInvariant(
+        "iommu.spec_class", [this](sim::AuditContext &ctx) {
+            // Every speculative admission is accounted for exactly
+            // once: dispatched, promoted to the demand class, dropped
+            // as stale, or still resident in the spec FIFO.
+            const std::uint64_t resident = buffer_.specCount();
+            const std::uint64_t accounted = specDispatched_.value()
+                                            + specPromoted_.value()
+                                            + specDroppedStale_.value()
+                                            + resident;
+            ctx.require(specAdmitted_.value() == accounted,
+                        specAdmitted_.value(), " spec admissions vs ",
+                        accounted,
+                        " dispatched + promoted + dropped + resident");
+            if (ctx.final()) {
+                ctx.require(resident == 0, resident,
+                            " speculative walks resident at drain");
+            }
         });
 
     auditor.registerInvariant(
@@ -361,9 +400,10 @@ Iommu::lookupTlbs(tlb::TranslationRequest r)
             const mem::Addr va = r.vaPage;
             const ContextId ctx = r.ctx;
             const std::uint32_t wavefront = r.wavefront;
+            const bool leader = r.leader;
             respond(std::move(r), h.paPage, h.largePage,
                     cfg_.tlbLatency);
-            maybePrefetch(va, ctx, wavefront);
+            maybePrefetch(va, ctx, wavefront, leader);
             return;
         }
         respond(std::move(r), h.paPage, h.largePage, cfg_.tlbLatency);
@@ -417,10 +457,24 @@ Iommu::enqueueWalk(tlb::TranslationRequest req)
         tracer_->record(ev);
     }
 
-    // An idle walker implies the buffer and overflow FIFO are empty
-    // (dispatch drains the buffer whenever a walker frees up), so the
-    // new request starts immediately and the scheduler plays no role.
-    if (PageTableWalker *w = idleWalker()) {
+    // Leader-originated walks (Wasp) join the speculative class: they
+    // warm the TLBs ahead of the follower pack and must never delay a
+    // demand walk. They are real requests and cannot be dropped, so a
+    // full spec FIFO demotes the walk to the demand class at admission.
+    if (walk.request.leader) {
+        ++leaderWalks_;
+        if (!buffer_.specFull()) {
+            admitSpeculative(std::move(walk));
+            dispatchIfPossible();
+            return;
+        }
+    }
+
+    // An idle demand-eligible walker implies the buffer and overflow
+    // FIFO are empty (dispatch drains the buffer whenever a walker
+    // frees up), so the new request starts immediately and the
+    // scheduler plays no role.
+    if (PageTableWalker *w = idleDemandWalker()) {
         GPUWALK_ASSERT(buffer_.empty() && overflow_.empty(),
                        "idle walker with pending requests");
         dispatchTo(*w, std::move(walk), core::PickReason::Immediate);
@@ -437,6 +491,25 @@ Iommu::enqueueWalk(tlb::TranslationRequest req)
         return;
     }
     admitToBuffer(std::move(walk));
+}
+
+void
+Iommu::admitSpeculative(core::PendingWalk walk)
+{
+    ++specAdmitted_;
+    if (tracer_) {
+        trace::Event ev;
+        ev.tick = eq_.now();
+        ev.kind = trace::EventKind::SpecAdmitted;
+        ev.ctx = walk.request.ctx;
+        ev.wavefront = walk.request.wavefront;
+        ev.instruction = walk.request.instruction;
+        ev.vaPage = walk.request.vaPage;
+        ev.arg0 = static_cast<std::uint64_t>(cfg_.specAdmission);
+        ev.arg1 = buffer_.specCount() + 1;
+        tracer_->record(ev);
+    }
+    buffer_.specPush(std::move(walk));
 }
 
 void
@@ -481,13 +554,89 @@ Iommu::idleWalker()
     return nullptr;
 }
 
+unsigned
+Iommu::demandWalkerLimit() const
+{
+    if (cfg_.specAdmission != SpecAdmission::Reserved)
+        return cfg_.numWalkers;
+    // Clamp so at least one walker always serves demand.
+    const unsigned reserved =
+        std::min(cfg_.specReservedWalkers, cfg_.numWalkers - 1);
+    return cfg_.numWalkers - reserved;
+}
+
+PageTableWalker *
+Iommu::idleDemandWalker()
+{
+    const unsigned limit = demandWalkerLimit();
+    for (unsigned i = 0; i < limit; ++i) {
+        if (!walkers_[i]->busy())
+            return walkers_[i].get();
+    }
+    return nullptr;
+}
+
+PageTableWalker *
+Iommu::idleSpecWalker()
+{
+    // Reserved walkers first: keep the demand-eligible ones free for
+    // the next demand arrival when there is a choice.
+    const unsigned limit = demandWalkerLimit();
+    for (unsigned i = limit; i < cfg_.numWalkers; ++i) {
+        if (!walkers_[i]->busy())
+            return walkers_[i].get();
+    }
+    // Non-reserved walkers carry speculation only while no demand
+    // walk is waiting for one: speculation never delays demand.
+    if (!buffer_.empty() || !overflow_.empty())
+        return nullptr;
+    for (unsigned i = 0; i < limit; ++i) {
+        if (!walkers_[i]->busy())
+            return walkers_[i].get();
+    }
+    return nullptr;
+}
+
+void
+Iommu::promoteAgedSpec()
+{
+    while (!buffer_.specEmpty()
+           && eq_.now() - buffer_.specFront().arrival
+                  >= cfg_.specPromoteThreshold) {
+        core::PendingWalk walk = buffer_.specPop();
+        if (walk.isPrefetch) {
+            // A prediction nobody had bandwidth for this long is
+            // stale: cancel it rather than spend a walker on it.
+            ++specDroppedStale_;
+            releaseInflight(walk.request.ctx, walk.request.vaPage);
+            if (gmmu_)
+                gmmu_->unpin(walk.request.ctx, walk.request.vaPage);
+            continue;
+        }
+        // An aged leader walk is a real request going hungry: promote
+        // it into the demand class. Fresh seq for the buffer's
+        // monotone-insert discipline; the original arrival is kept so
+        // queue-wait accounting sees the full wait.
+        ++specPromoted_;
+        walk.seq = nextSeq_++;
+        if (buffer_.full()) {
+            ++overflowed_;
+            overflow_.push_back(std::move(walk));
+        } else {
+            admitToBuffer(std::move(walk));
+        }
+    }
+}
+
 void
 Iommu::dispatchIfPossible()
 {
+    promoteAgedSpec();
+
     while (!buffer_.empty()) {
-        PageTableWalker *w = idleWalker();
+        PageTableWalker *w = idleDemandWalker();
         if (!w)
-            return;
+            break;
         const std::size_t idx = scheduler_->selectNext(buffer_);
         core::PendingWalk walk = buffer_.extract(idx);
         scheduler_->onDispatch(buffer_, walk);
@@ -499,6 +648,55 @@ Iommu::dispatchIfPossible()
             overflow_.pop_front();
         }
     }
+
+    // Speculative class: scheduled only onto walkers no demand walk
+    // is eligible for right now.
+    while (!buffer_.specEmpty()) {
+        PageTableWalker *w = idleSpecWalker();
+        if (!w)
+            return;
+        dispatchSpec(*w);
+    }
+}
+
+void
+Iommu::dispatchSpec(PageTableWalker &walker)
+{
+    core::PendingWalk walk = buffer_.specPop();
+    if (walk.isPrefetch) {
+        // Re-probe at dispatch: a demand walk may have filled this
+        // translation while the prediction waited.
+        if (l1Tlb_.probe(walk.request.vaPage, walk.request.ctx)
+            || l2Tlb_.probe(walk.request.vaPage, walk.request.ctx)) {
+            ++specDroppedStale_;
+            releaseInflight(walk.request.ctx, walk.request.vaPage);
+            if (gmmu_)
+                gmmu_->unpin(walk.request.ctx, walk.request.vaPage);
+            return; // walker stays idle; caller loops
+        }
+        // Counted at dispatch, not admission: only walks that
+        // actually start participate in walk conservation.
+        ++prefetches_;
+        ++specDispatched_;
+        if (tracer_) {
+            trace::Event ev;
+            ev.tick = eq_.now();
+            ev.kind = trace::EventKind::PrefetchIssued;
+            ev.ctx = walk.request.ctx;
+            ev.walker = walker.id();
+            ev.wavefront = walk.request.wavefront;
+            ev.vaPage = walk.request.vaPage;
+            ev.arg0 = walk.specConfidencePermille;
+            ev.arg1 = walk.specTriggerPage;
+            tracer_->record(ev);
+        }
+        walker.start(std::move(walk), [this](WalkResult r) {
+            onWalkDone(std::move(r));
+        });
+        return;
+    }
+    ++specDispatched_;
+    dispatchTo(walker, std::move(walk), core::PickReason::Speculative);
 }
 
 void
@@ -510,6 +708,16 @@ Iommu::dispatchTo(PageTableWalker &walker, core::PendingWalk walk,
                     walk.request.instruction, " score=", walk.score,
                     " buffered=", buffer_.size());
     metrics_.onDispatch(walk.request.instruction);
+
+    // Budget admission: demand dispatches clock the tumbling window
+    // that refills the speculative admission tokens.
+    if (cfg_.specAdmission == SpecAdmission::Budget
+        && reason != core::PickReason::Speculative) {
+        if (++specWindowCount_ >= cfg_.specBudgetWindow) {
+            specWindowCount_ = 0;
+            specTokens_ = cfg_.specBudgetTokens;
+        }
+    }
 
     const sim::Tick wait = eq_.now() - walk.arrival;
     queueWaitHist_.sample(wait);
@@ -589,6 +797,7 @@ Iommu::onWalkDone(WalkResult result)
     const ContextId completedCtx = result.walk.request.ctx;
     const std::uint32_t wavefront = result.walk.request.wavefront;
     const bool isPrefetch = result.walk.isPrefetch;
+    const bool leader = result.walk.request.leader;
     if (isPrefetch) {
         // No coalescer asked for this translation, so there is nothing
         // to respond to: a synthetic TranslationReply would break the
@@ -606,7 +815,7 @@ Iommu::onWalkDone(WalkResult result)
     dispatchIfPossible();
 
     if (prefetcher_ && !isPrefetch)
-        maybePrefetch(completedVa, completedCtx, wavefront);
+        maybePrefetch(completedVa, completedCtx, wavefront, leader);
 }
 
 void
@@ -696,7 +905,10 @@ Iommu::reenterWalk(core::PendingWalk walk)
     walk.seq = nextSeq_++;
     walk.arrival = eq_.now();
 
-    if (PageTableWalker *w = idleWalker()) {
+    // Faulted leader walks re-enter as demand: after a far-fault
+    // round trip the lookahead advantage is gone, and the page is
+    // resident now, so the walk should complete at demand priority.
+    if (PageTableWalker *w = idleDemandWalker()) {
         GPUWALK_ASSERT(buffer_.empty() && overflow_.empty(),
                        "idle walker with pending requests");
         dispatchTo(*w, std::move(walk), core::PickReason::Immediate);
@@ -712,7 +924,7 @@ Iommu::reenterWalk(core::PendingWalk walk)
 
 void
 Iommu::maybePrefetch(mem::Addr touched_va_page, ContextId ctx,
-                     std::uint32_t wavefront)
+                     std::uint32_t wavefront, bool leader)
 {
     if (!prefetcher_)
         return;
@@ -722,7 +934,54 @@ Iommu::maybePrefetch(mem::Addr touched_va_page, ContextId ctx,
     // while the walkers are saturated.
     candidates_.clear();
     prefetcher_->onDemandTouch(ctx, wavefront, touched_va_page,
-                               candidates_);
+                               candidates_, leader);
+
+    if (cfg_.specAdmission != SpecAdmission::Idle) {
+        // Reserved/budget admission: predictions buffer into the
+        // speculative class and dispatch under its walker-eligibility
+        // rules rather than demanding an idle walker this instant.
+        bool admitted = false;
+        for (const PrefetchCandidate &cand : candidates_) {
+            if (buffer_.specFull())
+                break;
+            if (cfg_.specAdmission == SpecAdmission::Budget
+                && specTokens_ == 0)
+                break;
+            const mem::Addr page = cand.vaPage;
+            if (l1Tlb_.probe(page, ctx) || l2Tlb_.probe(page, ctx))
+                continue;
+            if (inflight_.contains(mem::pageCtxKey(ctx, page)))
+                continue;
+            if (gmmu_ && !gmmu_->isResident(ctx, page))
+                continue;
+            if (!vm::translateFrom(store_, pwc_.rootOf(ctx), page))
+                continue;
+
+            if (cfg_.specAdmission == SpecAdmission::Budget)
+                --specTokens_;
+            noteInflight(ctx, page);
+            core::PendingWalk walk;
+            walk.request.vaPage = page;
+            walk.request.instruction = 0; // reserved prefetch tag
+            walk.request.wavefront = wavefront;
+            walk.request.ctx = ctx;
+            walk.arrival = eq_.now();
+            walk.seq = nextSeq_++;
+            walk.isPrefetch = true;
+            walk.specConfidencePermille =
+                static_cast<std::uint32_t>(cand.confidence * 1000.0);
+            walk.specTriggerPage = touched_va_page;
+            // Pinned from admission so the resident check above stays
+            // valid until the walk completes or the entry is dropped.
+            if (gmmu_)
+                gmmu_->pin(ctx, page);
+            admitSpeculative(std::move(walk));
+            admitted = true;
+        }
+        if (admitted)
+            dispatchIfPossible();
+        return;
+    }
 
     for (const PrefetchCandidate &cand : candidates_) {
         // Strictly idle-bandwidth: only when nothing demands service.
@@ -782,6 +1041,33 @@ Iommu::maybePrefetch(mem::Addr touched_va_page, ContextId ctx,
         w->start(std::move(walk),
                  [this](WalkResult r) { onWalkDone(std::move(r)); });
     }
+}
+
+const char *
+toString(SpecAdmission a)
+{
+    switch (a) {
+      case SpecAdmission::Idle:
+        return "idle";
+      case SpecAdmission::Reserved:
+        return "reserved";
+      case SpecAdmission::Budget:
+        return "budget";
+    }
+    sim::panic("unknown SpecAdmission");
+}
+
+SpecAdmission
+specAdmissionFromString(const std::string &name)
+{
+    if (name == "idle")
+        return SpecAdmission::Idle;
+    if (name == "reserved")
+        return SpecAdmission::Reserved;
+    if (name == "budget")
+        return SpecAdmission::Budget;
+    sim::fatal("unknown spec admission '", name,
+               "' (expected idle|reserved|budget)");
 }
 
 void

@@ -54,6 +54,56 @@ class Gmmu;
 
 namespace gpuwalk::iommu {
 
+/**
+ * How speculative walks — Wasp leader lookahead and prefetcher
+ * predictions — are admitted into the walk path.
+ */
+enum class SpecAdmission : std::uint8_t
+{
+    /**
+     * Prefetch predictions issue only into a fully idle walk path
+     * (idle walker, empty buffer and overflow) — the strictly
+     * idle-bandwidth gate of the original prefetcher. Leader walks
+     * still buffer in the speculative class (they cannot be dropped)
+     * and dispatch whenever no demand walk is eligible.
+     */
+    Idle,
+
+    /**
+     * The last specReservedWalkers walkers are reserved for
+     * speculation: demand walks never dispatch onto them, so the
+     * speculative class always owns that much walk bandwidth, and
+     * predictions are buffered rather than dropped when the path is
+     * busy.
+     */
+    Reserved,
+
+    /**
+     * Token budget: up to specBudgetTokens speculative admissions per
+     * window of specBudgetWindow demand dispatches. Predictions are
+     * buffered in the speculative class and dispatch only when no
+     * demand walk is eligible (like Idle), but admission no longer
+     * requires the whole path to be idle.
+     */
+    Budget,
+};
+
+/** Short lowercase name of @p a ("idle", "reserved", "budget"). */
+const char *toString(SpecAdmission a);
+
+/** Parses a --spec-admission value; fatal on unknown names. */
+SpecAdmission specAdmissionFromString(const std::string &name);
+
+/** Per-run speculative walk-class accounting. */
+struct SpecSummary
+{
+    std::uint64_t admitted = 0;     ///< entries admitted to the class
+    std::uint64_t dispatched = 0;   ///< dispatched as PickReason::Speculative
+    std::uint64_t promoted = 0;     ///< leader walks promoted to demand
+    std::uint64_t droppedStale = 0; ///< aged predictions cancelled unissued
+    std::uint64_t leaderWalks = 0;  ///< leader-originated walk requests
+};
+
 /** IOMMU structure sizes and latencies (Table I defaults). */
 struct IommuConfig
 {
@@ -91,6 +141,29 @@ struct IommuConfig
      * so demand traffic is never delayed.
      */
     PrefetchConfig prefetch;
+
+    /** Speculative-walk admission policy (leader walks, prefetch). */
+    SpecAdmission specAdmission = SpecAdmission::Idle;
+
+    /** Reserved policy: walkers set aside for the speculative class
+     *  (clamped so at least one walker always serves demand). */
+    unsigned specReservedWalkers = 2;
+
+    /** Budget policy: speculative admissions allowed per window. */
+    unsigned specBudgetTokens = 4;
+
+    /** Budget policy: window length, in demand dispatches. */
+    unsigned specBudgetWindow = 32;
+
+    /**
+     * A speculative entry older than this (ticks) is acted on at the
+     * next dispatch opportunity: a leader walk is *promoted* into the
+     * demand class with a fresh sequence number (an instruction is
+     * blocked on it — lookahead must not become starvation), while an
+     * aged prefetch prediction is dropped as stale. 400 GPU cycles of
+     * headroom by default.
+     */
+    sim::Tick specPromoteThreshold = 400 * 500;
 
     bool useWalkCache = true;
     mem::CacheConfig walkCache{"ptwcache", 1024 * 1024, 16,
@@ -209,6 +282,22 @@ class Iommu : public tlb::TranslationService
     /** Per-run prefetcher accounting (enabled=false when off). */
     PrefetchSummary prefetchSummary() const;
 
+    /** Per-run speculative-class accounting. */
+    SpecSummary
+    specSummary() const
+    {
+        SpecSummary s;
+        s.admitted = specAdmitted_.value();
+        s.dispatched = specDispatched_.value();
+        s.promoted = specPromoted_.value();
+        s.droppedStale = specDroppedStale_.value();
+        s.leaderWalks = leaderWalks_.value();
+        return s;
+    }
+
+    /** Entries currently waiting in the speculative class. */
+    std::size_t specQueued() const { return buffer_.specCount(); }
+
     /**
      * Distinct (ctx, page) walks currently in flight — buffered,
      * overflowed, walking, or parked on a fault. Test accessor for
@@ -275,8 +364,8 @@ class Iommu : public tlb::TranslationService
         std::uint64_t busy = 0;
         for (const auto &w : walkers_)
             busy += w->busy() ? 1 : 0;
-        return buffer_.size() + overflow_.size() + busy
-               + faultedParked_;
+        return buffer_.size() + buffer_.specCount() + overflow_.size()
+               + busy + faultedParked_;
     }
 
     sim::StatGroup &stats() { return statGroup_; }
@@ -287,12 +376,15 @@ class Iommu : public tlb::TranslationService
                  bool large_page, sim::Tick delay);
     void enqueueWalk(tlb::TranslationRequest req);
     void maybePrefetch(mem::Addr touched_va_page, ContextId ctx,
-                       std::uint32_t wavefront);
+                       std::uint32_t wavefront, bool leader);
     void noteInflight(ContextId ctx, mem::Addr va_page);
     void releaseInflight(ContextId ctx, mem::Addr va_page);
     TenantCounters &tenantSlot(ContextId ctx);
     void admitToBuffer(core::PendingWalk walk);
+    void admitSpeculative(core::PendingWalk walk);
+    void promoteAgedSpec();
     void dispatchIfPossible();
+    void dispatchSpec(PageTableWalker &walker);
     void dispatchTo(PageTableWalker &walker, core::PendingWalk walk,
                     core::PickReason reason);
     void onWalkDone(WalkResult result);
@@ -300,6 +392,19 @@ class Iommu : public tlb::TranslationService
     void onFaultServiced(ContextId ctx, mem::Addr va_page);
     void reenterWalk(core::PendingWalk walk);
     PageTableWalker *idleWalker();
+
+    /** Walkers the demand class may dispatch onto: [0, this). */
+    unsigned demandWalkerLimit() const;
+
+    /** First idle walker the demand class may use, or nullptr. */
+    PageTableWalker *idleDemandWalker();
+
+    /**
+     * First idle walker the speculative class may use right now, or
+     * nullptr: reserved walkers always qualify; the others only while
+     * no demand walk is waiting (speculation never delays demand).
+     */
+    PageTableWalker *idleSpecWalker();
 
     sim::EventQueue &eq_;
     IommuConfig cfg_;
@@ -358,6 +463,11 @@ class Iommu : public tlb::TranslationService
     std::vector<std::unique_ptr<PageTableWalker>> walkers_;
     WalkMetrics metrics_;
     std::uint64_t nextSeq_ = 0;
+
+    // Budget admission state: tokens left in the current window, and
+    // demand dispatches seen since the window opened.
+    unsigned specTokens_ = 0;
+    unsigned specWindowCount_ = 0;
     trace::Tracer *tracer_ = nullptr;
     tlb::TranslationReplyChannel *replyChannel_ = nullptr;
 
@@ -379,6 +489,17 @@ class Iommu : public tlb::TranslationService
     sim::Counter prefetchEvictedUnused_{
         "prefetch_evicted_unused",
         "prefetched pages demand-walked again after TLB eviction"};
+    sim::Counter specAdmitted_{
+        "spec_admitted", "walks admitted to the speculative class"};
+    sim::Counter specDispatched_{
+        "spec_dispatched", "speculative-class walks dispatched"};
+    sim::Counter specPromoted_{
+        "spec_promoted", "leader walks promoted to demand priority"};
+    sim::Counter specDroppedStale_{
+        "spec_dropped_stale",
+        "aged prefetch predictions cancelled before dispatch"};
+    sim::Counter leaderWalks_{
+        "leader_walks", "walk requests from Wasp leader wavefronts"};
     sim::Average bufferOccupancy_{"buffer_occupancy",
                                   "walk-buffer depth at arrival"};
     sim::Average walkLatency_{"walk_latency",

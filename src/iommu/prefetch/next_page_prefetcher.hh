@@ -21,7 +21,8 @@ class NextPagePrefetcher final : public TranslationPrefetcher
 
     void
     onDemandTouch(tlb::ContextId, std::uint32_t, mem::Addr va_page,
-                  std::vector<PrefetchCandidate> &out) override
+                  std::vector<PrefetchCandidate> &out,
+                  bool = false) override
     {
         out.push_back({va_page + mem::pageSize, 1.0});
     }

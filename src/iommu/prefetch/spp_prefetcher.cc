@@ -130,7 +130,8 @@ SppPrefetcher::lookahead(std::uint32_t sig, std::uint64_t page_no,
 void
 SppPrefetcher::onDemandTouch(tlb::ContextId ctx, std::uint32_t wavefront,
                              mem::Addr va_page,
-                             std::vector<PrefetchCandidate> &out)
+                             std::vector<PrefetchCandidate> &out,
+                             bool leader)
 {
     const std::uint64_t stream_key =
         (static_cast<std::uint64_t>(ctx) << 32) | wavefront;
@@ -158,6 +159,8 @@ SppPrefetcher::onDemandTouch(tlb::ContextId ctx, std::uint32_t wavefront,
     }
 
     train(st.signature, delta);
+    if (leader)
+        ++leaderTrainedDeltas_;
     st.signature = nextSignature(st.signature, delta);
     st.lastPageNo = page_no;
     lookahead(st.signature, page_no, out);

@@ -45,11 +45,23 @@ class SppPrefetcher final : public TranslationPrefetcher
 
     void onDemandTouch(tlb::ContextId ctx, std::uint32_t wavefront,
                        mem::Addr va_page,
-                       std::vector<PrefetchCandidate> &out) override;
+                       std::vector<PrefetchCandidate> &out,
+                       bool leader = false) override;
 
     /** Test accessors. */
     std::uint64_t trainedDeltas() const { return trainedDeltas_; }
     std::uint64_t streamResets() const { return streamResets_; }
+
+    /**
+     * Deltas trained by Wasp leader streams. Leaders and followers
+     * share the signature-indexed pattern table, so every leader-
+     * trained delta is immediately visible to follower lookahead —
+     * this counter makes that transfer observable in tests/stats.
+     */
+    std::uint64_t leaderTrainedDeltas() const
+    {
+        return leaderTrainedDeltas_;
+    }
 
   private:
     /** One (ctx, wavefront) stream. */
@@ -91,6 +103,7 @@ class SppPrefetcher final : public TranslationPrefetcher
 
     std::uint64_t trainedDeltas_ = 0;
     std::uint64_t streamResets_ = 0;
+    std::uint64_t leaderTrainedDeltas_ = 0;
 };
 
 } // namespace gpuwalk::iommu

@@ -115,11 +115,18 @@ class TranslationPrefetcher
      * entry (so a correctly predicted stream keeps training even
      * when prefetching removes its walks) — and appends prefetch
      * candidates to @p out in priority order. Must be deterministic.
+     *
+     * @p leader marks touches from Wasp leader wavefronts. Leaders run
+     * ahead of the follower pack over the same data, so their streams
+     * are the freshest training signal a policy can get; stateful
+     * policies may surface per-class accounting but must stay
+     * deterministic either way. False whenever Wasp is off.
      */
     virtual void onDemandTouch(tlb::ContextId ctx,
                                std::uint32_t wavefront,
                                mem::Addr va_page,
-                               std::vector<PrefetchCandidate> &out) = 0;
+                               std::vector<PrefetchCandidate> &out,
+                               bool leader = false) = 0;
 };
 
 /** Creates the configured policy; nullptr for PrefetchKind::Off. */

@@ -113,6 +113,12 @@ class Event
     EventQueue *queue_ = nullptr;
     Tick when_ = 0;
     std::uint64_t seq_ = 0;
+    // Spawn lineage (domain-key mode only; see the "Domain-partitioned
+    // execution" block): where this event's *allocation* sits in the
+    // serial run's same-tick append order.
+    std::uint64_t spawnKey_ = 0; ///< parent's key (own key if unspawned)
+    std::uint32_t spawnIdx_ = 0; ///< allocation index within the parent
+    std::uint16_t gen_ = 0;      ///< same-tick spawn depth (0 = root)
     std::int8_t prio_ = 0;
     bool scheduled_ = false;
     bool inOverflow_ = false;
@@ -271,6 +277,23 @@ class EventQueue
     // where the serial call would have executed. Keys are comparable
     // across queues, which is what lets per-domain traces merge into
     // one deterministic global order.
+    //
+    // Same-tick *local* schedules (a rate-limiter continuation whose
+    // port is free, any scheduleIn(0)) are the one place the key alone
+    // under-determines the serial order: two domains each allocating
+    // their first key at tick T tie on (tick, counter) and the domain
+    // id would decide, while the serial run appended those events in
+    // the order their parents executed. Each event therefore also
+    // carries a spawn lineage — (generation, parent key, allocation
+    // index within the parent) — recorded when it is scheduled for the
+    // current tick *during* dispatch of another event. A serial run
+    // executes a tick breadth-first (every already-queued event before
+    // any same-tick child, children in parent execution order), so
+    // sorting stamps by (generation, parent key, spawn index, own key)
+    // reconstructs the serial append order wherever the parents
+    // themselves order correctly. Residual ambiguity remains for
+    // same-(tick, generation) spawns whose *parents* tie cross-domain
+    // at the same allocation tick — one level deeper than before.
     // ------------------------------------------------------------------
 
     /** Bits of an order key ordering nested same-tick sends. */
@@ -282,12 +305,25 @@ class EventQueue
     static constexpr std::uint64_t orderSubMask =
         (std::uint64_t(1) << orderSubBits) - 1;
 
+    /** Spawn lineage of one event: its allocation's position in the
+     *  serial same-tick append order (see the block comment above).
+     *  Value-initialized ({}) it reads "root ordered by its own key";
+     *  no default member initializers so Lineage{} can appear as a
+     *  default argument inside EventQueue itself. */
+    struct Lineage
+    {
+        std::uint64_t spawnKey; ///< parent key (own key if root)
+        std::uint32_t spawnIdx; ///< allocation index within parent
+        std::uint16_t gen;      ///< same-tick spawn depth
+    };
+
     /** The event being executed right now (for trace order stamps). */
     struct ExecCursor
     {
         Tick when = 0;
         std::uint64_t seq = 0;
         std::uint64_t serial = 0; ///< executed() at dispatch; detects change
+        Lineage lineage;
         std::int8_t prio = 0;
     };
 
@@ -353,6 +389,35 @@ class EventQueue
     /** The event currently being dispatched (domain-key mode only). */
     const ExecCursor &cursor() const { return cursor_; }
 
+    /** Lineage of the event being dispatched, inherited verbatim by
+     *  same-tick channel sends (nested continuations of it). */
+    const Lineage &cursorLineage() const { return cursor_.lineage; }
+
+  private:
+    /**
+     * Lineage for a local event just allocated @p key for tick
+     * @p when: scheduled for the current tick while another event is
+     * dispatching, it is a same-tick spawn (the serial run would have
+     * appended it behind every queued tick event) and records the
+     * dispatched event as its parent; anything else is a root that
+     * orders by its own key.
+     */
+    Lineage
+    spawnLineage(Tick when, std::uint64_t key)
+    {
+        if (dispatching_ && when == now_) {
+            GPUWALK_ASSERT(cursor_.lineage.gen < 0xFFFF,
+                           "same-tick spawn chain too deep at tick ",
+                           now_);
+            return Lineage{
+                cursor_.seq, spawnNext_++,
+                static_cast<std::uint16_t>(cursor_.lineage.gen + 1)};
+        }
+        return Lineage{key, 0, 0};
+    }
+
+  public:
+
     /**
      * Schedules callable @p fn at @p when under the caller-supplied
      * order key @p key (a composite key allocated by the *sending*
@@ -365,7 +430,8 @@ class EventQueue
                   && !std::is_base_of_v<Event, std::remove_reference_t<F>>>>
     void
     scheduleInjected(Tick when, std::uint64_t key, F &&fn,
-                     EventPriority prio = EventPriority::Default)
+                     EventPriority prio = EventPriority::Default,
+                     Lineage lineage = Lineage{})
     {
         GPUWALK_ASSERT(when >= now_, "injecting event in the past (when=",
                        when, " now=", now_, ")");
@@ -374,6 +440,14 @@ class EventQueue
         ev->when_ = when;
         ev->prio_ = static_cast<std::int8_t>(prio);
         ev->seq_ = key;
+        // Default lineage (spawnKey 0) means "root ordered by its own
+        // key" — positive-latency channel messages, whose key was
+        // allocated at send time like any serial schedule.
+        if (lineage.spawnKey == 0 && lineage.gen == 0)
+            lineage.spawnKey = key;
+        ev->spawnKey_ = lineage.spawnKey;
+        ev->spawnIdx_ = lineage.spawnIdx;
+        ev->gen_ = lineage.gen;
         ev->scheduled_ = true;
         ev->pooled_ = true;
         ev->queue_ = this;
@@ -424,7 +498,15 @@ class EventQueue
                        ev.when_, ")");
         ev.when_ = when;
         ev.prio_ = static_cast<std::int8_t>(prio);
-        ev.seq_ = domainKeys_ ? allocOrderKey() : nextSeq_++;
+        if (domainKeys_) {
+            ev.seq_ = allocOrderKey();
+            const Lineage lin = spawnLineage(when, ev.seq_);
+            ev.spawnKey_ = lin.spawnKey;
+            ev.spawnIdx_ = lin.spawnIdx;
+            ev.gen_ = lin.gen;
+        } else {
+            ev.seq_ = nextSeq_++;
+        }
         ev.scheduled_ = true;
         ev.queue_ = this;
         enqueue(&ev);
@@ -458,7 +540,15 @@ class EventQueue
         ev->emplace(std::forward<F>(fn));
         ev->when_ = when;
         ev->prio_ = static_cast<std::int8_t>(prio);
-        ev->seq_ = domainKeys_ ? allocOrderKey() : nextSeq_++;
+        if (domainKeys_) {
+            ev->seq_ = allocOrderKey();
+            const Lineage lin = spawnLineage(when, ev->seq_);
+            ev->spawnKey_ = lin.spawnKey;
+            ev->spawnIdx_ = lin.spawnIdx;
+            ev->gen_ = lin.gen;
+        } else {
+            ev->seq_ = nextSeq_++;
+        }
         ev->scheduled_ = true;
         ev->pooled_ = true;
         ev->queue_ = this;
@@ -552,7 +642,11 @@ class EventQueue
             cursor_.prio = ev->prio_;
             cursor_.seq = ev->seq_;
             cursor_.serial = executed_;
+            cursor_.lineage =
+                Lineage{ev->spawnKey_, ev->spawnIdx_, ev->gen_};
             nestedNext_ = ev->seq_;
+            spawnNext_ = 0;
+            dispatching_ = true;
         }
         if (ev->pooled_) {
             auto *pe = static_cast<detail::PooledEvent *>(ev);
@@ -561,6 +655,7 @@ class EventQueue
         } else {
             ev->process();
         }
+        dispatching_ = false;
         return true;
     }
 
@@ -819,10 +914,12 @@ class EventQueue
 
     // Domain-key mode (see the "Domain-partitioned execution" block).
     bool domainKeys_ = false;
+    bool dispatching_ = false; ///< inside runOne's process() call
     unsigned domainId_ = 0;
     Tick keyTick_ = maxTick; ///< sentinel: first alloc resets the counter
     std::uint64_t keyCount_ = 0;
     std::uint64_t nestedNext_ = 0;
+    std::uint32_t spawnNext_ = 0; ///< same-tick spawns by this dispatch
     ExecCursor cursor_;
 };
 

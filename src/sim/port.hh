@@ -216,11 +216,17 @@ class Channel final : public ChannelBase
             }
             return;
         }
+        // Same-tick messages are the serial run's nested synchronous
+        // calls: they inherit the sending event's key (plus a call
+        // index) *and* its spawn lineage, so they sort — and spawn
+        // further events — exactly where the serial call ran.
         const std::uint64_t key =
             same_tick ? src_->allocNestedKey() : src_->allocOrderKey();
+        const EventQueue::Lineage lineage =
+            same_tick ? src_->cursorLineage() : EventQueue::Lineage{};
         {
             std::lock_guard<std::mutex> lock(mu_);
-            inbox_.push_back(Pending{when, key, std::move(m)});
+            inbox_.push_back(Pending{when, key, lineage, std::move(m)});
         }
         inboxSize_.fetch_add(1, std::memory_order_release);
     }
@@ -240,10 +246,12 @@ class Channel final : public ChannelBase
         inboxSize_.fetch_sub(batch.size(), std::memory_order_release);
         for (Pending &p : batch) {
             eq.scheduleInjected(
-                p.when, p.key, [this, m = std::move(p.msg)]() mutable {
+                p.when, p.key,
+                [this, m = std::move(p.msg)]() mutable {
                     deliver_(std::move(m));
                     delivered_.fetch_add(1, std::memory_order_release);
-                });
+                },
+                EventPriority::Default, p.lineage);
         }
         return batch.size();
     }
@@ -253,6 +261,7 @@ class Channel final : public ChannelBase
     {
         Tick when;
         std::uint64_t key;
+        EventQueue::Lineage lineage;
         Msg msg;
     };
 

@@ -181,6 +181,10 @@ System::System(const SystemConfig &cfg)
 
     gpu_ = std::make_unique<gpu::Gpu>(qGpu, cfg_.gpu, *tlbs_,
                                       std::move(l1_ptrs));
+    if (tracer_) {
+        // CUs share the GPU domain's tracer (same queue as the TLBs).
+        gpu_->setTracer(tracer_.get());
+    }
 
     if (cfg_.audit.enabled) {
         auditor_ = std::make_unique<sim::Auditor>();
@@ -561,6 +565,8 @@ System::collectStats()
     if (gmmu_)
         stats.gmmu = gmmu_->summarize();
     stats.prefetch = iommu_->prefetchSummary();
+    stats.spec = iommu_->specSummary();
+    stats.leaderIssues = gpu_->totalLeaderIssues();
     return stats;
 }
 

@@ -69,6 +69,26 @@ SystemConfig::print(std::ostream &os) const
         }
         os << "\n";
     }
+    // Wasp knobs print only under --wavefront-sched=wasp, so rr/gto
+    // configurations keep their pre-Wasp fingerprints.
+    if (gpu.wavefrontSched == gpu::WavefrontSchedPolicy::Wasp) {
+        os << "Wasp           " << gpu.waspLeaders
+           << " leader slot(s) per CU, " << gpu.waspDistanceCycles
+           << "-cycle issue-distance lead\n";
+    }
+    // Speculative-admission knobs print only away from the default
+    // idle policy, for the same fingerprint-stability reason.
+    if (iommu.specAdmission != iommu::SpecAdmission::Idle) {
+        os << "SpecAdmit      " << iommu::toString(iommu.specAdmission);
+        if (iommu.specAdmission == iommu::SpecAdmission::Reserved) {
+            os << ": " << iommu.specReservedWalkers
+               << " reserved walker(s)";
+        } else {
+            os << ": " << iommu.specBudgetTokens << " tokens per "
+               << iommu.specBudgetWindow << "-dispatch window";
+        }
+        os << "\n";
+    }
     os << "PWC            " << iommu.pwc.entriesPerLevel
        << " entries/level, " << iommu.pwc.associativity << "-way"
        << (iommu.pwc.pinScoredEntries ? ", counter-pinned replacement"

@@ -99,6 +99,7 @@ TlbHierarchy::lookupL1(TranslationRequest r)
     down.cu = leader.cu;
     down.app = leader.app;
     down.ctx = leader.ctx;
+    down.leader = leader.leader;
     down.onComplete = [this, cu = leader.cu, va = leader.vaPage,
                        ctx = leader.ctx](mem::Addr pa_page, bool large) {
         auto node = l1Inflight_.find(l1Key(ctx, cu, va));
@@ -154,6 +155,7 @@ TlbHierarchy::accessL2(TranslationRequest req)
     down.cu = leader.cu;
     down.app = leader.app;
     down.ctx = leader.ctx;
+    down.leader = leader.leader;
     down.onComplete = [this, key, va_page = leader.vaPage,
                        ctx = leader.ctx](mem::Addr pa_page, bool large) {
         auto node = l2Inflight_.find(key);

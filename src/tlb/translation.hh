@@ -61,6 +61,14 @@ struct TranslationRequest
     ContextId ctx = defaultContext;
 
     /**
+     * Issued by a Wasp leader wavefront: if it reaches the IOMMU walk
+     * path it is classed a speculative (low-priority) walk — the
+     * lookahead a leader creates must never delay follower demand
+     * walks. False outside --wavefront-sched=wasp.
+     */
+    bool leader = false;
+
+    /**
      * Completion callback delivering the page-aligned (4 KB-granular)
      * physical address and whether the backing mapping is a 2 MB
      * large page. Invoked exactly once. Inline-stored for the hot

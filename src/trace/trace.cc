@@ -26,17 +26,24 @@ mergeTracers(const std::vector<const Tracer *> &parts,
                 entries.push_back(Entry{s, ev, p});
             });
     }
-    // stable_sort keeps each part's own recording order for identical
-    // stamps (records from the same executing event share idx only
-    // when recorded before any event ran).
-    std::stable_sort(entries.begin(), entries.end(),
-                     [](const Entry &a, const Entry &b) {
-                         return std::tie(a.stamp.when, a.stamp.prio,
-                                         a.stamp.key, a.stamp.idx, a.part)
-                                < std::tie(b.stamp.when, b.stamp.prio,
-                                           b.stamp.key, b.stamp.idx,
-                                           b.part);
-                     });
+    // Serial ticks execute breadth-first: queued events in key order,
+    // then same-tick spawns in (parent execution, allocation) order —
+    // which is what (gen, spawnKey, spawnIdx) restores; the key alone
+    // ties cross-domain for spawns. Roots carry spawnKey == key and
+    // gen == 0, so for them this is plain key order. stable_sort keeps
+    // each part's own recording order for identical stamps (records
+    // from the same executing event share idx only when recorded
+    // before any event ran).
+    std::stable_sort(
+        entries.begin(), entries.end(),
+        [](const Entry &a, const Entry &b) {
+            return std::tie(a.stamp.when, a.stamp.prio, a.stamp.gen,
+                            a.stamp.spawnKey, a.stamp.spawnIdx,
+                            a.stamp.key, a.stamp.idx, a.part)
+                   < std::tie(b.stamp.when, b.stamp.prio, b.stamp.gen,
+                              b.stamp.spawnKey, b.stamp.spawnIdx,
+                              b.stamp.key, b.stamp.idx, b.part);
+        });
     Tracer merged(cfg);
     for (const Entry &e : entries)
         merged.record(e.event);
@@ -58,6 +65,8 @@ toString(EventKind kind)
     case EventKind::FaultServiced: return "fault_serviced";
     case EventKind::PrefetchIssued: return "prefetch_issued";
     case EventKind::PrefetchUseful: return "prefetch_useful";
+    case EventKind::LeaderIssued: return "leader_issued";
+    case EventKind::SpecAdmitted: return "spec_admitted";
     }
     return "unknown";
 }

@@ -90,10 +90,25 @@ enum class EventKind : std::uint8_t
      *  (first touch only). instruction/wavefront = the demand
      *  request's. */
     PrefetchUseful,
+
+    // Wasp kinds are appended under the same discipline: every value
+    // above appears in committed golden digests and must not shift.
+
+    /** A Wasp leader slot issued a memory instruction. ctx/wavefront
+     *  identify the leader, instruction = the instruction ID it will
+     *  carry, arg0 = CU index, arg1 = coalesced pages touched. */
+    LeaderIssued,
+
+    /** A speculative walk (leader-originated or prefetcher-predicted)
+     *  was admitted into the walk buffer's speculative class instead
+     *  of the demand path. vaPage = target page, arg0 = admission
+     *  policy (SpecAdmission value), arg1 = speculative entries
+     *  resident after admission. */
+    SpecAdmitted,
 };
 
 /** Number of distinct EventKind values. */
-constexpr unsigned numEventKinds = 11;
+constexpr unsigned numEventKinds = 13;
 
 /** Short lowercase name of @p kind (e.g. "scheduled"). */
 const char *toString(EventKind kind);
@@ -138,17 +153,27 @@ struct TraceConfig
 /**
  * Global ordering position of one recorded event in a
  * domain-partitioned run: the executing event's (tick, priority,
- * composite order key) as reported by the owning queue's cursor, plus
- * the record's index within that event. Composite keys are comparable
- * across domain queues, so sorting per-domain records by
- * (when, prio, key, idx) reconstructs the one global order a serial
- * run would have recorded them in.
+ * composite order key, spawn lineage) as reported by the owning
+ * queue's cursor, plus the record's index within that event.
+ *
+ * A serial run executes a tick breadth-first: every event already
+ * queued for the tick runs before any same-tick child scheduled
+ * during the tick, and children run in the order their parents
+ * executed. The lineage fields (spawn generation, parent key,
+ * allocation index within the parent) encode that append order, so
+ * sorting per-domain records by (when, prio, gen, spawnKey, spawnIdx,
+ * key, idx) reconstructs the one global order a serial run would have
+ * recorded them in — the key alone would tie cross-domain when two
+ * domains both allocate their first key at the same tick.
  */
 struct OrderStamp
 {
     sim::Tick when = 0;
     std::uint64_t key = 0;
+    std::uint64_t spawnKey = 0;
+    std::uint32_t spawnIdx = 0;
     std::uint32_t idx = 0;
+    std::uint16_t gen = 0;
     std::int8_t prio = 0;
 };
 
@@ -190,8 +215,10 @@ class Tracer
                 lastSerial_ = cur.serial;
                 nextIdx_ = 0;
             }
-            stamps_[head_] =
-                OrderStamp{cur.when, cur.seq, nextIdx_++, cur.prio};
+            stamps_[head_] = OrderStamp{
+                cur.when,        cur.seq,  cur.lineage.spawnKey,
+                cur.lineage.spawnIdx, nextIdx_++, cur.lineage.gen,
+                cur.prio};
         }
         ring_[head_] = ev;
         head_ = (head_ + 1) % capacity_;

@@ -13,6 +13,7 @@
 
 #include "sim/event_queue.hh"
 #include "sim/port.hh"
+#include "trace/trace.hh"
 
 namespace {
 
@@ -236,6 +237,111 @@ TEST(Port, OrderKeysAreTickMajorThenDomainThenCounter)
     EXPECT_GT(later, b0);
     EXPECT_EQ(later & EventQueue::orderSubMask, 0u)
         << "fresh keys carry an empty sub field";
+}
+
+/** Spawn lineage: a root event carries generation 0 and its own key;
+ *  an event scheduled for the *current* tick during another event's
+ *  dispatch carries the parent's key, a per-dispatch allocation
+ *  index, and one generation more. A same-tick channel delivery
+ *  inherits the sending event's lineage verbatim. */
+TEST(Port, SpawnLineageTracksSameTickParentage)
+{
+    EventQueue src;
+    EventQueue dst;
+    src.enableDomainKeys(0);
+    dst.enableDomainKeys(1);
+
+    Channel<int> ch("zero_hop", 0);
+    ch.bind(src, dst);
+    ch.setParallel(true);
+
+    EventQueue::Lineage delivered{};
+    ch.onDeliver(
+        [&](int &&) { delivered = dst.cursorLineage(); });
+
+    std::uint64_t root_key = 0;
+    EventQueue::Lineage root{};
+    EventQueue::Lineage child_a{};
+    EventQueue::Lineage child_b{};
+    src.schedule(10, [&] {
+        root_key = src.cursor().seq;
+        root = src.cursorLineage();
+        src.schedule(10, [&] {
+            child_a = src.cursorLineage();
+            ch.sendNow(1); // inherits child_a's lineage
+        });
+        src.schedule(10, [&] { child_b = src.cursorLineage(); });
+    });
+    while (src.runOne()) {}
+    ch.drainTo(dst);
+    while (dst.runOne()) {}
+
+    EXPECT_EQ(root.gen, 0u);
+    EXPECT_EQ(root.spawnKey, root_key) << "roots carry their own key";
+    EXPECT_EQ(child_a.gen, 1u);
+    EXPECT_EQ(child_a.spawnKey, root_key);
+    EXPECT_EQ(child_a.spawnIdx, 0u);
+    EXPECT_EQ(child_b.gen, 1u);
+    EXPECT_EQ(child_b.spawnKey, root_key);
+    EXPECT_EQ(child_b.spawnIdx, 1u);
+    EXPECT_EQ(delivered.gen, child_a.gen);
+    EXPECT_EQ(delivered.spawnKey, child_a.spawnKey);
+    EXPECT_EQ(delivered.spawnIdx, child_a.spawnIdx);
+}
+
+/** The merge-order case the order key alone gets wrong: two domains
+ *  each run a same-tick zero-delay continuation, and the parents'
+ *  serial order (by allocation tick) is the *opposite* of the
+ *  children's domain-id order. A serial tick runs breadth-first —
+ *  both parents, then their children in parent order — which only
+ *  the spawn lineage can reconstruct: the children's own keys are
+ *  both fresh at the execution tick, so they tie down to the domain
+ *  id, which would wrongly order d0's child first. */
+TEST(Port, MergeRestoresSerialOrderForCrossDomainContinuations)
+{
+    EventQueue d0;
+    EventQueue d1;
+    d0.enableDomainKeys(0);
+    d1.enableDomainKeys(1);
+
+    trace::TraceConfig cfg;
+    cfg.enabled = true;
+    trace::Tracer t0(cfg);
+    trace::Tracer t1(cfg);
+    t0.setOrderSource(&d0);
+    t1.setOrderSource(&d1);
+
+    auto record = [](trace::Tracer &t, std::uint64_t id) {
+        trace::Event ev;
+        ev.kind = trace::EventKind::Coalesced;
+        ev.arg0 = id;
+        t.record(ev);
+    };
+    // d1's parent is allocated at tick 5, d0's at tick 8: in serial
+    // execution order at tick 10, d1's parent runs first, so its
+    // continuation must also run first — even though the children's
+    // fresh tick-10 keys order d0's child ahead on the domain id.
+    d1.schedule(5, [&] {
+        d1.schedule(10, [&] {
+            record(t1, 1);
+            d1.schedule(10, [&] { record(t1, 11); });
+        });
+    });
+    d0.schedule(8, [&] {
+        d0.schedule(10, [&] {
+            record(t0, 2);
+            d0.schedule(10, [&] { record(t0, 12); });
+        });
+    });
+    while (d0.runOne()) {}
+    while (d1.runOne()) {}
+
+    const trace::Tracer merged = trace::mergeTracers({&t0, &t1}, cfg);
+    std::vector<std::uint64_t> order;
+    merged.forEach(
+        [&](const trace::Event &ev) { order.push_back(ev.arg0); });
+    EXPECT_EQ(order, (std::vector<std::uint64_t>{1, 2, 11, 12}))
+        << "parents in key order, children in parent order";
 }
 
 TEST(Port, ConservationCountersBalanceAfterAFullDrain)

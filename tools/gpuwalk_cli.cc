@@ -171,7 +171,15 @@ Hardware overrides (baseline = the paper's Table I):
                           --prefetch means next (idle bandwidth only)
   --prefetch-degree=N     max speculative walks per trigger
                                               (default: 4)
-  --wavefront-sched=P     rr | gto  (CU issue arbitration)
+  --wavefront-sched=P     rr | gto | wasp  (CU issue arbitration;
+                          wasp de-staggers leader slots whose walks
+                          are classed speculative at the IOMMU)
+  --wasp-leaders=N        wasp: leader slots per CU   (default: 1)
+  --wasp-distance=N       wasp: followers' first-issue delay, cycles
+                                              (default: 2048)
+  --spec-admission=P      speculative-walk admission: idle (default)
+                          | reserved (dedicated walkers) | budget
+                          (tokens per demand-dispatch window)
   --virtual-l1            virtually-addressed L1 data caches
                           (translate on L1 miss, Yoon et al.)
 
@@ -271,9 +279,17 @@ configFromFlags(Flags &flags)
     const std::string wf_sched = flags.get("wavefront-sched", "rr");
     if (wf_sched == "gto")
         cfg.gpu.wavefrontSched = gpu::WavefrontSchedPolicy::OldestFirst;
+    else if (wf_sched == "wasp")
+        cfg.gpu.wavefrontSched = gpu::WavefrontSchedPolicy::Wasp;
     else if (wf_sched != "rr")
         sim::fatal("unknown --wavefront-sched '", wf_sched,
-                   "' (rr|gto)");
+                   "' (rr|gto|wasp)");
+    cfg.gpu.waspLeaders = static_cast<unsigned>(
+        flags.getUint("wasp-leaders", cfg.gpu.waspLeaders));
+    cfg.gpu.waspDistanceCycles = static_cast<sim::Cycles>(
+        flags.getUint("wasp-distance", cfg.gpu.waspDistanceCycles));
+    cfg.iommu.specAdmission = iommu::specAdmissionFromString(
+        flags.get("spec-admission", "idle"));
     if (flags.has("trace-out")) {
         cfg.trace.outPath = flags.get("trace-out", "");
         if (cfg.trace.outPath.empty())
@@ -550,6 +566,16 @@ reportRun(const system::SystemConfig &cfg, const CliOptions &opt,
                       << stats.gmmu.frameCap << " pages, "
                       << stats.gmmu.pagesEvicted << " evicted, "
                       << stats.gmmu.promotions << " promoted\n";
+        }
+        if (cfg.gpu.wavefrontSched == gpu::WavefrontSchedPolicy::Wasp) {
+            std::cout << "wasp               " << stats.leaderIssues
+                      << " leader issues, " << stats.spec.leaderWalks
+                      << " leader walks\n"
+                      << "spec class         " << stats.spec.admitted
+                      << " admitted, " << stats.spec.dispatched
+                      << " dispatched, " << stats.spec.promoted
+                      << " promoted, " << stats.spec.droppedStale
+                      << " dropped\n";
         }
         for (const auto &t : stats.tenants) {
             std::cout << "tenant " << t.ctx << "           walks "
